@@ -1,0 +1,15 @@
+"""Bench Fig. 2: single-key compound effect on a 10-key CDF.
+
+Regenerates both panels (regression before/after one optimal
+poisoning insertion) and prints the residual table.  Paper shape: the
+single insertion re-ranks all larger keys and multiplies the MSE.
+"""
+
+from repro.experiments import fig2_compound_effect
+
+
+def test_fig2_compound_effect(once):
+    result = once(lambda: fig2_compound_effect.run())
+    print()
+    print(result.format())
+    assert result.attack.ratio_loss > 1.0

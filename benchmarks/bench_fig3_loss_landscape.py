@@ -1,0 +1,16 @@
+"""Bench Fig. 3: the loss sequence L(kp) and its convexity structure.
+
+Regenerates the loss landscape over every unoccupied key of the
+Fig. 2 keyset and verifies the two claims the figure illustrates:
+per-gap convexity and endpoint-attained maxima (Theorem 2).
+"""
+
+from repro.experiments import fig3_loss_landscape
+
+
+def test_fig3_loss_landscape(once):
+    result = once(lambda: fig3_loss_landscape.run())
+    print()
+    print(result.format())
+    assert result.all_gaps_convex
+    assert result.argmax_is_endpoint

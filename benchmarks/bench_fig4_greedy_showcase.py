@@ -1,0 +1,17 @@
+"""Bench Fig. 4: greedy attack on 90 uniform keys with 10 insertions.
+
+Paper: 7.4x error increase with poisoning keys clustered in a dense
+region.  The exact ratio depends on the random draw; the shape —
+multiple-x inflation with tightly clustered poisoning keys — must
+reproduce on any healthy run.
+"""
+
+from repro.experiments import fig4_greedy_showcase
+
+
+def test_fig4_greedy_showcase(once):
+    result = once(lambda: fig4_greedy_showcase.run())
+    print()
+    print(result.format())
+    assert result.greedy.ratio_loss > 2.0
+    assert result.poison_span_fraction < 0.5

@@ -1,0 +1,33 @@
+"""Bench Fig. 5: regression-poisoning sweep over uniform keysets.
+
+Grid of (keys x density) cells, poisoning 2-14%, 20 keysets per cell.
+Paper shape: ratios grow with the poisoning percentage; sparser and
+larger keysets allow bigger ratios (up to ~100x at paper scale); very
+dense cells saturate.  Set REPRO_PROFILE=full to include the
+10,000-key row.
+"""
+
+import os
+
+from repro.experiments import fig5_config, run_sweep
+
+
+def test_fig5_regression_sweep(once):
+    profile = os.environ.get("REPRO_PROFILE", "quick")
+    result = once(lambda: run_sweep(fig5_config(profile)))
+    print()
+    print(result.format())
+
+    for cell in result.cells:
+        # Monotone in the poisoning percentage outside saturation.
+        if cell.density <= 0.4:
+            assert (cell.summaries[14.0].median
+                    >= cell.summaries[2.0].median)
+    # Sparser cells beat denser cells at the same key count (the
+    # paper's row-wise observation), checked on the largest count.
+    largest = max(c.n_keys for c in result.cells)
+    sparse = next(c for c in result.cells
+                  if c.n_keys == largest and c.density == 0.1)
+    dense = next(c for c in result.cells
+                 if c.n_keys == largest and c.density == 0.8)
+    assert sparse.summaries[14.0].median > dense.summaries[14.0].median

@@ -1,0 +1,36 @@
+"""Bench Fig. 7: RMI poisoning on the (simulated) real-world datasets.
+
+Miami-Dade salaries (published size, n = 5,300) and OSM school
+latitudes (quick: n = 30,000; REPRO_PROFILE=full: the published
+n = 302,973).  Paper shape: RMI ratios between ~4x and ~24x, growing
+with both the poisoning percentage and the second-stage model size.
+"""
+
+import os
+
+from repro.experiments import fig7_rmi_realworld
+
+
+def test_fig7_rmi_realworld(once):
+    profile = os.environ.get("REPRO_PROFILE", "quick")
+    config = (fig7_rmi_realworld.full_config() if profile == "full"
+              else fig7_rmi_realworld.quick_config())
+    result = once(lambda: fig7_rmi_realworld.run(config))
+    print()
+    print(result.format())
+
+    for dataset in {c.dataset for c in result.cells}:
+        # Percentage trend within every (dataset, model size) block.
+        for size in config.model_sizes:
+            cells = {c.poisoning_percentage: c for c in result.cells
+                     if c.dataset == dataset and c.model_size == size}
+            assert cells[20.0].rmi_ratio > cells[5.0].rmi_ratio
+        # Model-size trend at 20% poisoning (the paper's observation
+        # that larger models allow more poisoning per model).
+        at20 = {c.model_size: c for c in result.cells
+                if c.dataset == dataset
+                and c.poisoning_percentage == 20.0}
+        assert at20[200].rmi_ratio > at20[50].rmi_ratio * 0.8
+
+    headline = max(c.rmi_ratio for c in result.cells)
+    assert headline > 3.0  # paper band: 4x .. 24x

@@ -1,0 +1,45 @@
+"""Bench: storage footprint — the other half of the learned-index pitch.
+
+Prices the RMI, the B-Tree and the Sec. VI "harden with a polynomial
+stage" option in bytes over the same keyset.  The paper's argument is
+that the linear second stage is what makes tens of thousands of models
+fit in memory; the poisoning defense of switching to bigger models
+spends exactly that budget.
+"""
+
+import numpy as np
+
+from repro.data import Domain, uniform_keyset
+from repro.index import BTree, RecursiveModelIndex
+from repro.index.storage import (
+    btree_storage,
+    polynomial_stage_storage,
+    rmi_storage,
+)
+
+
+def test_storage_footprint(once):
+    rng = np.random.default_rng(0)
+    keyset = uniform_keyset(100_000, Domain.of_size(2_000_000), rng)
+    n_models = 1000
+
+    def build_reports():
+        rmi = RecursiveModelIndex.build_equal_size(keyset, n_models)
+        tree = BTree.bulk_load(keyset.keys, min_degree=16)
+        return [
+            rmi_storage(rmi),
+            btree_storage(tree),
+            polynomial_stage_storage(n_models, 3),
+        ]
+
+    reports = once(build_reports)
+    print()
+    for report in reports:
+        print(report.row())
+    by_name = {r.structure: r for r in reports}
+    # The learned index is an order of magnitude smaller than the tree.
+    assert (by_name["rmi"].total_bytes
+            < 0.1 * by_name["btree"].total_bytes)
+    # Hardening with a cubic stage costs real bytes.
+    assert (by_name["poly-deg3 stage"].total_bytes
+            > by_name["rmi"].total_bytes)

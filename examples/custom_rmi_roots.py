@@ -1,0 +1,67 @@
+"""Scenario: swapping first-stage models in the RMI.
+
+The paper's architecture uses a neural-network root; the attack only
+touches the linear second stage, so any root works.  This script
+builds the same index over log-normal keys with three roots — a
+single line, a piecewise-linear spline, and the from-scratch numpy
+MLP — and compares routing quality and lookup cost before and after
+poisoning.
+
+Run:  python examples/custom_rmi_roots.py
+"""
+
+import numpy as np
+
+from repro.core import RMIAttackerCapability, poison_rmi
+from repro.data import Domain, lognormal_keyset
+from repro.experiments import render_table, section
+from repro.index import (
+    LinearRoot,
+    MLPRoot,
+    PiecewiseLinearRoot,
+    RecursiveModelIndex,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    keys = lognormal_keyset(5_000, Domain.of_size(500_000), rng)
+    print(section(f"log-normal keyset: {keys.n} keys over a "
+                  f"{keys.m:,}-value universe"))
+
+    n_models = 50
+    capability = RMIAttackerCapability(poisoning_percentage=10.0,
+                                       alpha=3.0)
+    attack = poison_rmi(keys, n_models, capability,
+                        max_exchanges=n_models)
+    poisoned = keys.insert(attack.poison_keys)
+    queries = keys.keys[::9]
+
+    roots = [
+        ("linear", lambda: LinearRoot()),
+        ("piecewise-64", lambda: PiecewiseLinearRoot(64)),
+        ("mlp-32", lambda: MLPRoot(hidden=32, epochs=60, seed=1)),
+    ]
+    rows = []
+    for name, factory in roots:
+        clean = RecursiveModelIndex.build_with_root(keys, n_models,
+                                                    factory())
+        dirty = RecursiveModelIndex.build_with_root(poisoned, n_models,
+                                                    factory())
+        rows.append([
+            name,
+            f"{clean.lookup_cost(queries):.2f}",
+            f"{dirty.lookup_cost(queries):.2f}",
+            f"{clean.max_search_window()}",
+            f"{dirty.max_search_window()}",
+        ])
+    print(render_table(
+        ["root", "clean probes", "poisoned probes",
+         "clean window", "poisoned window"], rows))
+    print("\nThe root only changes routing; the poisoning damage lives "
+          "in the second-stage windows regardless of the root choice — "
+          "which is why the paper attacks stage two.")
+
+
+if __name__ == "__main__":
+    main()

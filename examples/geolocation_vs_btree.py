@@ -1,0 +1,58 @@
+"""Scenario: geolocation index under attack — does the B-Tree win back?
+
+The learned-index pitch is beating B-Trees on lookups over data like
+OpenStreetMap coordinates (the paper's Fig. 7, dataset B).  This
+script builds both structures over (simulated) school latitudes,
+mounts the RMI attack at increasing poisoning percentages, and tracks
+the probes-per-lookup gap — the practical "price of tailoring the
+index to your data".
+
+Run:  python examples/geolocation_vs_btree.py
+"""
+
+import numpy as np
+
+from repro.core import RMIAttackerCapability, poison_rmi
+from repro.data import osm_school_latitudes
+from repro.experiments import render_table, section
+from repro.index import BTree, RecursiveModelIndex
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    latitudes = osm_school_latitudes(rng, n=20_000)
+    print(section(f"OSM school latitudes (simulated): {latitudes.n} "
+                  f"keys, density {latitudes.density:.1%}"))
+
+    model_size = 100
+    n_models = latitudes.n // model_size
+    tree = BTree.bulk_load(latitudes.keys)
+    queries = latitudes.keys[::13]
+    btree_cost = float(np.mean(
+        [tree.search(int(k)).comparisons for k in queries]))
+
+    rows = []
+    for pct in (0.0, 5.0, 10.0, 20.0):
+        if pct == 0.0:
+            working = latitudes
+        else:
+            capability = RMIAttackerCapability(
+                poisoning_percentage=pct, alpha=3.0)
+            attack = poison_rmi(latitudes, n_models, capability,
+                                max_exchanges=n_models)
+            working = latitudes.insert(attack.poison_keys)
+        rmi = RecursiveModelIndex.build_equal_size(working, n_models)
+        cost = rmi.lookup_cost(queries)
+        rows.append([f"{pct:g}%", f"{cost:.2f}",
+                     f"{btree_cost:.2f}",
+                     f"{btree_cost / cost:.2f}x"])
+    print(render_table(
+        ["poisoning", "RMI probes", "B-Tree comparisons",
+         "RMI advantage"], rows))
+    print("\nThe RMI's edge over the B-Tree shrinks as the poisoning "
+          "percentage grows; at paper scale (10^7 keys, 300x ratio "
+          "losses) the ordering flips.")
+
+
+if __name__ == "__main__":
+    main()

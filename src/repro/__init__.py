@@ -1,0 +1,61 @@
+"""repro — poisoning attacks on learned index structures.
+
+A from-scratch Python reproduction of Kornaropoulos, Ren and Tamassia,
+"The Price of Tailoring the Index to Your Data: Poisoning Attacks on
+Learned Index Structures" (SIGMOD 2022).
+
+Public API tour:
+
+* ``repro.data`` — keysets, key domains, workload generators;
+* ``repro.core`` — the attacks (single-point, greedy, RMI) and the
+  closed-form CDF regression they target;
+* ``repro.index`` — learned index substrate (linear index, two-stage
+  RMI, B-Tree baseline, lookup cost model);
+* ``repro.defense`` — TRIM and the other Section VI mitigations;
+* ``repro.experiments`` — per-figure reproduction harness.
+
+Quick taste::
+
+    import numpy as np
+    from repro.data import Domain, uniform_keyset
+    from repro.core import greedy_poison
+
+    keys = uniform_keyset(1000, Domain.of_size(10_000),
+                          np.random.default_rng(0))
+    attack = greedy_poison(keys, n_poison=100)
+    print(f"MSE inflated {attack.ratio_loss:.1f}x")
+"""
+
+from . import core, data, defense, index
+from .core import (
+    AttackerCapability,
+    GreedyResult,
+    RMIAttackerCapability,
+    RMIAttackResult,
+    SinglePointResult,
+    fit_cdf_regression,
+    greedy_poison,
+    optimal_single_point,
+    poison_rmi,
+)
+from .data import Domain, KeySet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "data",
+    "defense",
+    "index",
+    "Domain",
+    "KeySet",
+    "fit_cdf_regression",
+    "optimal_single_point",
+    "greedy_poison",
+    "poison_rmi",
+    "SinglePointResult",
+    "GreedyResult",
+    "RMIAttackResult",
+    "AttackerCapability",
+    "RMIAttackerCapability",
+]

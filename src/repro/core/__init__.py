@@ -1,0 +1,101 @@
+"""Core contribution: poisoning attacks on CDF-trained regressions.
+
+This package implements the paper's attack stack bottom-up:
+
+* :mod:`~repro.core.cdf_regression` — Theorem 1 closed-form fit;
+* :mod:`~repro.core.sequences` — gaps, endpoints, discrete derivative;
+* :mod:`~repro.core.single_point` — optimal O(n) single-key attack;
+* :mod:`~repro.core.brute_force` — O(m n) / exhaustive oracles;
+* :mod:`~repro.core.greedy` — Algorithm 1 multi-point attack;
+* :mod:`~repro.core.rmi_attack` — Algorithm 2 two-stage RMI attack;
+* :mod:`~repro.core.threat_model` — Section III-C attacker budgets;
+* :mod:`~repro.core.metrics` — ratio loss and boxplot summaries.
+"""
+
+from .blackbox import (
+    ExtractionResult,
+    InferredModel,
+    Observation,
+    extract_second_stage,
+    observe_rmi,
+)
+from .brute_force import brute_force_single_point, exhaustive_multi_point
+from .cdf_regression import LinearModel, RegressionFit, fit_cdf_regression, mse_of
+from .deletion import (
+    DeletionResult,
+    deletion_losses,
+    greedy_delete,
+    optimal_single_deletion,
+)
+from .exceptions import KeySpaceExhausted
+from .polynomial import PolynomialFit, PolynomialModel, fit_polynomial_cdf
+from .greedy import GreedyResult, greedy_poison, poison_budget
+from .metrics import BoxplotSummary, ratio_loss, summarize
+from .modification import (
+    ModificationResult,
+    best_modification,
+    greedy_modify,
+)
+from .rmi_attack import ModelPoisonReport, RMIAttackResult, poison_rmi
+from .sequences import (
+    GapStructure,
+    all_unoccupied_keys,
+    candidate_endpoints,
+    discrete_derivative,
+    find_gaps,
+)
+from .single_point import (
+    SinglePointResult,
+    loss_landscape,
+    optimal_single_point,
+    poisoning_losses,
+)
+from .threat_model import AttackerCapability, RMIAttackerCapability
+from .update_attack import UpdateAttackResult, poison_via_updates
+
+__all__ = [
+    "LinearModel",
+    "RegressionFit",
+    "fit_cdf_regression",
+    "mse_of",
+    "KeySpaceExhausted",
+    "GapStructure",
+    "find_gaps",
+    "candidate_endpoints",
+    "all_unoccupied_keys",
+    "discrete_derivative",
+    "SinglePointResult",
+    "poisoning_losses",
+    "optimal_single_point",
+    "loss_landscape",
+    "brute_force_single_point",
+    "exhaustive_multi_point",
+    "GreedyResult",
+    "greedy_poison",
+    "poison_budget",
+    "ModelPoisonReport",
+    "RMIAttackResult",
+    "poison_rmi",
+    "AttackerCapability",
+    "RMIAttackerCapability",
+    "BoxplotSummary",
+    "ratio_loss",
+    "summarize",
+    "DeletionResult",
+    "deletion_losses",
+    "optimal_single_deletion",
+    "greedy_delete",
+    "PolynomialModel",
+    "PolynomialFit",
+    "fit_polynomial_cdf",
+    "Observation",
+    "InferredModel",
+    "ExtractionResult",
+    "observe_rmi",
+    "extract_second_stage",
+    "UpdateAttackResult",
+    "poison_via_updates",
+    "ModificationResult",
+    "best_modification",
+    "greedy_modify",
+]

@@ -1,0 +1,127 @@
+"""Black-box model extraction: the other open direction of Sec. VI.
+
+The white-box assumption (attacker knows the keyset and the trained
+parameters) is standard for poisoning analyses, but the paper notes
+that in a black-box setting "it would be enough to infer the
+parameters of the second-stage models, which are linear regressions"
+because RMI architectures are constrained by the need to beat B-Trees.
+
+This module implements that inference.  The observable interface is
+deliberately minimal — the attacker may submit lookups and observe,
+for each probed key, *which second-stage model served it* and *what
+position the model predicted* (timing or cache side channels yield
+both in practice; an API returning approximate offsets yields them
+directly).  From ``(key, predicted position)`` samples per model,
+ordinary least squares recovers each model's slope and intercept, and
+the partition boundaries fall out of where the serving model changes.
+
+The result plugs straight into the white-box machinery: with the
+partitions and the keyset recovered, :func:`repro.core.rmi_attack.poison_rmi`
+runs unchanged — which is exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+import numpy as np
+
+from ..index.rmi import RecursiveModelIndex
+
+__all__ = ["Observation", "InferredModel", "ExtractionResult",
+           "observe_rmi", "extract_second_stage"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One black-box probe: key in, (model id, predicted slot) out."""
+
+    key: int
+    model_index: int
+    predicted_position: float
+
+
+@dataclass(frozen=True)
+class InferredModel:
+    """Recovered parameters of one second-stage model."""
+
+    model_index: int
+    slope: float
+    intercept: float
+    n_samples: int
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """All recovered second-stage models plus boundary estimates."""
+
+    models: tuple[InferredModel, ...]
+    boundaries: np.ndarray  # first probed key served by each model
+
+    def slope_errors(self, rmi: RecursiveModelIndex) -> np.ndarray:
+        """Relative slope error per recovered model (for evaluation)."""
+        errors = []
+        for inferred in self.models:
+            truth = rmi.models[inferred.model_index]
+            scale = max(abs(truth.slope), 1e-12)
+            errors.append(abs(inferred.slope - truth.slope) / scale)
+        return np.asarray(errors)
+
+
+def observe_rmi(rmi: RecursiveModelIndex,
+                probe_keys: np.ndarray) -> list[Observation]:
+    """The black-box oracle: probe an RMI and record its responses.
+
+    Models an attacker-visible interface (e.g. an approximate-offset
+    API, or the routing + initial probe position recovered through a
+    side channel).
+    """
+    observations = []
+    for key in np.asarray(probe_keys):
+        model_idx = rmi.route_key(int(key))
+        predicted = float(rmi.models[model_idx].predict(float(key)))
+        observations.append(Observation(
+            key=int(key), model_index=model_idx,
+            predicted_position=predicted))
+    return observations
+
+
+def extract_second_stage(
+        observations: list[Observation]) -> ExtractionResult:
+    """Recover every probed model's line by per-model least squares.
+
+    Models probed at a single key recover only the intercept (slope
+    zero); models never probed are absent from the result.  Exact
+    recovery needs two distinct keys per model — linear responses make
+    this a two-query-per-model extraction, which is why the paper
+    considers the black-box gap thin.
+    """
+    if not observations:
+        raise ValueError("no observations to extract from")
+    by_model: dict[int, list[Observation]] = {}
+    for obs in observations:
+        by_model.setdefault(obs.model_index, []).append(obs)
+
+    models = []
+    boundaries = []
+    for model_index in sorted(by_model):
+        group = by_model[model_index]
+        keys = np.asarray([o.key for o in group], dtype=np.float64)
+        preds = np.asarray([o.predicted_position for o in group])
+        if np.unique(keys).size == 1:
+            slope, intercept = 0.0, float(preds.mean())
+        else:
+            mk, mp = keys.mean(), preds.mean()
+            dk = keys - mk
+            slope = float(dk @ (preds - mp)) / float(dk @ dk)
+            intercept = float(mp - slope * mk)
+        models.append(InferredModel(
+            model_index=model_index,
+            slope=slope,
+            intercept=intercept,
+            n_samples=len(group)))
+        boundaries.append(int(keys.min()))
+    return ExtractionResult(models=tuple(models),
+                            boundaries=np.asarray(boundaries,
+                                                  dtype=np.int64))

@@ -1,0 +1,84 @@
+"""Brute-force poisoning baselines (the paper's "first attempt").
+
+These are deliberately naive, independent implementations used as
+correctness oracles for the fast attack:
+
+* :func:`brute_force_single_point` re-fits the regression from scratch
+  for *every* unoccupied key — the O(m*n) strategy Section IV-C
+  improves upon.  Its result must exactly match
+  :func:`repro.core.single_point.optimal_single_point`.
+* :func:`exhaustive_multi_point` tries every *combination* of ``p``
+  poisoning keys (exponential; tiny inputs only).  Section IV-D reports
+  the greedy attack empirically matched this on every tested dataset.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..data.keyset import KeySet
+from .cdf_regression import fit_cdf_regression
+from .exceptions import KeySpaceExhausted
+from .sequences import all_unoccupied_keys
+from .single_point import SinglePointResult
+
+__all__ = ["brute_force_single_point", "exhaustive_multi_point"]
+
+
+def _augmented_loss(keyset: KeySet, poison: np.ndarray) -> float:
+    """Loss of the regression re-trained on keyset + poison keys."""
+    return fit_cdf_regression(keyset.insert(poison)).mse
+
+
+def brute_force_single_point(keyset: KeySet,
+                             interior_only: bool = True) -> SinglePointResult:
+    """O(m*n) reference: refit for every unoccupied key, keep the max.
+
+    Ties break toward the smallest key, mirroring the fast attack.
+    """
+    candidates = all_unoccupied_keys(keyset, interior_only)
+    if candidates.size == 0:
+        raise KeySpaceExhausted(
+            "no unoccupied candidate key inside the legitimate key range")
+    best_key = None
+    best_loss = -np.inf
+    for cand in candidates:
+        loss = _augmented_loss(keyset, np.array([cand]))
+        if loss > best_loss:
+            best_loss = loss
+            best_key = int(cand)
+    return SinglePointResult(key=best_key,
+                             loss_before=fit_cdf_regression(keyset).mse,
+                             loss_after=float(best_loss))
+
+
+def exhaustive_multi_point(keyset: KeySet, n_poison: int,
+                           interior_only: bool = True
+                           ) -> tuple[np.ndarray, float]:
+    """Try every size-``p`` subset of unoccupied keys (tiny inputs).
+
+    Returns the best poisoning set and its augmented loss.  The search
+    space is ``C(m - n, p)``; guard rails refuse anything that would
+    exceed about a million combinations.
+    """
+    candidates = all_unoccupied_keys(keyset, interior_only)
+    if candidates.size < n_poison:
+        raise KeySpaceExhausted(
+            f"only {candidates.size} unoccupied keys, need {n_poison}")
+    n_combos = 1.0
+    for i in range(n_poison):
+        n_combos *= (candidates.size - i) / (i + 1)
+    if n_combos > 1e6:
+        raise ValueError(
+            f"~{n_combos:.2g} combinations — exhaustive search refused")
+
+    best_set: tuple[int, ...] | None = None
+    best_loss = -np.inf
+    for combo in combinations(candidates.tolist(), n_poison):
+        loss = _augmented_loss(keyset, np.asarray(combo, dtype=np.int64))
+        if loss > best_loss:
+            best_loss = loss
+            best_set = combo
+    return np.asarray(best_set, dtype=np.int64), float(best_loss)

@@ -1,0 +1,164 @@
+"""Deletion poisoning: adversaries that remove keys (Sec. VI, future work).
+
+The paper's closing discussion names "adversaries that are capable of
+removing and modifying keys" as an open extension.  Deletion has the
+same compound structure as insertion, mirrored: removing a key
+*decrements* the rank of every larger key, so one deletion perturbs
+the whole upper CDF.
+
+The machinery mirrors :mod:`repro.core.single_point`: with the victim
+key's rank ``r`` and the suffix sums of the remaining keys, all the
+post-deletion regression statistics are O(1) per candidate, so the
+optimal single deletion is one vectorised pass over the stored keys,
+and the greedy multi-deletion repeats it.
+
+A deletion adversary is *strictly stronger* in one sense — it needs no
+gap structure (every stored key is a candidate) — but bounded in
+another: it cannot delete more keys than it is credited for, and mass
+deletions are far easier to audit than plausible-looking insertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.keyset import KeySet
+from .cdf_regression import fit_cdf_regression
+
+__all__ = ["DeletionResult", "deletion_losses", "optimal_single_deletion",
+           "greedy_delete"]
+
+
+@dataclass(frozen=True)
+class DeletionResult:
+    """Outcome of a (multi-)deletion attack.
+
+    Attributes
+    ----------
+    removed_keys:
+        Victim keys in removal order.
+    losses:
+        MSE of the regression refit after each removal.
+    loss_before:
+        MSE on the intact keyset.
+    """
+
+    removed_keys: np.ndarray
+    losses: np.ndarray
+    loss_before: float
+
+    @property
+    def n_removed(self) -> int:
+        """Number of keys removed."""
+        return int(self.removed_keys.size)
+
+    @property
+    def loss_after(self) -> float:
+        """Final refit MSE."""
+        if self.losses.size == 0:
+            return self.loss_before
+        return float(self.losses[-1])
+
+    @property
+    def ratio_loss(self) -> float:
+        """Post-deletion MSE over intact MSE."""
+        if self.loss_before == 0.0:
+            return float("inf") if self.loss_after > 0.0 else 1.0
+        return self.loss_after / self.loss_before
+
+
+def _deletion_losses_raw(keys: np.ndarray) -> np.ndarray:
+    """Refit MSE after deleting each stored key, vectorised.
+
+    Removing the key at 0-based index ``j`` (value ``x``, rank
+    ``j + 1``) leaves ``n - 1`` points whose rank multiset is exactly
+    ``{1..n-1}`` — larger keys each lose one rank.  Hence::
+
+        sum(K)   -> sum(K) - x
+        sum(K^2) -> sum(K^2) - x^2
+        sum(K*R) -> sum(K*R) - x*(j+1) - (sum of keys > x)
+
+    where the last term is the mirrored compound effect.
+    """
+    n = keys.size
+    if n <= 2:
+        # Deleting from a 2-key set leaves a perfect 1-point fit.
+        return np.zeros(n, dtype=np.float64)
+    small_n = n - 1
+
+    centre = float(keys.mean())
+    shifted = keys.astype(np.float64) - centre
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+
+    sum_k = float(shifted.sum())
+    sum_k2 = float(shifted @ shifted)
+    sum_kr = float(shifted @ ranks)
+    # suffix[j] = sum of shifted keys with index > j (strictly above).
+    suffix = np.concatenate(
+        [np.cumsum(shifted[::-1])[::-1][1:], np.zeros(1)])
+
+    tot_k = sum_k - shifted
+    tot_k2 = sum_k2 - shifted * shifted
+    tot_kr = sum_kr - shifted * ranks - suffix
+
+    mean_k = tot_k / small_n
+    mean_k2 = tot_k2 / small_n
+    mean_kr = tot_kr / small_n
+    mean_r = (small_n + 1) / 2.0
+    mean_r2 = (small_n + 1) * (2 * small_n + 1) / 6.0
+
+    var_k = mean_k2 - mean_k * mean_k
+    var_r = mean_r2 - mean_r * mean_r
+    cov = mean_kr - mean_k * mean_r
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        losses = var_r - cov * cov / var_k
+    losses = np.where(var_k <= 0.0, 0.0, losses)
+    return np.maximum(losses, 0.0)
+
+
+def deletion_losses(keyset: KeySet) -> np.ndarray:
+    """Refit MSE after deleting each stored key (aligned with keys)."""
+    return _deletion_losses_raw(keyset.keys)
+
+
+def optimal_single_deletion(keyset: KeySet) -> tuple[int, float]:
+    """The stored key whose removal maximises the refit MSE.
+
+    Returns ``(victim_key, loss_after)``.  Ties break toward the
+    smallest key.  Requires at least three keys (fewer leave a
+    degenerate regression).
+    """
+    if keyset.n < 3:
+        raise ValueError("need at least 3 keys to attack by deletion")
+    losses = _deletion_losses_raw(keyset.keys)
+    best = int(np.argmax(losses))
+    return int(keyset.keys[best]), float(losses[best])
+
+
+def greedy_delete(keyset: KeySet, n_delete: int) -> DeletionResult:
+    """Greedy multi-deletion: remove the locally optimal victim p times.
+
+    Mirrors Algorithm 1 with removal instead of insertion.  Stops
+    early when only two keys would remain.
+    """
+    if n_delete < 0:
+        raise ValueError(f"deletion budget must be non-negative: {n_delete}")
+    loss_before = fit_cdf_regression(keyset).mse
+    keys = keyset.keys.copy()
+    removed: list[int] = []
+    losses: list[float] = []
+    for _ in range(n_delete):
+        if keys.size <= 3:
+            break
+        victim_losses = _deletion_losses_raw(keys)
+        best = int(np.argmax(victim_losses))
+        removed.append(int(keys[best]))
+        losses.append(float(victim_losses[best]))
+        keys = np.delete(keys, best)
+    return DeletionResult(
+        removed_keys=np.asarray(removed, dtype=np.int64),
+        losses=np.asarray(losses, dtype=np.float64),
+        loss_before=loss_before)

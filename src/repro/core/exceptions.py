@@ -1,0 +1,12 @@
+"""Exceptions raised by the attack machinery."""
+
+__all__ = ["KeySpaceExhausted"]
+
+
+class KeySpaceExhausted(RuntimeError):
+    """No unoccupied candidate key remains for a poisoning insertion.
+
+    Raised when the (interior of the) key domain is fully occupied —
+    the keyset is so dense that the requested poisoning budget cannot
+    be placed.  Greedy drivers catch this and stop early.
+    """

@@ -1,0 +1,66 @@
+"""Evaluation metrics: ratio loss and distribution summaries.
+
+The original learned-index benchmark measures nanoseconds with a
+non-public C++ harness, so the paper defines the implementation-
+independent **Ratio Loss**: the MSE of the model trained on the
+poisoned keyset divided by the MSE of the model trained on the
+legitimate keyset.  All figures report boxplots of this quantity; the
+helpers here compute the same five-number summaries so the benchmark
+harness can print paper-comparable rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["ratio_loss", "BoxplotSummary", "summarize"]
+
+
+def ratio_loss(loss_before: float, loss_after: float) -> float:
+    """Poisoned MSE over clean MSE (Sec. III-C).
+
+    A clean loss of exactly zero (perfectly linear CDF) maps to
+    ``inf`` when poisoned, ``1.0`` when untouched.
+    """
+    if loss_before == 0.0:
+        return float("inf") if loss_after > 0.0 else 1.0
+    return loss_after / loss_before
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary plus mean, matching the figures' boxplots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    def row(self) -> str:
+        """One formatted table row: min / q1 / median / q3 / max."""
+        return (f"min={self.minimum:9.3g} q1={self.q1:9.3g} "
+                f"med={self.median:9.3g} q3={self.q3:9.3g} "
+                f"max={self.maximum:9.3g} (mean={self.mean:9.3g}, "
+                f"n={self.count})")
+
+
+def summarize(values: Iterable[float]) -> BoxplotSummary:
+    """Five-number summary of a sample of ratio losses."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return BoxplotSummary(
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        count=int(arr.size))

@@ -1,0 +1,174 @@
+"""Modification poisoning: adversaries that *move* keys (Sec. VI).
+
+The paper's future-work list includes adversaries "capable of removing
+and modifying keys".  A modification is a delete + insert pair applied
+to a key the adversary controls: the total key count is conserved, so
+volume-based anomaly detection sees nothing at all — the stealthiest
+of the three adversaries (insert / delete / modify).  It is also
+*strong*: each move spends one budget unit on two perturbations
+(remove a well-placed key, add a badly-placed one), so at equal budget
+it matches or exceeds pure insertion in our experiments.
+
+Greedy step: pick the (victim, destination) pair maximising the refit
+loss.  Evaluating all ``n * m`` pairs is hopeless, but the same
+structure that saved the insertion attack saves this one twice over:
+
+1. for a *fixed* victim, the post-move loss as a function of the
+   destination is the insertion-loss sequence of the (n-1)-key set,
+   so only gap endpoints need evaluation (Theorem 2);
+2. victims can be restricted to the top-k deletion candidates (the
+   keys whose removal alone raises the loss most): the best move's
+   victim overwhelmingly comes from this shortlist, and the optional
+   exhaustive mode verifies it on small inputs.
+
+Cost per greedy step: O(k * n) with the default shortlist of
+``k = 8`` victims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.keyset import KeySet
+from .cdf_regression import fit_cdf_regression
+from .deletion import _deletion_losses_raw
+from .single_point import _interior_endpoints_raw, _poisoning_losses_raw
+
+__all__ = ["ModificationResult", "best_modification", "greedy_modify"]
+
+
+@dataclass(frozen=True)
+class ModificationResult:
+    """Outcome of a greedy modification attack.
+
+    Attributes
+    ----------
+    victims:
+        Original key values, in move order.
+    destinations:
+        Where each victim was moved to (aligned with ``victims``).
+    losses:
+        Refit MSE after each move.
+    loss_before:
+        MSE on the unmodified keyset.
+    """
+
+    victims: np.ndarray
+    destinations: np.ndarray
+    losses: np.ndarray
+    loss_before: float
+
+    @property
+    def n_moves(self) -> int:
+        """Number of keys moved."""
+        return int(self.victims.size)
+
+    @property
+    def loss_after(self) -> float:
+        """Final refit MSE."""
+        if self.losses.size == 0:
+            return self.loss_before
+        return float(self.losses[-1])
+
+    @property
+    def ratio_loss(self) -> float:
+        """Post-modification MSE over clean MSE."""
+        if self.loss_before == 0.0:
+            return float("inf") if self.loss_after > 0.0 else 1.0
+        return self.loss_after / self.loss_before
+
+
+def _best_move_from(keys: np.ndarray, victim_index: int
+                    ) -> tuple[int, float] | None:
+    """Best destination (and loss) for moving one specific key."""
+    remaining = np.delete(keys, victim_index)
+    candidates = _interior_endpoints_raw(remaining)
+    if candidates.size == 0:
+        return None
+    losses = _poisoning_losses_raw(remaining, candidates)
+    best = int(np.argmax(losses))
+    return int(candidates[best]), float(losses[best])
+
+
+def best_modification(keyset: KeySet | np.ndarray,
+                      shortlist: int = 8,
+                      exhaustive: bool = False
+                      ) -> tuple[int, int, float]:
+    """The (victim, destination) move that maximises the refit loss.
+
+    Parameters
+    ----------
+    keyset:
+        The keys (``KeySet`` or raw sorted array), at least 4 keys.
+    shortlist:
+        How many top deletion candidates to consider as victims.
+    exhaustive:
+        Try *every* victim instead (O(n^2); small inputs, used by the
+        tests to validate the shortlist heuristic).
+
+    Returns
+    -------
+    (victim_key, destination_key, loss_after)
+    """
+    keys = keyset.keys if isinstance(keyset, KeySet) else np.asarray(
+        keyset, dtype=np.int64)
+    if keys.size < 4:
+        raise ValueError("need at least 4 keys to attack by modification")
+
+    if exhaustive:
+        victim_indices = np.arange(keys.size)
+    else:
+        deletion_gain = _deletion_losses_raw(keys)
+        k = min(shortlist, keys.size)
+        victim_indices = np.argpartition(deletion_gain, -k)[-k:]
+
+    best_tuple: tuple[int, int, float] | None = None
+    for index in victim_indices:
+        outcome = _best_move_from(keys, int(index))
+        if outcome is None:
+            continue
+        destination, loss = outcome
+        if destination == int(keys[index]):
+            continue  # a no-op move
+        if best_tuple is None or loss > best_tuple[2]:
+            best_tuple = (int(keys[index]), destination, loss)
+    if best_tuple is None:
+        raise ValueError("no feasible modification (no interior gaps)")
+    return best_tuple
+
+
+def greedy_modify(keyset: KeySet, n_moves: int,
+                  shortlist: int = 8) -> ModificationResult:
+    """Greedy multi-move attack: apply the best move ``n_moves`` times.
+
+    The key count is invariant throughout — this adversary is
+    invisible to any defense that audits cardinality or volume.
+    """
+    if n_moves < 0:
+        raise ValueError(f"move budget must be non-negative: {n_moves}")
+    loss_before = fit_cdf_regression(keyset).mse
+    keys = keyset.keys.copy()
+    victims: list[int] = []
+    destinations: list[int] = []
+    losses: list[float] = []
+    for _ in range(n_moves):
+        if keys.size < 4:
+            break
+        try:
+            victim, destination, loss = best_modification(
+                keys, shortlist=shortlist)
+        except ValueError:
+            break
+        victims.append(victim)
+        destinations.append(destination)
+        losses.append(loss)
+        keys = np.delete(keys, int(np.searchsorted(keys, victim)))
+        keys = np.insert(keys, int(np.searchsorted(keys, destination)),
+                         destination)
+    return ModificationResult(
+        victims=np.asarray(victims, dtype=np.int64),
+        destinations=np.asarray(destinations, dtype=np.int64),
+        losses=np.asarray(losses, dtype=np.float64),
+        loss_before=loss_before)

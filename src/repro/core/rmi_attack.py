@@ -1,0 +1,331 @@
+"""Greedy poisoning of a two-stage RMI (Section V, Algorithm 2).
+
+The RMI partitions the sorted keyset into ``N`` equal-size contiguous
+partitions, one linear second-stage model per partition.  Poisoning it
+decomposes into two coupled subproblems:
+
+* **volume allocation** — how many poisoning keys ``|P_i|`` each
+  second-stage model receives, subject to the global budget
+  ``sum |P_i| = phi * n`` and the per-model threshold
+  ``|P_i| <= t = alpha * phi * n / N``;
+* **key allocation** — which keys to inject inside a partition, solved
+  by Algorithm 1 (:func:`repro.core.greedy.greedy_poison`).
+
+Algorithm 2 starts from the uniform allocation ``phi * n / N`` and then
+greedily *exchanges* one unit of poisoning budget together with one
+boundary legitimate key between neighbouring models whenever that
+raises the RMI loss ``L_RMI = mean_i L_i``:
+
+* ``i -> i+1``: one budget unit moves right, and the smallest
+  legitimate key of partition ``i+1`` moves left into partition ``i``;
+* ``i <- i+1``: one budget unit moves left, and the largest legitimate
+  key of partition ``i`` moves right into partition ``i+1``.
+
+Pairing the budget move with the opposite key move keeps every
+partition's total population (legitimate + poisoning) fixed, which is
+what lets the exchange evade volume-based anomaly detection.  Each
+applied exchange invalidates only the CHANGELOSS entries of the two
+touched models and their direct neighbours (six entries), so the loop
+costs O(n / N) per step after the initial table build.
+
+A poisoning key injected into partition ``i`` shifts the *global*
+ranks of all later partitions by one — but a uniform rank shift is
+absorbed by each linear model's intercept, so per-partition MSE (and
+hence ``L_RMI``) is computed on partition-local ranks without loss of
+generality.  This observation is what makes the per-model
+decomposition exact; it is tested in ``tests/core/test_rmi_attack.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.keyset import KeySet
+from .cdf_regression import fit_cdf_regression
+from .greedy import GreedyResult, greedy_poison
+from .threat_model import RMIAttackerCapability
+
+__all__ = ["ModelPoisonReport", "RMIAttackResult", "poison_rmi"]
+
+
+@dataclass(frozen=True)
+class ModelPoisonReport:
+    """Per-second-stage-model outcome of the RMI attack."""
+
+    model_index: int
+    n_keys: int
+    budget: int
+    n_injected: int
+    loss_before: float
+    loss_after: float
+
+    @property
+    def ratio_loss(self) -> float:
+        """Per-model poisoned MSE over clean MSE."""
+        if self.loss_before == 0.0:
+            return float("inf") if self.loss_after > 0.0 else 1.0
+        return self.loss_after / self.loss_before
+
+
+@dataclass(frozen=True)
+class RMIAttackResult:
+    """Outcome of Algorithm 2 on a full RMI.
+
+    Attributes
+    ----------
+    reports:
+        One :class:`ModelPoisonReport` per second-stage model.
+    poison_keys:
+        All injected keys across models (sorted).
+    threshold:
+        The per-model cap ``t`` that was enforced.
+    exchanges:
+        Number of greedy volume exchanges performed.
+    """
+
+    reports: tuple[ModelPoisonReport, ...]
+    poison_keys: np.ndarray
+    threshold: int
+    exchanges: int
+
+    @property
+    def per_model_ratios(self) -> np.ndarray:
+        """Ratio loss of each second-stage model (a Fig. 6 boxplot)."""
+        return np.asarray([r.ratio_loss for r in self.reports])
+
+    @property
+    def rmi_loss_before(self) -> float:
+        """Clean ``L_RMI``: mean second-stage MSE before poisoning."""
+        return float(np.mean([r.loss_before for r in self.reports]))
+
+    @property
+    def rmi_loss_after(self) -> float:
+        """Poisoned ``L_RMI``: mean second-stage MSE after poisoning."""
+        return float(np.mean([r.loss_after for r in self.reports]))
+
+    @property
+    def rmi_ratio_loss(self) -> float:
+        """The black horizontal line of Fig. 6: poisoned/clean RMI loss."""
+        before = self.rmi_loss_before
+        if before == 0.0:
+            return float("inf") if self.rmi_loss_after > 0.0 else 1.0
+        return self.rmi_loss_after / before
+
+    @property
+    def total_injected(self) -> int:
+        """Number of poisoning keys actually placed."""
+        return int(self.poison_keys.size)
+
+
+class _PartitionState:
+    """Mutable attack state of one second-stage model."""
+
+    __slots__ = ("keys", "budget", "result")
+
+    def __init__(self, keys: np.ndarray, budget: int,
+                 result: GreedyResult):
+        self.keys = keys
+        self.budget = budget
+        self.result = result
+
+
+def _run_partition(keys: np.ndarray, budget: int) -> GreedyResult:
+    """Key allocation: Algorithm 1 on one partition with local ranks.
+
+    The partition keyset uses its own key range as the domain, so all
+    candidates stay strictly inside the partition and first-stage
+    routing is unaffected (the attack never poisons stage one).
+    """
+    local = KeySet(keys)
+    return greedy_poison(local, budget, interior_only=True)
+
+
+def _initial_budgets(total: int, n_models: int, threshold: int) -> np.ndarray:
+    """Uniform volume allocation, remainder spread from the left."""
+    base, remainder = divmod(total, n_models)
+    budgets = np.full(n_models, base, dtype=np.int64)
+    budgets[:remainder] += 1
+    max_initial = base + (1 if remainder else 0)
+    if max_initial > threshold:
+        raise ValueError(
+            f"per-model threshold {threshold} below the uniform share "
+            f"{max_initial}; increase alpha")
+    return budgets
+
+
+def poison_rmi(keyset: KeySet, n_models: int,
+               capability: RMIAttackerCapability,
+               max_exchanges: int | None = None) -> RMIAttackResult:
+    """Algorithm 2: greedy volume allocation + greedy key allocation.
+
+    Parameters
+    ----------
+    keyset:
+        The legitimate keys of the whole index.
+    n_models:
+        Number of second-stage models ``N`` (equal-size partition).
+    capability:
+        Attacker budget: poisoning percentage ``phi``, per-model
+        threshold multiplier ``alpha`` and termination bound
+        ``epsilon``.
+    max_exchanges:
+        Safety cap on greedy volume exchanges; defaults to ``10 * N``.
+        Pass ``0`` for the *uniform allocation* ablation (no volume
+        re-balancing, key allocation only).
+
+    Returns
+    -------
+    RMIAttackResult
+        Per-model and aggregate ratio losses plus the injected keys.
+    """
+    total_budget = capability.budget(keyset.n)
+    threshold = capability.per_model_threshold(keyset.n, n_models)
+    if max_exchanges is None:
+        max_exchanges = 10 * n_models
+
+    partitions = [p.keys.copy() for p in keyset.partition(n_models)]
+    budgets = _initial_budgets(total_budget, n_models, threshold)
+
+    # Clean per-model baseline: the MSE of each second-stage model on
+    # the *original* equal-size partition.  Exchanges later shift a few
+    # boundary keys between neighbouring partitions, but the ratio the
+    # paper reports is always against the un-attacked index.
+    clean_losses = [fit_cdf_regression(KeySet(keys)).mse
+                    for keys in partitions]
+
+    states = [
+        _PartitionState(keys, int(budget), _run_partition(keys, int(budget)))
+        for keys, budget in zip(partitions, budgets)
+    ]
+
+    n_pairs = n_models - 1
+    exchanges = 0
+    if n_pairs > 0 and max_exchanges > 0 and total_budget > 0:
+        exchanges = _greedy_volume_allocation(
+            states, threshold, capability.epsilon, max_exchanges)
+
+    reports = []
+    poison: list[np.ndarray] = []
+    for index, state in enumerate(states):
+        clean = clean_losses[index]
+        reports.append(ModelPoisonReport(
+            model_index=index,
+            n_keys=int(state.keys.size),
+            budget=state.budget,
+            n_injected=state.result.n_injected,
+            loss_before=clean,
+            loss_after=state.result.loss_after))
+        if state.result.n_injected:
+            poison.append(state.result.poison_keys)
+    all_poison = (np.sort(np.concatenate(poison)) if poison
+                  else np.empty(0, dtype=np.int64))
+    return RMIAttackResult(
+        reports=tuple(reports),
+        poison_keys=all_poison,
+        threshold=threshold,
+        exchanges=exchanges)
+
+
+# ----------------------------------------------------------------------
+# Greedy volume allocation internals
+# ----------------------------------------------------------------------
+
+def _exchange_outcome(states: list[_PartitionState], i: int,
+                      forward: bool, threshold: int
+                      ) -> tuple[float, GreedyResult, GreedyResult] | None:
+    """Simulate the exchange between models ``i`` and ``i+1``.
+
+    ``forward`` is the paper's ``i -> i+1`` (budget right, smallest
+    key of ``i+1`` left); otherwise ``i <- i+1``.  Returns the change
+    in ``sum_i L_i`` and the two hypothetical partition results, or
+    ``None`` when the move is infeasible (budget or threshold).
+    """
+    left, right = states[i], states[i + 1]
+    if forward:
+        donor, receiver = left, right
+    else:
+        donor, receiver = right, left
+    if donor.budget < 1 or receiver.budget + 1 > threshold:
+        return None
+
+    if forward:
+        if right.keys.size < 2:
+            return None
+        new_left_keys = np.append(left.keys, right.keys[0])
+        new_right_keys = right.keys[1:]
+        new_left_budget, new_right_budget = left.budget - 1, right.budget + 1
+    else:
+        if left.keys.size < 2:
+            return None
+        new_left_keys = left.keys[:-1]
+        new_right_keys = np.concatenate([left.keys[-1:], right.keys])
+        new_left_budget, new_right_budget = left.budget + 1, right.budget - 1
+
+    new_left = _run_partition(new_left_keys, new_left_budget)
+    new_right = _run_partition(new_right_keys, new_right_budget)
+    delta = (new_left.loss_after + new_right.loss_after
+             - left.result.loss_after - right.result.loss_after)
+    return delta, new_left, new_right
+
+
+def _greedy_volume_allocation(states: list[_PartitionState],
+                              threshold: int, epsilon: float,
+                              max_exchanges: int) -> int:
+    """The CHANGELOSS loop of Algorithm 2; returns exchanges applied."""
+    n_pairs = len(states) - 1
+    # fwd[i] / bwd[i] cache the delta of exchanging i -> i+1 / i <- i+1;
+    # NaN marks an infeasible move.  The hypothetical partition results
+    # are recomputed on application, keeping memory at O(N).
+    fwd = np.full(n_pairs, np.nan)
+    bwd = np.full(n_pairs, np.nan)
+
+    def refresh(i: int) -> None:
+        for arr, forward in ((fwd, True), (bwd, False)):
+            outcome = _exchange_outcome(states, i, forward, threshold)
+            arr[i] = np.nan if outcome is None else outcome[0]
+
+    for i in range(n_pairs):
+        refresh(i)
+
+    exchanges = 0
+    while exchanges < max_exchanges:
+        best_fwd = np.nanmax(fwd) if not np.all(np.isnan(fwd)) else -np.inf
+        best_bwd = np.nanmax(bwd) if not np.all(np.isnan(bwd)) else -np.inf
+        best = max(best_fwd, best_bwd)
+        if not np.isfinite(best) or best <= epsilon:
+            break
+        forward = best_fwd >= best_bwd
+        i = int(np.nanargmax(fwd if forward else bwd))
+
+        outcome = _exchange_outcome(states, i, forward, threshold)
+        if outcome is None:  # cache went stale; refresh and retry
+            refresh(i)
+            continue
+        delta, new_left, new_right = outcome
+        if delta <= epsilon:
+            refresh(i)
+            continue
+
+        left, right = states[i], states[i + 1]
+        if forward:
+            left.keys = np.append(left.keys, right.keys[0])
+            right.keys = right.keys[1:]
+            left.budget -= 1
+            right.budget += 1
+        else:
+            moved = left.keys[-1:]
+            left.keys = left.keys[:-1]
+            right.keys = np.concatenate([moved, right.keys])
+            left.budget += 1
+            right.budget -= 1
+        left.result = new_left
+        right.result = new_right
+        exchanges += 1
+
+        # Only entries touching partitions i-1, i, i+1, i+2 changed.
+        for j in (i - 1, i, i + 1):
+            if 0 <= j < n_pairs:
+                refresh(j)
+    return exchanges

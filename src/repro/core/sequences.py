@@ -1,0 +1,143 @@
+"""Gap structure, endpoint sequences and discrete derivatives.
+
+Section IV-C's efficiency argument rests on three structural facts:
+
+1. the loss after inserting a candidate poisoning key ``kp`` is a
+   *sequence* ``L(kp)`` indexed by the unoccupied key values;
+2. consecutive candidates admit O(1) updates of the regression
+   statistics (Definition 3's discrete derivative);
+3. within each maximal run of unoccupied keys (a *gap*) the sequence
+   is convex (Theorem 2), so its maximum over the gap is attained at
+   one of the two gap endpoints.
+
+This module exposes the gap/endpoint bookkeeping shared by the fast
+single-point attack, the loss-landscape plots (Fig. 3) and the tests
+that verify convexity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.keyset import KeySet
+
+__all__ = [
+    "GapStructure",
+    "find_gaps",
+    "candidate_endpoints",
+    "all_unoccupied_keys",
+    "discrete_derivative",
+]
+
+
+@dataclass(frozen=True)
+class GapStructure:
+    """Maximal runs of unoccupied keys between stored keys.
+
+    ``lefts[i]`` and ``rights[i]`` are the smallest and largest
+    unoccupied key of the i-th gap (inclusive; equal for length-1
+    gaps).  With the paper's in-range restriction there are at most
+    ``n - 1`` interior gaps.
+    """
+
+    lefts: np.ndarray
+    rights: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of gaps."""
+        return int(self.lefts.size)
+
+    @property
+    def total_slots(self) -> int:
+        """Total number of unoccupied candidate keys across all gaps."""
+        if self.count == 0:
+            return 0
+        return int(np.sum(self.rights - self.lefts + 1))
+
+    def endpoints(self) -> np.ndarray:
+        """Sorted unique endpoints of every gap (the sequence ``S``).
+
+        By Theorem 2 these are the only candidates the attack must
+        evaluate: the per-gap maximum of the convex loss sequence sits
+        at a gap boundary.
+        """
+        if self.count == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate([self.lefts, self.rights]))
+
+
+def find_gaps(keyset: KeySet, interior_only: bool = True) -> GapStructure:
+    """Locate every maximal run of unoccupied keys.
+
+    Parameters
+    ----------
+    keyset:
+        The (possibly already partially poisoned) keyset.
+    interior_only:
+        When true (the paper's threat model) only keys strictly
+        between the smallest and largest stored key are candidates —
+        out-of-range insertions are trivially detected and filtered.
+        When false, the runs touching the domain boundaries are
+        included as well (useful for analysis).
+    """
+    keys = keyset.keys
+    diffs = np.diff(keys)
+    inner = np.nonzero(diffs > 1)[0]
+    lefts = keys[inner] + 1
+    rights = keys[inner + 1] - 1
+
+    if not interior_only:
+        domain = keyset.domain
+        head_left, head_right = [], []
+        if keys[0] > domain.lo:
+            head_left.append(domain.lo)
+            head_right.append(int(keys[0]) - 1)
+        tail_left, tail_right = [], []
+        if keys[-1] < domain.hi:
+            tail_left.append(int(keys[-1]) + 1)
+            tail_right.append(domain.hi)
+        lefts = np.concatenate(
+            [np.asarray(head_left, dtype=np.int64), lefts,
+             np.asarray(tail_left, dtype=np.int64)])
+        rights = np.concatenate(
+            [np.asarray(head_right, dtype=np.int64), rights,
+             np.asarray(tail_right, dtype=np.int64)])
+
+    lefts = np.ascontiguousarray(lefts, dtype=np.int64)
+    rights = np.ascontiguousarray(rights, dtype=np.int64)
+    return GapStructure(lefts, rights)
+
+
+def candidate_endpoints(keyset: KeySet,
+                        interior_only: bool = True) -> np.ndarray:
+    """The attack's candidate poisoning keys (gap endpoints, sorted)."""
+    return find_gaps(keyset, interior_only).endpoints()
+
+
+def all_unoccupied_keys(keyset: KeySet,
+                        interior_only: bool = True) -> np.ndarray:
+    """Every unoccupied key value — the brute-force candidate set.
+
+    O(m) memory; only call this on small domains (tests, Fig. 3).
+    """
+    gaps = find_gaps(keyset, interior_only)
+    if gaps.count == 0:
+        return np.empty(0, dtype=np.int64)
+    pieces = [np.arange(lo, hi + 1, dtype=np.int64)
+              for lo, hi in zip(gaps.lefts, gaps.rights)]
+    return np.concatenate(pieces)
+
+
+def discrete_derivative(values: np.ndarray) -> np.ndarray:
+    """Definition 3: ``(ΔA)(i) = A(i+1) - A(i)``.
+
+    Returned array is one element shorter than the input.  Applying it
+    twice gives the second difference used to check per-gap convexity.
+    """
+    values = np.asarray(values)
+    if values.size < 2:
+        return np.empty(0, dtype=values.dtype)
+    return values[1:] - values[:-1]

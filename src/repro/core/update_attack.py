@@ -1,0 +1,109 @@
+"""Update-channel poisoning of a dynamic learned index (Sec. VI).
+
+The static attack assumes the adversary contributes keys before the
+initial training.  A deployed, updatable index re-trains periodically
+on data that *includes everything inserted since*, so an adversary
+restricted to the public ``insert`` API can stage the same poisoning:
+
+1. observe (white-box, per the threat model) the current base keys;
+2. compute the greedy poisoning set against the *merged* future
+   training set with Algorithm 1 / Algorithm 2;
+3. drip the crafted keys through ``insert`` so they sit in the delta
+   buffer until the retrain threshold trips;
+4. the index happily retrains on the poisoned merge.
+
+The only new constraint relative to the static attack is that the
+adversary's insertions themselves advance the retrain clock, so the
+budget must fit inside one retrain window (or be split across
+windows; :func:`poison_via_updates` reports per-window outcomes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.keyset import KeySet
+from ..index.dynamic import DynamicLearnedIndex
+from .rmi_attack import poison_rmi
+from .threat_model import RMIAttackerCapability
+
+__all__ = ["UpdateAttackResult", "poison_via_updates"]
+
+
+@dataclass(frozen=True)
+class UpdateAttackResult:
+    """Outcome of poisoning through the update API.
+
+    Attributes
+    ----------
+    injected_keys:
+        Keys pushed through ``insert`` (in order).
+    retrains_triggered:
+        Retrain cycles the injections caused.
+    mse_before:
+        Mean second-stage MSE of the index before any injection.
+    mse_after:
+        Mean second-stage MSE after the final retrain.
+    """
+
+    injected_keys: np.ndarray
+    retrains_triggered: int
+    mse_before: float
+    mse_after: float
+
+    @property
+    def ratio_loss(self) -> float:
+        """Post-retrain mean model MSE over the pre-attack value."""
+        if self.mse_before == 0.0:
+            return float("inf") if self.mse_after > 0.0 else 1.0
+        return self.mse_after / self.mse_before
+
+
+def poison_via_updates(index: DynamicLearnedIndex,
+                       poisoning_percentage: float,
+                       alpha: float = 3.0) -> UpdateAttackResult:
+    """Stage Algorithm 2 through the index's insert API.
+
+    The crafted keys are computed against the current base keys and
+    the index's actual second-stage architecture (the merge the next
+    retrain trains on is base + buffer; the adversary owns the buffer
+    contents it adds).  Because the final merged keyset is a plain set
+    union, the insertion order and any intermediate retrains do not
+    change the final trained models — only when the damage lands.
+
+    Parameters
+    ----------
+    index:
+        The live dynamic index (mutated in place — this *is* the
+        attack).
+    poisoning_percentage:
+        Budget as a percentage of the current key count, capped at 20
+        like the static threat model.
+    alpha:
+        Per-model poisoning threshold multiplier (Sec. V).
+    """
+    if not 0.0 < poisoning_percentage <= 20.0:
+        raise ValueError(
+            f"percentage must be in (0, 20]: {poisoning_percentage}")
+    base = KeySet(index.rmi.store.keys)
+    mse_before = float(index.second_stage_mse().mean())
+
+    capability = RMIAttackerCapability(
+        poisoning_percentage=poisoning_percentage, alpha=alpha)
+    crafted = poison_rmi(base, index.rmi.n_models, capability,
+                         max_exchanges=index.rmi.n_models)
+    retrains = index.insert_batch(crafted.poison_keys)
+    if index.delta_size > 0:
+        # Flush the tail of the budget into a final training cycle so
+        # the measurement reflects the fully poisoned model.
+        index.flush()
+        retrains += 1
+
+    mse_after = float(index.second_stage_mse().mean())
+    return UpdateAttackResult(
+        injected_keys=crafted.poison_keys,
+        retrains_triggered=retrains,
+        mse_before=mse_before,
+        mse_after=mse_after)

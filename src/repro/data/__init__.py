@@ -1,0 +1,33 @@
+"""Data substrate: key domains, keysets and workload generators."""
+
+from .keyset import Domain, KeySet, as_keyset
+from .realworld import (
+    OSM_DOMAIN,
+    OSM_N,
+    SALARY_DOMAIN,
+    SALARY_N,
+    miami_salaries,
+    osm_school_latitudes,
+)
+from .synthetic import (
+    keyset_from_sampler,
+    lognormal_keyset,
+    normal_keyset,
+    uniform_keyset,
+)
+
+__all__ = [
+    "Domain",
+    "KeySet",
+    "as_keyset",
+    "uniform_keyset",
+    "lognormal_keyset",
+    "normal_keyset",
+    "keyset_from_sampler",
+    "miami_salaries",
+    "osm_school_latitudes",
+    "SALARY_N",
+    "SALARY_DOMAIN",
+    "OSM_N",
+    "OSM_DOMAIN",
+]

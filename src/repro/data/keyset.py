@@ -1,0 +1,233 @@
+"""Keysets and key domains: the training data of every learned index.
+
+A learned index stores a set of *keys* drawn from a finite integer
+*domain* (the key universe ``K`` of the paper, Section III).  The index
+is trained on the empirical, non-normalised cumulative distribution
+function (CDF) of the keys: the pairs ``(key, rank)`` where ``rank`` is
+the 1-based position of the key in sorted order.
+
+:class:`KeySet` is the immutable value object passed between the data
+generators, the index structures and the poisoning attacks.  Inserting
+keys returns a *new* :class:`KeySet`, which makes the compound effect
+of poisoning (every insertion re-ranks all larger keys) explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Domain", "KeySet"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A finite, inclusive integer key universe ``[lo, hi]``.
+
+    The paper denotes the universe by ``K`` with ``|K| = m``.  Keys are
+    non-negative integers; the domain records which integers are legal
+    key values so the attack can enumerate unoccupied candidates.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"empty domain: [{self.lo}, {self.hi}]")
+        if self.lo < 0:
+            raise ValueError(f"keys must be non-negative, got lo={self.lo}")
+
+    @property
+    def size(self) -> int:
+        """Number of legal key values, ``m = hi - lo + 1``."""
+        return self.hi - self.lo + 1
+
+    def __contains__(self, key: int) -> bool:
+        return self.lo <= key <= self.hi
+
+    def contains_all(self, keys: np.ndarray) -> bool:
+        """Vectorised membership check for an array of keys."""
+        if keys.size == 0:
+            return True
+        return bool(keys.min() >= self.lo and keys.max() <= self.hi)
+
+    @classmethod
+    def of_size(cls, m: int, lo: int = 0) -> "Domain":
+        """Build the domain ``[lo, lo + m - 1]`` of ``m`` values."""
+        if m <= 0:
+            raise ValueError(f"domain size must be positive, got {m}")
+        return cls(lo, lo + m - 1)
+
+
+class KeySet:
+    """An immutable sorted set of unique integer keys in a domain.
+
+    Parameters
+    ----------
+    keys:
+        Any iterable of integers.  Keys are deduplicated and sorted;
+        the paper's model assumes no multiplicities.
+    domain:
+        The key universe.  Defaults to ``[min(keys), max(keys)]``,
+        which matches the attack's restriction to in-range poisoning
+        keys (out-of-range keys are trivially filtered by defenses).
+    """
+
+    __slots__ = ("_keys", "_domain")
+
+    def __init__(self, keys: Iterable[int] | np.ndarray,
+                 domain: Domain | None = None):
+        arr = np.unique(np.asarray(list(keys) if not isinstance(keys, np.ndarray) else keys,
+                                   dtype=np.int64))
+        if arr.size == 0:
+            raise ValueError("a keyset must contain at least one key")
+        if domain is None:
+            domain = Domain(int(arr[0]), int(arr[-1]))
+        if not domain.contains_all(arr):
+            raise ValueError(
+                f"keys outside domain [{domain.lo}, {domain.hi}]: "
+                f"range is [{arr[0]}, {arr[-1]}]")
+        self._keys = arr
+        self._keys.setflags(write=False)
+        self._domain = domain
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def keys(self) -> np.ndarray:
+        """The sorted unique keys (read-only int64 array)."""
+        return self._keys
+
+    @property
+    def domain(self) -> Domain:
+        """The key universe this keyset lives in."""
+        return self._domain
+
+    @property
+    def n(self) -> int:
+        """Number of keys (the paper's ``n``)."""
+        return int(self._keys.size)
+
+    @property
+    def m(self) -> int:
+        """Size of the key universe (the paper's ``m``)."""
+        return self._domain.size
+
+    @property
+    def density(self) -> float:
+        """Fraction of the universe that is occupied, ``n / m``."""
+        return self.n / self.m
+
+    @property
+    def ranks(self) -> np.ndarray:
+        """1-based ranks ``1..n`` aligned with :attr:`keys`.
+
+        Together ``(keys, ranks)`` are the points of the
+        non-normalised empirical CDF the index regresses on.
+        """
+        return np.arange(1, self.n + 1, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self):
+        return iter(self._keys)
+
+    def __contains__(self, key: int) -> bool:
+        i = int(np.searchsorted(self._keys, key))
+        return i < self.n and int(self._keys[i]) == int(key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KeySet):
+            return NotImplemented
+        return (self._domain == other._domain
+                and np.array_equal(self._keys, other._keys))
+
+    def __repr__(self) -> str:
+        return (f"KeySet(n={self.n}, domain=[{self._domain.lo}, "
+                f"{self._domain.hi}], density={self.density:.2%})")
+
+    # ------------------------------------------------------------------
+    # Rank / CDF queries
+    # ------------------------------------------------------------------
+    def rank_of(self, key: int) -> int:
+        """Rank the key has, or would take, if inserted (1-based).
+
+        For a stored key this is its CDF value; for an absent key it is
+        the rank a poisoning insertion at that value would receive.
+        Both equal ``|{k in K : k < key}| + 1``.
+        """
+        return int(np.searchsorted(self._keys, key, side="left")) + 1
+
+    def insertion_ranks(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised rank each candidate key would take on insertion.
+
+        A candidate key ``x`` takes rank ``|{k in K : k < x}| + 1``.
+        Stored keys report their own rank.
+        """
+        return np.searchsorted(self._keys, keys, side="left") + 1
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def insert(self, new_keys: Iterable[int] | np.ndarray) -> "KeySet":
+        """Return a new keyset with ``new_keys`` added.
+
+        This models the poisoning injection: ranks of all keys larger
+        than an inserted key shift up by one in the returned keyset.
+
+        Raises
+        ------
+        ValueError
+            If any new key duplicates a stored key or falls outside
+            the domain (the threat model forbids both).
+        """
+        extra = np.unique(np.asarray(list(new_keys) if not isinstance(new_keys, np.ndarray)
+                                     else new_keys, dtype=np.int64))
+        if extra.size == 0:
+            return self
+        if not self._domain.contains_all(extra):
+            raise ValueError("inserted keys fall outside the key domain")
+        merged = np.concatenate([self._keys, extra])
+        if np.unique(merged).size != merged.size:
+            raise ValueError("inserted keys duplicate existing keys")
+        return KeySet(merged, self._domain)
+
+    def remove(self, victims: Iterable[int] | np.ndarray) -> "KeySet":
+        """Return a new keyset without ``victims`` (used by defenses)."""
+        drop = np.asarray(list(victims) if not isinstance(victims, np.ndarray)
+                          else victims, dtype=np.int64)
+        mask = ~np.isin(self._keys, drop)
+        return KeySet(self._keys[mask], self._domain)
+
+    def restrict(self, lo: int, hi: int) -> "KeySet":
+        """Return the sub-keyset with keys in ``[lo, hi]``, same domain."""
+        left = int(np.searchsorted(self._keys, lo, side="left"))
+        right = int(np.searchsorted(self._keys, hi, side="right"))
+        return KeySet(self._keys[left:right], self._domain)
+
+    def partition(self, n_parts: int) -> list["KeySet"]:
+        """Split into ``n_parts`` contiguous rank partitions.
+
+        This is the RMI's equal-size key partition (Section III-A):
+        the first ``n mod n_parts`` partitions get one extra key.  Each
+        partition keeps the *parent* domain so per-partition attacks
+        may use the gaps adjacent to the partition's keys.
+        """
+        if not 1 <= n_parts <= self.n:
+            raise ValueError(
+                f"cannot split {self.n} keys into {n_parts} partitions")
+        pieces = np.array_split(self._keys, n_parts)
+        return [KeySet(piece, self._domain) for piece in pieces]
+
+
+def as_keyset(keys: "KeySet | Sequence[int] | np.ndarray",
+              domain: Domain | None = None) -> KeySet:
+    """Coerce raw keys to a :class:`KeySet` (pass-through if already one)."""
+    if isinstance(keys, KeySet):
+        return keys
+    return KeySet(keys, domain)

@@ -1,0 +1,125 @@
+"""Synthetic key generators for the paper's evaluation workloads.
+
+Section IV-E poisons linear regressions on *uniformly* distributed
+keysets (the case where the CDF is near-linear and a learned index
+shines) and, in the appendix (Fig. 8), on *normally* distributed ones.
+Section V-B attacks RMIs built over *uniform* and *log-normal*
+(``mu = 0``, ``sigma = 2``) keysets, the same parameterisation as the
+original learned-index paper.
+
+All generators return a :class:`~repro.data.keyset.KeySet` of exactly
+``n`` unique integers inside the requested domain, drawing extra
+samples until uniqueness is met (rejection top-up), so the advertised
+density is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .keyset import Domain, KeySet
+
+__all__ = [
+    "uniform_keyset",
+    "lognormal_keyset",
+    "normal_keyset",
+    "keyset_from_sampler",
+]
+
+_MAX_TOPUP_ROUNDS = 64
+
+
+def keyset_from_sampler(n: int, domain: Domain,
+                        sampler: Callable[[int], np.ndarray],
+                        rng: np.random.Generator) -> KeySet:
+    """Draw exactly ``n`` unique in-domain keys from ``sampler``.
+
+    ``sampler(size)`` returns ``size`` (possibly duplicate, possibly
+    out-of-range) integer draws; we clip to the domain, deduplicate and
+    keep sampling until ``n`` unique keys are collected, then subsample
+    uniformly so the final keyset is an unbiased size-``n`` subset.
+
+    Raises
+    ------
+    ValueError
+        If the domain holds fewer than ``n`` values.
+    RuntimeError
+        If the sampler cannot produce ``n`` unique values (for
+        instance a constant sampler) after a bounded number of rounds.
+    """
+    if n <= 0:
+        raise ValueError(f"need a positive number of keys, got {n}")
+    if n > domain.size:
+        raise ValueError(
+            f"cannot place {n} unique keys in a domain of size {domain.size}")
+
+    unique: np.ndarray = np.empty(0, dtype=np.int64)
+    for _ in range(_MAX_TOPUP_ROUNDS):
+        draw = np.asarray(sampler(max(2 * n, 1024)), dtype=np.int64)
+        draw = draw[(draw >= domain.lo) & (draw <= domain.hi)]
+        unique = np.unique(np.concatenate([unique, draw]))
+        if unique.size >= n:
+            chosen = rng.choice(unique, size=n, replace=False)
+            return KeySet(chosen, domain)
+    raise RuntimeError(
+        f"sampler produced only {unique.size} unique keys, needed {n}")
+
+
+def uniform_keyset(n: int, domain: Domain,
+                   rng: np.random.Generator) -> KeySet:
+    """``n`` unique keys uniform over the domain (Sec. IV-E, V-B).
+
+    For dense requests (``n`` close to ``m``) rejection sampling stalls,
+    so beyond 50% density we draw a permutation-free exact sample.
+    """
+    if n > domain.size:
+        raise ValueError(
+            f"cannot place {n} unique keys in a domain of size {domain.size}")
+    if n >= domain.size // 2:
+        # Exact sampling without replacement over the full universe.
+        chosen = rng.choice(domain.size, size=n, replace=False) + domain.lo
+        return KeySet(chosen, domain)
+    return keyset_from_sampler(
+        n, domain,
+        lambda size: rng.integers(domain.lo, domain.hi + 1, size=size),
+        rng)
+
+
+def lognormal_keyset(n: int, domain: Domain, rng: np.random.Generator,
+                     mu: float = 0.0, sigma: float = 2.0) -> KeySet:
+    """``n`` unique keys with a log-normal CDF (Sec. V-B, Fig. 6).
+
+    Raw ``LogNormal(mu, sigma)`` draws are scaled so the distribution's
+    99.9th percentile lands at the top of the domain, reproducing the
+    heavy concentration of keys near the low end of the universe that
+    makes some second-stage models handle very dense key clusters.
+    """
+    p999 = float(np.exp(mu + sigma * 3.09))  # ~99.9th percentile
+    scale = (domain.size - 1) / p999
+
+    def sampler(size: int) -> np.ndarray:
+        raw = rng.lognormal(mean=mu, sigma=sigma, size=size)
+        return np.floor(raw * scale).astype(np.int64) + domain.lo
+
+    return keyset_from_sampler(n, domain, sampler, rng)
+
+
+def normal_keyset(n: int, domain: Domain,
+                  rng: np.random.Generator) -> KeySet:
+    """``n`` unique keys from the paper's clipped normal (Fig. 8).
+
+    For a domain ``U = [a, b]`` the paper samples
+    ``Normal(mu = (a + b) / 2, sigma = (b - a) / 3)`` — a wide bell
+    whose tails spill slightly outside the domain and are rejected.
+    """
+    mu = (domain.lo + domain.hi) / 2.0
+    sigma = (domain.hi - domain.lo) / 3.0
+    if sigma == 0:  # single-value domain
+        return KeySet(np.array([domain.lo]), domain)
+
+    def sampler(size: int) -> np.ndarray:
+        return np.rint(rng.normal(mu, sigma, size=size)).astype(np.int64)
+
+    return keyset_from_sampler(n, domain, sampler, rng)

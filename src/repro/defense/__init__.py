@@ -1,0 +1,27 @@
+"""Defense substrate: the mitigations Section VI discusses."""
+
+from .density import (
+    DetectionReport,
+    density_anomaly_scores,
+    flag_densest_keys,
+    score_detection,
+)
+from .sanitize import (
+    SanitizeReport,
+    filter_out_of_range,
+    filter_quantile_outliers,
+)
+from .trim import TrimResult, trim_cdf, trim_regression
+
+__all__ = [
+    "TrimResult",
+    "trim_regression",
+    "trim_cdf",
+    "SanitizeReport",
+    "filter_out_of_range",
+    "filter_quantile_outliers",
+    "DetectionReport",
+    "density_anomaly_scores",
+    "flag_densest_keys",
+    "score_detection",
+]

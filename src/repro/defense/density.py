@@ -1,0 +1,103 @@
+"""Density-based anomaly scoring for poisoned keysets.
+
+Section VI observes that the attack "populates relatively dense areas
+of the key space".  A natural counter-heuristic is therefore to flag
+keys sitting in anomalously dense neighbourhoods.  This module
+implements that detector so its (in)effectiveness can be measured:
+because the attack targets regions that are *already* dense with
+legitimate keys, the detector's flags hit legitimate neighbours nearly
+as often as poisoning keys — which the defense benchmarks quantify
+with precision/recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DetectionReport", "density_anomaly_scores", "flag_densest_keys",
+           "score_detection"]
+
+
+def density_anomaly_scores(keys: np.ndarray, window: int = 8) -> np.ndarray:
+    """Local-density score per key (higher = denser neighbourhood).
+
+    The score of a key is the reciprocal of the average gap to its
+    ``window`` nearest sorted neighbours on each side, normalised by
+    the global average gap.  A key whose neighbourhood is ten times
+    denser than the dataset average scores ~10.
+    """
+    arr = np.sort(np.asarray(keys, dtype=np.float64))
+    n = arr.size
+    if n < 2:
+        return np.ones(n)
+    if window < 1:
+        raise ValueError(f"window must be positive: {window}")
+    span = arr[-1] - arr[0]
+    if span == 0:
+        return np.ones(n)
+    global_gap = span / (n - 1)
+
+    # Average distance to the w-th neighbour on each side, clamped at
+    # the array edges.
+    idx = np.arange(n)
+    left = np.maximum(idx - window, 0)
+    right = np.minimum(idx + window, n - 1)
+    width = arr[right] - arr[left]
+    neighbours = (right - left).astype(np.float64)
+    local_gap = np.where(neighbours > 0, width / neighbours, global_gap)
+    local_gap = np.maximum(local_gap, 1e-12)
+    return global_gap / local_gap
+
+
+def flag_densest_keys(keys: np.ndarray, n_flags: int,
+                      window: int = 8) -> np.ndarray:
+    """The ``n_flags`` keys with the highest density anomaly scores."""
+    arr = np.sort(np.asarray(keys, dtype=np.int64))
+    if not 0 <= n_flags <= arr.size:
+        raise ValueError(f"n_flags {n_flags} out of range for {arr.size}")
+    if n_flags == 0:
+        return arr[:0]
+    scores = density_anomaly_scores(arr, window)
+    picked = np.argpartition(scores, -n_flags)[-n_flags:]
+    return np.sort(arr[picked])
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Precision/recall of a defense's flags vs ground-truth poison."""
+
+    n_flagged: int
+    n_poison: int
+    true_positives: int
+
+    @property
+    def precision(self) -> float:
+        if self.n_flagged == 0:
+            return 1.0
+        return self.true_positives / self.n_flagged
+
+    @property
+    def recall(self) -> float:
+        if self.n_poison == 0:
+            return 1.0
+        return self.true_positives / self.n_poison
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+
+def score_detection(flagged: np.ndarray,
+                    poison_keys: np.ndarray) -> DetectionReport:
+    """Score a set of flagged keys against the true poisoning set."""
+    flagged = np.asarray(flagged, dtype=np.int64)
+    poison = np.asarray(poison_keys, dtype=np.int64)
+    tp = int(np.isin(flagged, poison).sum())
+    return DetectionReport(n_flagged=int(flagged.size),
+                           n_poison=int(poison.size),
+                           true_positives=tp)

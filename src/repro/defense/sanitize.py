@@ -1,0 +1,58 @@
+"""Input sanitizers the attack is designed to evade.
+
+Section IV-C motivates the in-range restriction of the attack: keys
+outside the legitimate range, and extreme outliers, "can be detected
+and eliminated by known mitigations".  These are those mitigations.
+Tests verify both that they *do* catch naive out-of-range poisoning
+and that they catch *none* of the paper's in-range poisoning keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.keyset import Domain
+
+__all__ = ["SanitizeReport", "filter_out_of_range", "filter_quantile_outliers"]
+
+
+@dataclass(frozen=True)
+class SanitizeReport:
+    """Keys that survived sanitisation and keys that were dropped."""
+
+    kept: np.ndarray
+    dropped: np.ndarray
+
+    @property
+    def n_dropped(self) -> int:
+        return int(self.dropped.size)
+
+
+def filter_out_of_range(keys: np.ndarray, trusted: Domain) -> SanitizeReport:
+    """Drop keys outside a trusted domain (e.g. the key schema range)."""
+    arr = np.asarray(keys, dtype=np.int64)
+    mask = (arr >= trusted.lo) & (arr <= trusted.hi)
+    return SanitizeReport(kept=np.sort(arr[mask]),
+                          dropped=np.sort(arr[~mask]))
+
+
+def filter_quantile_outliers(keys: np.ndarray,
+                             tail_fraction: float = 0.01) -> SanitizeReport:
+    """Drop the extreme ``tail_fraction`` of keys at each end.
+
+    A blunt robust-statistics mitigation; the paper's attack clusters
+    its insertions inside *dense interior* regions precisely so that
+    tail trimming removes legitimate keys instead of poisoning keys.
+    """
+    if not 0.0 <= tail_fraction < 0.5:
+        raise ValueError(
+            f"tail fraction must be in [0, 0.5), got {tail_fraction}")
+    arr = np.sort(np.asarray(keys, dtype=np.int64))
+    if tail_fraction == 0.0 or arr.size < 3:
+        return SanitizeReport(kept=arr, dropped=arr[:0])
+    lo = np.quantile(arr, tail_fraction)
+    hi = np.quantile(arr, 1.0 - tail_fraction)
+    mask = (arr >= lo) & (arr <= hi)
+    return SanitizeReport(kept=arr[mask], dropped=arr[~mask])

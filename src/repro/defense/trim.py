@@ -1,0 +1,168 @@
+"""TRIM (Jagielski et al., S&P'18) adapted to CDF regressions.
+
+TRIM defends linear regression against poisoning by alternating two
+steps: fit on a working subset of the expected clean size ``n``, then
+re-select the ``n`` points with the smallest residuals.  On classic
+regression poisoning it provably converges to a low-loss subset.
+
+Section VI of the paper argues TRIM struggles against CDF poisoning
+for two reasons we make testable here:
+
+1. **ranks are relational** — removing a point changes the rank (the
+   Y-value) of every larger key, so the defense must re-rank its
+   working subset at every iteration (the :func:`trim_cdf` variant;
+   the classic :func:`trim_regression` keeps Y fixed and is subtly
+   wrong in this setting);
+2. **poisoning keys hide in dense regions** — residual-based selection
+   cannot separate them from their legitimate neighbours without also
+   dropping legitimate keys.
+
+Both variants report which keys they kept so experiments can score
+precision/recall against the ground-truth poisoning set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cdf_regression import fit_cdf_regression
+
+__all__ = ["TrimResult", "trim_regression", "trim_cdf"]
+
+_MAX_ITERATIONS = 400
+
+
+@dataclass(frozen=True)
+class TrimResult:
+    """Outcome of a TRIM run.
+
+    Attributes
+    ----------
+    kept_keys:
+        The keys the defense believes are legitimate (sorted).
+    removed_keys:
+        The keys it flagged as poisoning (sorted).
+    iterations:
+        Alternating-minimisation rounds until the kept set stabilised.
+    converged:
+        False when the iteration cap was hit first.
+    final_loss:
+        MSE of the regression on the kept subset (re-ranked for the
+        CDF variant).
+    """
+
+    kept_keys: np.ndarray
+    removed_keys: np.ndarray
+    iterations: int
+    converged: bool
+    final_loss: float
+
+    def recall_against(self, poison_keys: np.ndarray) -> float:
+        """Fraction of true poisoning keys that were removed."""
+        poison = np.asarray(poison_keys)
+        if poison.size == 0:
+            return 1.0
+        hit = np.isin(poison, self.removed_keys).sum()
+        return float(hit) / poison.size
+
+    def precision_against(self, poison_keys: np.ndarray) -> float:
+        """Fraction of removed keys that are truly poisoning."""
+        if self.removed_keys.size == 0:
+            return 1.0
+        hit = np.isin(self.removed_keys, np.asarray(poison_keys)).sum()
+        return float(hit) / self.removed_keys.size
+
+
+def _fit_line(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    mx, my = x.mean(), y.mean()
+    dx = x - mx
+    var = float(dx @ dx)
+    if var == 0.0:
+        return 0.0, float(my)
+    slope = float(dx @ (y - my)) / var
+    return slope, float(my - slope * mx)
+
+
+def trim_regression(keys: np.ndarray, responses: np.ndarray, n_keep: int,
+                    seed: int = 0) -> TrimResult:
+    """Classic TRIM on fixed (x, y) pairs.
+
+    This is the original algorithm: responses never change, only the
+    selected subset does.  Applied to a poisoned CDF it evaluates
+    residuals against *stale* ranks, the first failure mode Sec. VI
+    points out.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    responses = np.asarray(responses, dtype=np.float64)
+    if keys.size != responses.size:
+        raise ValueError("keys and responses must align")
+    if not 1 <= n_keep <= keys.size:
+        raise ValueError(f"n_keep {n_keep} out of range for {keys.size}")
+
+    rng = np.random.default_rng(seed)
+    kept = np.sort(rng.choice(keys.size, size=n_keep, replace=False))
+    for iteration in range(1, _MAX_ITERATIONS + 1):
+        slope, intercept = _fit_line(keys[kept], responses[kept])
+        residuals = np.abs(slope * keys + intercept - responses)
+        new_kept = np.sort(np.argpartition(residuals, n_keep - 1)[:n_keep])
+        if np.array_equal(new_kept, kept):
+            break
+        kept = new_kept
+    converged = iteration < _MAX_ITERATIONS
+    mask = np.zeros(keys.size, dtype=bool)
+    mask[kept] = True
+    final = fit_cdf_regression(keys[mask], responses[mask]).mse
+    return TrimResult(
+        kept_keys=np.sort(keys[mask]).astype(np.int64),
+        removed_keys=np.sort(keys[~mask]).astype(np.int64),
+        iterations=iteration,
+        converged=converged,
+        final_loss=final)
+
+
+def trim_cdf(poisoned_keys: np.ndarray, n_keep: int,
+             seed: int = 0) -> TrimResult:
+    """Rank-aware TRIM for CDF regressions.
+
+    At each round the working subset is *re-ranked* (its members get
+    ranks ``1..n_keep``) before fitting, and every candidate key is
+    scored by the residual against the rank it **would** have inside
+    the current subset.  This is the iterative re-calibration Sec. VI
+    describes as necessary — and expensive — for the CDF setting.
+    """
+    keys = np.sort(np.asarray(poisoned_keys, dtype=np.int64))
+    total = keys.size
+    if not 1 <= n_keep <= total:
+        raise ValueError(f"n_keep {n_keep} out of range for {total}")
+
+    rng = np.random.default_rng(seed)
+    kept_mask = np.zeros(total, dtype=bool)
+    kept_mask[rng.choice(total, size=n_keep, replace=False)] = True
+
+    iteration = 0
+    for iteration in range(1, _MAX_ITERATIONS + 1):
+        subset = keys[kept_mask].astype(np.float64)
+        ranks = np.arange(1, n_keep + 1, dtype=np.float64)
+        slope, intercept = _fit_line(subset, ranks)
+        # Hypothetical rank of *every* key inside the current subset.
+        hypothetical = np.searchsorted(subset, keys, side="left") + 1
+        residuals = np.abs(slope * keys + intercept - hypothetical)
+        new_mask = np.zeros(total, dtype=bool)
+        new_mask[np.argpartition(residuals, n_keep - 1)[:n_keep]] = True
+        if np.array_equal(new_mask, kept_mask):
+            break
+        kept_mask = new_mask
+    converged = iteration < _MAX_ITERATIONS
+
+    kept = keys[kept_mask]
+    final = fit_cdf_regression(
+        kept.astype(np.float64),
+        np.arange(1, kept.size + 1, dtype=np.float64)).mse
+    return TrimResult(
+        kept_keys=kept,
+        removed_keys=keys[~kept_mask],
+        iterations=iteration,
+        converged=converged,
+        final_loss=final)

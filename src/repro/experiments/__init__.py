@@ -1,0 +1,37 @@
+"""Experiment harness: one module per paper figure plus ablations.
+
+Every module exposes ``run(config) -> result`` and result objects with
+a ``format()`` method that prints paper-comparable tables.  The
+benchmarks under ``benchmarks/`` are thin wrappers that time these
+runs and print the tables; ``python -m repro.experiments <name>`` runs
+one directly.
+"""
+
+from . import (
+    ablations,
+    fig2_compound_effect,
+    fig3_loss_landscape,
+    fig4_greedy_showcase,
+    fig6_rmi_synthetic,
+    fig7_rmi_realworld,
+    regression_sweep,
+)
+from .regression_sweep import fig5_config, fig8_config, run_sweep
+from .report import ascii_boxplot, format_ratio, render_table, section
+
+__all__ = [
+    "fig2_compound_effect",
+    "fig3_loss_landscape",
+    "fig4_greedy_showcase",
+    "regression_sweep",
+    "fig5_config",
+    "fig8_config",
+    "run_sweep",
+    "fig6_rmi_synthetic",
+    "fig7_rmi_realworld",
+    "ablations",
+    "section",
+    "render_table",
+    "ascii_boxplot",
+    "format_ratio",
+]

@@ -1,0 +1,103 @@
+"""Command-line entry point: ``python -m repro.experiments <target>``.
+
+Targets mirror the paper's figures and the ablations:
+
+    fig2 fig3 fig4 fig5 fig6 fig7 fig8
+    a1-bruteforce a2-trim a3-cost a4-alpha a5-allocation
+    all
+
+``--profile quick`` (default) runs the scaled-down configurations;
+``--profile full`` runs the larger grids recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    ablations,
+    fig2_compound_effect,
+    fig3_loss_landscape,
+    fig4_greedy_showcase,
+    fig6_rmi_synthetic,
+    fig7_rmi_realworld,
+)
+from .regression_sweep import fig5_config, fig8_config, run_sweep
+
+
+def _run_fig5(profile: str) -> str:
+    return run_sweep(fig5_config(profile)).format()
+
+
+def _run_fig8(profile: str) -> str:
+    return run_sweep(fig8_config(profile)).format()
+
+
+def _run_fig6(profile: str) -> str:
+    config = (fig6_rmi_synthetic.full_config() if profile == "full"
+              else fig6_rmi_synthetic.quick_config())
+    return fig6_rmi_synthetic.run(config).format()
+
+
+def _run_fig7(profile: str) -> str:
+    config = (fig7_rmi_realworld.full_config() if profile == "full"
+              else fig7_rmi_realworld.quick_config())
+    return fig7_rmi_realworld.run(config).format()
+
+
+_TARGETS = {
+    "fig2": lambda profile: fig2_compound_effect.run().format(),
+    "fig3": lambda profile: fig3_loss_landscape.run().format(),
+    "fig4": lambda profile: fig4_greedy_showcase.run().format(),
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "a1-bruteforce": lambda profile: ablations.format_bruteforce(
+        ablations.run_bruteforce_equivalence()),
+    "a2-trim": lambda profile: ablations.format_trim(
+        ablations.run_trim_defense()),
+    "a3-cost": lambda profile: ablations.format_lookup_cost(
+        ablations.run_lookup_cost()),
+    "a4-alpha": lambda profile: ablations.format_alpha(
+        ablations.run_alpha_sweep()),
+    "a5-allocation": lambda profile: ablations.format_allocation(
+        ablations.run_allocation_ablation()),
+    "a6-deletion": lambda profile: ablations.format_deletion(
+        ablations.run_deletion_ablation()),
+    "a7-polynomial": lambda profile: ablations.format_polynomial(
+        ablations.run_polynomial_ablation()),
+    "a8-blackbox": lambda profile: ablations.format_blackbox(
+        ablations.run_blackbox_ablation()),
+    "a9-updates": lambda profile: ablations.format_update(
+        ablations.run_update_ablation()),
+    "a10-ridge": lambda profile: ablations.format_ridge(
+        ablations.run_ridge_ablation()),
+    "a11-adversaries": lambda profile: ablations.format_adversaries(
+        ablations.run_adversary_comparison()),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse the target and print its tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce a figure or ablation of the paper.")
+    parser.add_argument("target",
+                        choices=sorted(_TARGETS) + ["all"],
+                        help="which experiment to run")
+    parser.add_argument("--profile", choices=("quick", "full"),
+                        default="quick",
+                        help="quick (scaled, default) or full grids")
+    args = parser.parse_args(argv)
+
+    targets = sorted(_TARGETS) if args.target == "all" else [args.target]
+    for name in targets:
+        print(_TARGETS[name](args.profile))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,664 @@
+"""Ablations and extensions beyond the paper's figures (DESIGN.md §3).
+
+* **A1** — optimal-vs-brute-force single point: identical key and
+  loss; wall-clock gap grows with the domain (O(n) vs O(m n)).
+* **A2** — TRIM defenses against the CDF attack: classic TRIM vs
+  rank-aware TRIM, precision/recall and residual ratio loss.
+* **A3** — end-to-end lookup cost: clean RMI vs poisoned RMI vs
+  B-Tree on the same query set (the performance story behind the
+  Ratio Loss).
+* **A4** — alpha sweep: how much the per-model threshold's slack
+  buys the RMI attack.
+* **A5** — greedy vs uniform volume allocation for the RMI attack
+  (the value of Algorithm 2's exchange loop over its initialisation).
+* **A6** — deletion adversary vs insertion adversary at equal budget
+  (Sec. VI names key removal as an open extension).
+* **A7** — polynomial second-stage refits of the poisoned CDF: how
+  much loss the extra model capacity absorbs, at what storage cost.
+* **A8** — black-box extraction of the second stage by probing, and
+  the attack mounted on the recovered parameters.
+* **A9** — poisoning a *dynamic* learned index purely through its
+  public insert API (the update-time adversary of Sec. VI).
+* **A10** — ridge regularisation: does L2 shrinkage (which the paper
+  sets aside as "unclear" for LIS) buy any poisoning robustness?
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.brute_force import brute_force_single_point
+from ..core.greedy import greedy_poison
+from ..core.rmi_attack import poison_rmi
+from ..core.single_point import optimal_single_point
+from ..core.threat_model import RMIAttackerCapability
+from ..data.keyset import Domain
+from ..data.synthetic import lognormal_keyset, uniform_keyset
+from ..defense.trim import TrimResult, trim_cdf, trim_regression
+from ..index.cost import CostReport, compare_costs
+from .report import format_ratio, render_table, section
+
+__all__ = [
+    "BruteForceRow", "run_bruteforce_equivalence",
+    "TrimRow", "run_trim_defense",
+    "run_lookup_cost",
+    "AlphaRow", "run_alpha_sweep",
+    "AllocationRow", "run_allocation_ablation",
+    "DeletionRow", "run_deletion_ablation",
+    "PolynomialRow", "run_polynomial_ablation",
+    "BlackboxReport", "run_blackbox_ablation",
+    "UpdateChannelReport", "run_update_ablation",
+    "RidgeRow", "run_ridge_ablation",
+    "AdversaryRow", "run_adversary_comparison",
+]
+
+
+# ----------------------------------------------------------------------
+# A1: optimal vs brute force
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BruteForceRow:
+    """One keyset's equivalence check and timing."""
+
+    n_keys: int
+    domain_size: int
+    same_key: bool
+    fast_seconds: float
+    brute_seconds: float
+    speedup: float
+
+
+def run_bruteforce_equivalence(
+        key_counts: tuple[int, ...] = (50, 100, 200),
+        density: float = 0.05, seed: int = 5) -> list[BruteForceRow]:
+    """A1: the O(n) attack must match the O(m n) oracle, faster."""
+    rows = []
+    for n in key_counts:
+        rng = np.random.default_rng([seed, n])
+        keyset = uniform_keyset(n, Domain.of_size(int(n / density)), rng)
+        t0 = time.perf_counter()
+        fast = optimal_single_point(keyset)
+        fast_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        brute = brute_force_single_point(keyset)
+        brute_s = time.perf_counter() - t0
+        rows.append(BruteForceRow(
+            n_keys=n,
+            domain_size=keyset.m,
+            same_key=(fast.key == brute.key
+                      and abs(fast.loss_after - brute.loss_after)
+                      <= 1e-7 * max(1.0, brute.loss_after)),
+            fast_seconds=fast_s,
+            brute_seconds=brute_s,
+            speedup=brute_s / fast_s if fast_s > 0 else float("inf")))
+    return rows
+
+
+def format_bruteforce(rows: list[BruteForceRow]) -> str:
+    """Table for A1."""
+    body = [[r.n_keys, r.domain_size, r.same_key,
+             f"{r.fast_seconds*1e3:.2f}ms", f"{r.brute_seconds*1e3:.1f}ms",
+             f"{r.speedup:.0f}x"] for r in rows]
+    return (section("A1 - optimal O(n) attack vs brute force O(mn)") + "\n"
+            + render_table(["keys", "domain", "match", "fast", "brute",
+                            "speedup"], body))
+
+
+# ----------------------------------------------------------------------
+# A2: TRIM defenses
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TrimRow:
+    """Defense outcome for one poisoning percentage."""
+
+    poisoning_percentage: float
+    attack_ratio: float
+    variant: str
+    recall: float
+    precision: float
+    residual_ratio: float
+
+
+def _residual_ratio(defended: TrimResult, clean_loss: float) -> float:
+    if clean_loss == 0.0:
+        return 1.0
+    return defended.final_loss / clean_loss
+
+
+def run_trim_defense(n_keys: int = 1000, density: float = 0.1,
+                     percentages: tuple[float, ...] = (5.0, 10.0, 20.0),
+                     seed: int = 13) -> list[TrimRow]:
+    """A2: can TRIM undo the CDF attack?
+
+    For each percentage: poison, then hand the defense the poisoned
+    keyset and the true clean count ``n`` (the most charitable
+    setting), and measure how much loss survives after trimming.
+    """
+    rng = np.random.default_rng(seed)
+    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
+                            rng)
+    rows = []
+    for pct in percentages:
+        budget = int(n_keys * pct / 100.0)
+        attack = greedy_poison(keyset, budget)
+        poisoned = keyset.insert(attack.poison_keys)
+        clean_loss = attack.loss_before
+
+        classic = trim_regression(
+            poisoned.keys.astype(np.float64),
+            poisoned.ranks.astype(np.float64), n_keep=n_keys, seed=seed)
+        aware = trim_cdf(poisoned.keys, n_keep=n_keys, seed=seed)
+        for variant, res in (("classic", classic), ("rank-aware", aware)):
+            rows.append(TrimRow(
+                poisoning_percentage=pct,
+                attack_ratio=attack.ratio_loss,
+                variant=variant,
+                recall=res.recall_against(attack.poison_keys),
+                precision=res.precision_against(attack.poison_keys),
+                residual_ratio=_residual_ratio(res, clean_loss)))
+    return rows
+
+
+def format_trim(rows: list[TrimRow]) -> str:
+    """Table for A2."""
+    body = [[f"{r.poisoning_percentage:g}%", format_ratio(r.attack_ratio),
+             r.variant, f"{r.recall:.0%}", f"{r.precision:.0%}",
+             format_ratio(r.residual_ratio)] for r in rows]
+    return (section("A2 - TRIM vs the CDF poisoning attack") + "\n"
+            + render_table(["poison%", "attack ratio", "variant", "recall",
+                            "precision", "loss after trim"], body))
+
+
+# ----------------------------------------------------------------------
+# A3: end-to-end lookup cost
+# ----------------------------------------------------------------------
+
+def run_lookup_cost(n_keys: int = 20_000, density: float = 0.1,
+                    model_size: int = 200, poisoning_percentage: float = 10.0,
+                    seed: int = 17) -> list[CostReport]:
+    """A3: clean RMI vs poisoned RMI vs B-Tree probe counts."""
+    rng = np.random.default_rng(seed)
+    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
+                            rng)
+    n_models = max(n_keys // model_size, 1)
+    capability = RMIAttackerCapability(
+        poisoning_percentage=poisoning_percentage, alpha=3.0)
+    attack = poison_rmi(keyset, n_models, capability,
+                        max_exchanges=n_models)
+    poisoned = keyset.insert(attack.poison_keys)
+    return compare_costs(keyset.keys, poisoned.keys, n_models, seed=seed)
+
+
+def format_lookup_cost(reports: list[CostReport]) -> str:
+    """Table for A3."""
+    return (section("A3 - end-to-end lookup cost (probes per lookup)")
+            + "\n" + "\n".join(r.row() for r in reports))
+
+
+# ----------------------------------------------------------------------
+# A4: alpha sweep
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AlphaRow:
+    """RMI ratio at one per-model threshold multiplier."""
+
+    alpha: float
+    rmi_ratio: float
+    max_model_ratio: float
+    exchanges: int
+
+
+def run_alpha_sweep(n_keys: int = 10_000, model_size: int = 500,
+                    poisoning_percentage: float = 10.0,
+                    alphas: tuple[float, ...] = (1.0, 1.5, 2.0, 3.0, 5.0),
+                    seed: int = 19) -> list[AlphaRow]:
+    """A4: how much threshold slack helps the volume allocation."""
+    rng = np.random.default_rng(seed)
+    keyset = lognormal_keyset(n_keys, Domain.of_size(100 * n_keys), rng)
+    n_models = max(n_keys // model_size, 1)
+    rows = []
+    for alpha in alphas:
+        capability = RMIAttackerCapability(
+            poisoning_percentage=poisoning_percentage, alpha=alpha)
+        result = poison_rmi(keyset, n_models, capability,
+                            max_exchanges=2 * n_models)
+        ratios = result.per_model_ratios
+        finite = ratios[np.isfinite(ratios)]
+        rows.append(AlphaRow(
+            alpha=alpha,
+            rmi_ratio=result.rmi_ratio_loss,
+            max_model_ratio=float(finite.max()),
+            exchanges=result.exchanges))
+    return rows
+
+
+def format_alpha(rows: list[AlphaRow]) -> str:
+    """Table for A4."""
+    body = [[f"{r.alpha:g}", format_ratio(r.rmi_ratio),
+             format_ratio(r.max_model_ratio), r.exchanges] for r in rows]
+    return (section("A4 - per-model threshold (alpha) sweep") + "\n"
+            + render_table(["alpha", "RMI ratio", "max model ratio",
+                            "exchanges"], body))
+
+
+# ----------------------------------------------------------------------
+# A5: greedy vs uniform volume allocation
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AllocationRow:
+    """Greedy-vs-uniform comparison for one distribution."""
+
+    distribution: str
+    uniform_ratio: float
+    greedy_ratio: float
+    improvement: float
+
+
+def run_allocation_ablation(n_keys: int = 10_000, model_size: int = 500,
+                            poisoning_percentage: float = 10.0,
+                            seed: int = 29) -> list[AllocationRow]:
+    """A5: value of the exchange loop over uniform initial budgets."""
+    n_models = max(n_keys // model_size, 1)
+    capability = RMIAttackerCapability(
+        poisoning_percentage=poisoning_percentage, alpha=3.0)
+    rows = []
+    for distribution in ("uniform", "lognormal"):
+        rng = np.random.default_rng([seed, hash(distribution) % 2**31])
+        domain = Domain.of_size(100 * n_keys)
+        if distribution == "uniform":
+            keyset = uniform_keyset(n_keys, domain, rng)
+        else:
+            keyset = lognormal_keyset(n_keys, domain, rng)
+        flat = poison_rmi(keyset, n_models, capability, max_exchanges=0)
+        greedy = poison_rmi(keyset, n_models, capability,
+                            max_exchanges=2 * n_models)
+        improvement = (greedy.rmi_ratio_loss / flat.rmi_ratio_loss
+                       if flat.rmi_ratio_loss > 0 else float("inf"))
+        rows.append(AllocationRow(
+            distribution=distribution,
+            uniform_ratio=flat.rmi_ratio_loss,
+            greedy_ratio=greedy.rmi_ratio_loss,
+            improvement=improvement))
+    return rows
+
+
+def format_allocation(rows: list[AllocationRow]) -> str:
+    """Table for A5."""
+    body = [[r.distribution, format_ratio(r.uniform_ratio),
+             format_ratio(r.greedy_ratio), f"{r.improvement:.2f}x"]
+            for r in rows]
+    return (section("A5 - greedy vs uniform volume allocation") + "\n"
+            + render_table(["distribution", "uniform alloc", "greedy alloc",
+                            "improvement"], body))
+
+
+# ----------------------------------------------------------------------
+# A6: deletion adversary (Sec. VI future work)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DeletionRow:
+    """Insertion-vs-deletion comparison at one budget."""
+
+    budget_percentage: float
+    insertion_ratio: float
+    deletion_ratio: float
+
+
+def run_deletion_ablation(n_keys: int = 1000, density: float = 0.1,
+                          percentages: tuple[float, ...] = (5.0, 10.0, 20.0),
+                          seed: int = 37) -> list[DeletionRow]:
+    """A6: how does removing keys compare to injecting them?
+
+    Both adversaries get the same budget (p keys inserted vs p keys
+    deleted) against the same uniform keyset.
+    """
+    from ..core.deletion import greedy_delete
+
+    rng = np.random.default_rng(seed)
+    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
+                            rng)
+    rows = []
+    for pct in percentages:
+        budget = int(n_keys * pct / 100.0)
+        insertion = greedy_poison(keyset, budget)
+        deletion = greedy_delete(keyset, budget)
+        rows.append(DeletionRow(
+            budget_percentage=pct,
+            insertion_ratio=insertion.ratio_loss,
+            deletion_ratio=deletion.ratio_loss))
+    return rows
+
+
+def format_deletion(rows: list["DeletionRow"]) -> str:
+    """Table for A6."""
+    body = [[f"{r.budget_percentage:g}%", format_ratio(r.insertion_ratio),
+             format_ratio(r.deletion_ratio)] for r in rows]
+    return (section("A6 - insertion vs deletion adversary") + "\n"
+            + render_table(["budget", "insertion ratio",
+                            "deletion ratio"], body))
+
+
+# ----------------------------------------------------------------------
+# A7: polynomial second-stage robustness (Sec. VI mitigation)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PolynomialRow:
+    """Loss absorbed by a higher-degree refit of the poisoned CDF."""
+
+    degree: int
+    n_parameters: int
+    multiply_adds: int
+    poisoned_ratio: float
+
+
+def run_polynomial_ablation(n_keys: int = 1000, density: float = 0.1,
+                            poisoning_percentage: float = 10.0,
+                            degrees: tuple[int, ...] = (1, 2, 3, 5),
+                            seed: int = 41) -> list[PolynomialRow]:
+    """A7: does a more complex final-stage model blunt the attack?
+
+    Mount the linear attack, then refit the poisoned keyset with
+    polynomial models of increasing degree and report the remaining
+    ratio loss next to the extra storage/compute each degree costs —
+    the trade-off Sec. VI says would "negatively affect the storage
+    overhead".
+    """
+    from ..core.polynomial import fit_polynomial_cdf
+
+    rng = np.random.default_rng(seed)
+    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
+                            rng)
+    budget = int(n_keys * poisoning_percentage / 100.0)
+    attack = greedy_poison(keyset, budget)
+    poisoned = keyset.insert(attack.poison_keys)
+
+    rows = []
+    for degree in degrees:
+        clean_fit = fit_polynomial_cdf(keyset, degree)
+        dirty_fit = fit_polynomial_cdf(poisoned, degree)
+        ratio = (dirty_fit.mse / clean_fit.mse if clean_fit.mse > 0
+                 else float("inf"))
+        rows.append(PolynomialRow(
+            degree=degree,
+            n_parameters=dirty_fit.model.n_parameters,
+            multiply_adds=dirty_fit.model.multiply_adds_per_lookup,
+            poisoned_ratio=ratio))
+    return rows
+
+
+def format_polynomial(rows: list["PolynomialRow"]) -> str:
+    """Table for A7."""
+    body = [[r.degree, r.n_parameters, r.multiply_adds,
+             format_ratio(r.poisoned_ratio)] for r in rows]
+    return (section("A7 - polynomial second-stage robustness") + "\n"
+            + render_table(["degree", "params", "mul-adds",
+                            "poisoned/clean loss"], body))
+
+
+# ----------------------------------------------------------------------
+# A8: black-box extraction (Sec. VI future work)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BlackboxReport:
+    """Fidelity of the extraction and of the attack built on it."""
+
+    n_probes: int
+    models_recovered: int
+    n_models: int
+    max_slope_error: float
+    whitebox_ratio: float
+    blackbox_ratio: float
+
+
+def run_blackbox_ablation(n_keys: int = 5000, n_models: int = 25,
+                          poisoning_percentage: float = 10.0,
+                          seed: int = 43) -> BlackboxReport:
+    """A8: infer the second stage by probing, then attack with it.
+
+    Probes every stored key (the attacker contributed/knows the data
+    under the threat model; only the *model parameters* are hidden),
+    recovers each second-stage line, and mounts Algorithm 2 using the
+    recovered partition boundaries.  The paper's conjecture is that
+    the black-box gap is thin; the report quantifies it.
+    """
+    from ..core.blackbox import extract_second_stage, observe_rmi
+    from ..index.rmi import RecursiveModelIndex
+
+    rng = np.random.default_rng(seed)
+    keyset = uniform_keyset(n_keys, Domain.of_size(20 * n_keys), rng)
+    rmi = RecursiveModelIndex.build_equal_size(keyset, n_models)
+
+    observations = observe_rmi(rmi, keyset.keys)
+    extraction = extract_second_stage(observations)
+    slope_errors = extraction.slope_errors(rmi)
+
+    capability = RMIAttackerCapability(
+        poisoning_percentage=poisoning_percentage, alpha=3.0)
+    whitebox = poison_rmi(keyset, n_models, capability,
+                          max_exchanges=n_models)
+
+    # Black-box attacker re-derives the partition from the recovered
+    # boundaries and runs the same algorithm.
+    boundaries = extraction.boundaries
+    blackbox_models = boundaries.size
+    blackbox = poison_rmi(keyset, blackbox_models, capability,
+                          max_exchanges=blackbox_models)
+
+    return BlackboxReport(
+        n_probes=keyset.n,
+        models_recovered=len(extraction.models),
+        n_models=n_models,
+        max_slope_error=float(slope_errors.max()),
+        whitebox_ratio=whitebox.rmi_ratio_loss,
+        blackbox_ratio=blackbox.rmi_ratio_loss)
+
+
+def format_blackbox(report: "BlackboxReport") -> str:
+    """Table for A8."""
+    rows = [
+        ["probes issued", report.n_probes],
+        ["models recovered",
+         f"{report.models_recovered}/{report.n_models}"],
+        ["max relative slope error", f"{report.max_slope_error:.2e}"],
+        ["white-box attack ratio", format_ratio(report.whitebox_ratio)],
+        ["black-box attack ratio", format_ratio(report.blackbox_ratio)],
+    ]
+    return (section("A8 - black-box second-stage extraction") + "\n"
+            + render_table(["metric", "value"], rows))
+
+
+# ----------------------------------------------------------------------
+# A9: update-channel poisoning (Sec. VI future work)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UpdateChannelReport:
+    """Static pre-training attack vs the same budget via updates."""
+
+    static_ratio: float
+    update_ratio: float
+    retrains_triggered: int
+    clean_lookup_cost: float
+    poisoned_lookup_cost: float
+
+
+def run_update_ablation(n_keys: int = 2000, n_models: int = 20,
+                        poisoning_percentage: float = 10.0,
+                        seed: int = 47) -> UpdateChannelReport:
+    """A9: does the update API reopen the pre-training attack surface?
+
+    Build a dynamic index, poison it purely through ``insert`` calls,
+    and compare the post-retrain damage with the static Algorithm 2
+    attack of equal budget.  Because retraining consumes the merged
+    base + buffer, the update channel stages the identical poisoned
+    training set — the attack surface never closed.
+    """
+    from ..core.update_attack import poison_via_updates
+    from ..index.dynamic import DynamicLearnedIndex
+
+    rng = np.random.default_rng(seed)
+    keyset = uniform_keyset(n_keys, Domain.of_size(20 * n_keys), rng)
+
+    capability = RMIAttackerCapability(
+        poisoning_percentage=poisoning_percentage, alpha=3.0)
+    static = poison_rmi(keyset, n_models, capability,
+                        max_exchanges=n_models)
+
+    clean_index = DynamicLearnedIndex(keyset, n_models=n_models)
+    queries = keyset.keys[::7]
+    clean_cost = clean_index.lookup_cost(queries)
+
+    live = DynamicLearnedIndex(keyset, n_models=n_models,
+                               retrain_threshold=0.05)
+    update = poison_via_updates(live, poisoning_percentage)
+
+    return UpdateChannelReport(
+        static_ratio=static.rmi_ratio_loss,
+        update_ratio=update.ratio_loss,
+        retrains_triggered=update.retrains_triggered,
+        clean_lookup_cost=clean_cost,
+        poisoned_lookup_cost=live.lookup_cost(queries))
+
+
+def format_update(report: "UpdateChannelReport") -> str:
+    """Table for A9."""
+    rows = [
+        ["static attack ratio", format_ratio(report.static_ratio)],
+        ["update-channel attack ratio",
+         format_ratio(report.update_ratio)],
+        ["retrains triggered", report.retrains_triggered],
+        ["clean lookup cost", f"{report.clean_lookup_cost:.2f}"],
+        ["poisoned lookup cost",
+         f"{report.poisoned_lookup_cost:.2f}"],
+    ]
+    return (section("A9 - poisoning through the update channel") + "\n"
+            + render_table(["metric", "value"], rows))
+
+
+# ----------------------------------------------------------------------
+# A10: ridge regularisation (Sec. IV-A open question)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RidgeRow:
+    """Clean and poisoned loss of one shrinkage level."""
+
+    lam_fraction: float
+    clean_mse: float
+    poisoned_mse: float
+
+    @property
+    def poisoned_ratio(self) -> float:
+        if self.clean_mse == 0.0:
+            return float("inf") if self.poisoned_mse > 0 else 1.0
+        return self.poisoned_mse / self.clean_mse
+
+
+def run_ridge_ablation(n_keys: int = 1000, density: float = 0.1,
+                       poisoning_percentage: float = 10.0,
+                       lam_fractions: tuple[float, ...] = (
+                           0.0, 0.01, 0.1, 0.5),
+                       seed: int = 53) -> list[RidgeRow]:
+    """A10: does L2 shrinkage blunt the poisoning?
+
+    The paper sets regularisation aside because LIS queries are
+    training data.  We measure it anyway: for each penalty (as a
+    fraction of the clean key variance), fit ridge on the clean and on
+    the poisoned keysets and compare training errors.  Shrinking the
+    slope mostly *adds* clean error without removing poisoned error —
+    the attack manipulates ranks, not leverage points.
+    """
+    from ..core.cdf_regression import fit_ridge_cdf
+
+    rng = np.random.default_rng(seed)
+    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
+                            rng)
+    budget = int(n_keys * poisoning_percentage / 100.0)
+    attack = greedy_poison(keyset, budget)
+    poisoned = keyset.insert(attack.poison_keys)
+
+    keys = keyset.keys.astype(np.float64)
+    var_k = float(keys.var())
+    rows = []
+    for fraction in lam_fractions:
+        lam = fraction * var_k
+        clean = fit_ridge_cdf(keyset, lam)
+        dirty = fit_ridge_cdf(poisoned, lam)
+        rows.append(RidgeRow(
+            lam_fraction=fraction,
+            clean_mse=clean.mse,
+            poisoned_mse=dirty.mse))
+    return rows
+
+
+def format_ridge(rows: list["RidgeRow"]) -> str:
+    """Table for A10."""
+    body = [[f"{r.lam_fraction:g}", f"{r.clean_mse:.2f}",
+             f"{r.poisoned_mse:.2f}", format_ratio(r.poisoned_ratio)]
+            for r in rows]
+    return (section("A10 - ridge regularisation against poisoning")
+            + "\n" + render_table(
+                ["lambda/Var(K)", "clean MSE", "poisoned MSE",
+                 "ratio"], body))
+
+
+# ----------------------------------------------------------------------
+# A11: the three adversaries head to head (Sec. VI future work)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AdversaryRow:
+    """Ratio losses of insert / delete / modify at one budget."""
+
+    budget_percentage: float
+    insertion_ratio: float
+    deletion_ratio: float
+    modification_ratio: float
+
+
+def run_adversary_comparison(n_keys: int = 1000, density: float = 0.1,
+                             percentages: tuple[float, ...] = (
+                                 5.0, 10.0, 20.0),
+                             seed: int = 59) -> list[AdversaryRow]:
+    """A11: insert vs delete vs modify at equal budget.
+
+    A modification spends one budget unit on a delete + insert pair,
+    so it matches or beats pure insertion while leaving the key count
+    untouched — the stealthiest and often strongest adversary.
+    """
+    from ..core.deletion import greedy_delete
+    from ..core.modification import greedy_modify
+
+    rng = np.random.default_rng(seed)
+    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
+                            rng)
+    rows = []
+    for pct in percentages:
+        budget = int(n_keys * pct / 100.0)
+        rows.append(AdversaryRow(
+            budget_percentage=pct,
+            insertion_ratio=greedy_poison(keyset, budget).ratio_loss,
+            deletion_ratio=greedy_delete(keyset, budget).ratio_loss,
+            modification_ratio=greedy_modify(keyset, budget).ratio_loss))
+    return rows
+
+
+def format_adversaries(rows: list["AdversaryRow"]) -> str:
+    """Table for A11."""
+    body = [[f"{r.budget_percentage:g}%",
+             format_ratio(r.insertion_ratio),
+             format_ratio(r.deletion_ratio),
+             format_ratio(r.modification_ratio)] for r in rows]
+    return (section("A11 - insert vs delete vs modify adversaries")
+            + "\n" + render_table(
+                ["budget", "insert", "delete", "modify"], body))

@@ -1,0 +1,98 @@
+"""Figure 2: the compound effect of a single poisoning key.
+
+A 10-key keyset on a small domain; one optimally placed poisoning key
+re-ranks every larger legitimate key, dragging the regression line and
+inflating most points' residuals.  The experiment reports the
+regression before and after, the per-key residuals, and the ratio
+loss, matching the two panels of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cdf_regression import LinearModel, fit_cdf_regression
+from ..core.single_point import SinglePointResult, optimal_single_point
+from ..data.keyset import Domain, KeySet
+from ..data.synthetic import uniform_keyset
+from .report import format_ratio, render_table, section
+
+__all__ = ["Fig2Config", "Fig2Result", "run", "default_config"]
+
+
+@dataclass(frozen=True)
+class Fig2Config:
+    """Parameters of the illustration (paper: n = 10 on [0, 40])."""
+
+    n_keys: int = 10
+    domain_size: int = 41
+    seed: int = 3
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Both panels of the figure as data."""
+
+    keyset: KeySet
+    attack: SinglePointResult
+    model_before: LinearModel
+    model_after: LinearModel
+    residuals_before: np.ndarray
+    residuals_after: np.ndarray
+
+    def format(self) -> str:
+        """Plain-text rendition of the two panels."""
+        header = section(
+            "Fig. 2 - compound effect of one poisoning key "
+            f"(ratio loss {format_ratio(self.attack.ratio_loss)})")
+        rows = []
+        poisoned = self.keyset.insert([self.attack.key])
+        kp_rank = poisoned.rank_of(self.attack.key)
+        for key, rank in zip(poisoned.keys, poisoned.ranks):
+            tag = "POISON" if key == self.attack.key else ""
+            pred = self.model_after.predict(float(key))
+            rows.append([key, rank, f"{pred:7.2f}",
+                         f"{rank - pred:+7.2f}", tag])
+        table = render_table(
+            ["key", "rank", "predicted", "residual", ""], rows)
+        lines = [
+            header,
+            f"before: rank = {self.model_before.slope:.4f} * key "
+            f"+ {self.model_before.intercept:.4f}   "
+            f"MSE = {self.attack.loss_before:.4f}",
+            f"after : rank = {self.model_after.slope:.4f} * key "
+            f"+ {self.model_after.intercept:.4f}   "
+            f"MSE = {self.attack.loss_after:.4f}",
+            f"poisoning key kp = {self.attack.key} takes rank {kp_rank}; "
+            "all larger keys shift up by one",
+            table,
+        ]
+        return "\n".join(lines)
+
+
+def default_config() -> Fig2Config:
+    """The paper-scale illustration config."""
+    return Fig2Config()
+
+
+def run(config: Fig2Config | None = None) -> Fig2Result:
+    """Build the keyset, mount the single-point attack, collect panels."""
+    config = config or default_config()
+    rng = np.random.default_rng(config.seed)
+    keyset = uniform_keyset(config.n_keys,
+                            Domain.of_size(config.domain_size), rng)
+    before = fit_cdf_regression(keyset)
+    attack = optimal_single_point(keyset)
+    poisoned = keyset.insert([attack.key])
+    after = fit_cdf_regression(poisoned)
+    return Fig2Result(
+        keyset=keyset,
+        attack=attack,
+        model_before=before.model,
+        model_after=after.model,
+        residuals_before=(before.model.predict(keyset.keys.astype(float))
+                          - keyset.ranks),
+        residuals_after=(after.model.predict(poisoned.keys.astype(float))
+                         - poisoned.ranks))

@@ -1,0 +1,154 @@
+"""Figure 6: RMI poisoning on synthetic uniform and log-normal keys.
+
+The paper's flagship experiment: a two-stage RMI over 10^7 keys, three
+architectures (model sizes 10^2, 10^3, 10^4 keys, i.e. 10^5 .. 10^3
+second-stage models), key domains 5*10^7 and 10^9, per-model threshold
+alpha in {2, 3}, poisoning 1/5/10%.  Reported: the per-second-stage-
+model ratio-loss distribution (boxplot) and the overall RMI ratio (the
+black line).  Headlines: up to ~300x RMI ratio and ~3000x single-model
+ratio on the log-normal keys; ratios grow with the model size.
+
+We keep the paper's *shape parameters* (model sizes, keys:domain
+ratios of 5x and 100x, alphas, percentages) and scale the key count:
+the quick profile runs n = 10^4 with model sizes {10^2, 10^3}; the
+full profile runs n = 10^5 with model sizes up to 10^4.  DESIGN.md
+section 2 records the scaling argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.metrics import BoxplotSummary, summarize
+from ..core.rmi_attack import poison_rmi
+from ..core.threat_model import RMIAttackerCapability
+from ..data.keyset import Domain
+from ..data.synthetic import lognormal_keyset, uniform_keyset
+from .report import format_ratio, render_table, section
+
+__all__ = ["Fig6Config", "Fig6Cell", "Fig6Result", "run", "quick_config",
+           "full_config"]
+
+
+@dataclass(frozen=True)
+class Fig6Config:
+    """Grid of the synthetic RMI experiment.
+
+    ``domain_multipliers`` express the paper's two universes relative
+    to the key count (10^9 / 10^7 = 100 and 5*10^7 / 10^7 = 5), so the
+    density — what actually drives the attack — is preserved when the
+    key count is scaled down.
+    """
+
+    n_keys: int
+    model_sizes: tuple[int, ...]
+    domain_multipliers: tuple[int, ...] = (5, 100)
+    distributions: tuple[str, ...] = ("uniform", "lognormal")
+    poisoning_percentages: tuple[float, ...] = (1.0, 5.0, 10.0)
+    alphas: tuple[float, ...] = (2.0, 3.0)
+    max_exchanges_per_model: int = 2
+    seed: int = 23
+
+
+@dataclass(frozen=True)
+class Fig6Cell:
+    """One boxplot of the figure."""
+
+    distribution: str
+    model_size: int
+    n_models: int
+    domain_multiplier: int
+    poisoning_percentage: float
+    alpha: float
+    per_model: BoxplotSummary
+    rmi_ratio: float
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """All cells of the grid."""
+
+    config: Fig6Config
+    cells: tuple[Fig6Cell, ...]
+
+    def format(self) -> str:
+        """One table block per (distribution, model size, domain)."""
+        blocks = []
+        seen = []
+        for cell in self.cells:
+            group = (cell.distribution, cell.model_size,
+                     cell.domain_multiplier)
+            if group not in seen:
+                seen.append(group)
+        for dist, size, mult in seen:
+            title = (f"[{dist}] Keys: {self.config.n_keys}  "
+                     f"Model Size: {size}  "
+                     f"#Models: {self.config.n_keys // size}  "
+                     f"Key Domain: {self.config.n_keys * mult}")
+            rows = []
+            for cell in self.cells:
+                if (cell.distribution, cell.model_size,
+                        cell.domain_multiplier) != (dist, size, mult):
+                    continue
+                rows.append([
+                    f"{cell.poisoning_percentage:g}%",
+                    f"a={cell.alpha:g}",
+                    format_ratio(cell.rmi_ratio),
+                    format_ratio(cell.per_model.median),
+                    format_ratio(cell.per_model.q3),
+                    format_ratio(cell.per_model.maximum),
+                ])
+            table = render_table(
+                ["poison%", "alpha", "RMI ratio", "model med",
+                 "model q3", "model max"], rows)
+            blocks.append(f"{section(title)}\n{table}")
+        return "\n\n".join(blocks)
+
+
+def quick_config() -> Fig6Config:
+    """Scaled-down grid that finishes in a couple of minutes."""
+    return Fig6Config(n_keys=10_000, model_sizes=(100, 1000))
+
+
+def full_config() -> Fig6Config:
+    """The larger grid (n = 10^5, model sizes up to 10^4)."""
+    return Fig6Config(n_keys=100_000, model_sizes=(100, 1000, 10000))
+
+
+def run(config: Fig6Config | None = None) -> Fig6Result:
+    """Run every cell of the grid."""
+    config = config or quick_config()
+    cells = []
+    for distribution in config.distributions:
+        for multiplier in config.domain_multipliers:
+            domain = Domain.of_size(config.n_keys * multiplier)
+            rng = np.random.default_rng(
+                [config.seed, multiplier, hash(distribution) % 2**31])
+            if distribution == "uniform":
+                keyset = uniform_keyset(config.n_keys, domain, rng)
+            else:
+                keyset = lognormal_keyset(config.n_keys, domain, rng)
+            for model_size in config.model_sizes:
+                n_models = max(config.n_keys // model_size, 1)
+                for pct in config.poisoning_percentages:
+                    for alpha in config.alphas:
+                        capability = RMIAttackerCapability(
+                            poisoning_percentage=pct, alpha=alpha)
+                        result = poison_rmi(
+                            keyset, n_models, capability,
+                            max_exchanges=(config.max_exchanges_per_model
+                                           * n_models))
+                        ratios = result.per_model_ratios
+                        finite = ratios[np.isfinite(ratios)]
+                        cells.append(Fig6Cell(
+                            distribution=distribution,
+                            model_size=model_size,
+                            n_models=n_models,
+                            domain_multiplier=multiplier,
+                            poisoning_percentage=pct,
+                            alpha=alpha,
+                            per_model=summarize(finite),
+                            rmi_ratio=result.rmi_ratio_loss))
+    return Fig6Result(config=config, cells=tuple(cells))

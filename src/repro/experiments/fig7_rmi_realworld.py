@@ -1,0 +1,181 @@
+"""Figure 7: RMI poisoning on the two real-world datasets.
+
+Dataset A: unique Miami-Dade employee salaries (n = 5,300, density
+3.71%); dataset B: OSM school latitudes (n = 302,973, density 25.25%).
+Three RMI setups with second-stage model sizes 50 / 100 / 200 keys,
+per-model threshold alpha = 3, poisoning percentages 5 / 10 / 20%.
+Paper headlines: RMI ratio between 4x and 24x, individual second-stage
+models up to ~70x; larger models allow more poisoning per model and so
+larger ratios.
+
+The datasets are the simulated stand-ins of
+:mod:`repro.data.realworld` (DESIGN.md section 2).  The quick profile
+scales the OSM dataset to 30,000 keys; the full profile uses the
+published 302,973.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.metrics import BoxplotSummary, summarize
+from ..core.rmi_attack import poison_rmi
+from ..core.threat_model import RMIAttackerCapability
+from ..data.keyset import KeySet
+from ..data.realworld import OSM_N, miami_salaries, osm_school_latitudes
+from .report import format_ratio, render_table, section
+
+__all__ = ["Fig7Config", "Fig7Cell", "Fig7Result", "DatasetProfile",
+           "profile_dataset", "run", "quick_config", "full_config"]
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """Parameters of the real-world RMI experiment."""
+
+    osm_keys: int
+    model_sizes: tuple[int, ...] = (50, 100, 200)
+    poisoning_percentages: tuple[float, ...] = (5.0, 10.0, 20.0)
+    alpha: float = 3.0
+    max_exchanges_per_model: int = 2
+    seed: int = 31
+    include_osm: bool = True
+
+
+@dataclass(frozen=True)
+class Fig7Cell:
+    """One boxplot of the figure."""
+
+    dataset: str
+    n_keys: int
+    model_size: int
+    n_models: int
+    poisoning_percentage: float
+    per_model: BoxplotSummary
+    rmi_ratio: float
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Shape of one dataset's CDF (the second row of Fig. 7)."""
+
+    dataset: str
+    n_keys: int
+    domain_size: int
+    density: float
+    percentile_keys: tuple[int, ...]  # keys at 10/25/50/75/90%
+
+    def row(self) -> list[str]:
+        """Formatted profile row."""
+        p10, p25, p50, p75, p90 = self.percentile_keys
+        return [self.dataset, f"{self.n_keys:,}",
+                f"{self.domain_size:,}", f"{self.density:.2%}",
+                f"{p10:,}", f"{p25:,}", f"{p50:,}", f"{p75:,}",
+                f"{p90:,}"]
+
+
+def profile_dataset(name: str, keyset: KeySet) -> DatasetProfile:
+    """CDF summary of a dataset (stands in for the Fig. 7 CDF plots)."""
+    percentiles = np.percentile(keyset.keys, [10, 25, 50, 75, 90])
+    return DatasetProfile(
+        dataset=name,
+        n_keys=keyset.n,
+        domain_size=keyset.m,
+        density=keyset.density,
+        percentile_keys=tuple(int(p) for p in percentiles))
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """All cells for both datasets."""
+
+    config: Fig7Config
+    cells: tuple[Fig7Cell, ...]
+    profiles: tuple[DatasetProfile, ...] = ()
+
+    def format(self) -> str:
+        """One block per (dataset, model size), plus CDF profiles."""
+        blocks = []
+        if self.profiles:
+            table = render_table(
+                ["dataset", "keys", "domain", "density", "p10", "p25",
+                 "p50", "p75", "p90"],
+                [p.row() for p in self.profiles])
+            blocks.append(f"{section('Fig. 7 CDF profiles')}\n{table}")
+        seen: list[tuple[str, int]] = []
+        for cell in self.cells:
+            group = (cell.dataset, cell.model_size)
+            if group not in seen:
+                seen.append(group)
+        for dataset, size in seen:
+            sample = next(c for c in self.cells
+                          if (c.dataset, c.model_size) == (dataset, size))
+            title = (f"[{dataset}] Keys: {sample.n_keys}  "
+                     f"Model Size: {size}  #Models: {sample.n_models}")
+            rows = []
+            for cell in self.cells:
+                if (cell.dataset, cell.model_size) != (dataset, size):
+                    continue
+                rows.append([
+                    f"{cell.poisoning_percentage:g}%",
+                    format_ratio(cell.rmi_ratio),
+                    format_ratio(cell.per_model.median),
+                    format_ratio(cell.per_model.q3),
+                    format_ratio(cell.per_model.maximum),
+                ])
+            table = render_table(
+                ["poison%", "RMI ratio", "model med", "model q3",
+                 "model max"], rows)
+            blocks.append(f"{section(title)}\n{table}")
+        return "\n\n".join(blocks)
+
+
+def quick_config() -> Fig7Config:
+    """Scaled OSM dataset (30k keys); salaries at full published size."""
+    return Fig7Config(osm_keys=30_000)
+
+
+def full_config() -> Fig7Config:
+    """Published dataset sizes (OSM n = 302,973)."""
+    return Fig7Config(osm_keys=OSM_N)
+
+
+def _attack_dataset(name: str, keyset: KeySet,
+                    config: Fig7Config) -> list[Fig7Cell]:
+    cells = []
+    for model_size in config.model_sizes:
+        n_models = max(keyset.n // model_size, 1)
+        for pct in config.poisoning_percentages:
+            capability = RMIAttackerCapability(
+                poisoning_percentage=pct, alpha=config.alpha)
+            result = poison_rmi(
+                keyset, n_models, capability,
+                max_exchanges=config.max_exchanges_per_model * n_models)
+            ratios = result.per_model_ratios
+            finite = ratios[np.isfinite(ratios)]
+            cells.append(Fig7Cell(
+                dataset=name,
+                n_keys=keyset.n,
+                model_size=model_size,
+                n_models=n_models,
+                poisoning_percentage=pct,
+                per_model=summarize(finite),
+                rmi_ratio=result.rmi_ratio_loss))
+    return cells
+
+
+def run(config: Fig7Config | None = None) -> Fig7Result:
+    """Attack both (simulated) real-world datasets."""
+    config = config or quick_config()
+    rng = np.random.default_rng(config.seed)
+    salaries = miami_salaries(rng)
+    cells = _attack_dataset("miami-salaries", salaries, config)
+    profiles = [profile_dataset("miami-salaries", salaries)]
+    if config.include_osm:
+        latitudes = osm_school_latitudes(rng, n=config.osm_keys)
+        cells += _attack_dataset("osm-latitudes", latitudes, config)
+        profiles.append(profile_dataset("osm-latitudes", latitudes))
+    return Fig7Result(config=config, cells=tuple(cells),
+                      profiles=tuple(profiles))

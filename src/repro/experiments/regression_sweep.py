@@ -1,0 +1,174 @@
+"""Shared machinery for the regression-poisoning sweeps (Figs. 5, 8).
+
+Both figures report boxplots of the Ratio Loss over 20 random keysets
+for a grid of (number of keys) x (key density) cells and a range of
+poisoning percentages.  Figure 5 draws keys uniformly (the CDF shape a
+learned index loves); Figure 8 draws them from the paper's clipped
+normal (a shape linear models already struggle with).
+
+One greedy run per trial at the *largest* percentage yields every
+smaller percentage for free: Algorithm 1 is incremental, so the loss
+after ``k`` insertions is the loss of a ``k``-key attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.greedy import greedy_poison
+from ..core.metrics import BoxplotSummary, summarize
+from ..data.keyset import Domain, KeySet
+from ..data.synthetic import normal_keyset, uniform_keyset
+from .report import format_ratio, render_table, section
+
+__all__ = [
+    "SweepConfig",
+    "CellResult",
+    "SweepResult",
+    "run_sweep",
+    "fig5_config",
+    "fig8_config",
+]
+
+Generator = Callable[[int, Domain, np.random.Generator], KeySet]
+
+_GENERATORS: dict[str, Generator] = {
+    "uniform": uniform_keyset,
+    "normal": normal_keyset,
+}
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Grid of a regression-poisoning sweep.
+
+    Attributes
+    ----------
+    distribution:
+        ``"uniform"`` (Fig. 5) or ``"normal"`` (Fig. 8).
+    key_counts:
+        Numbers of legitimate keys per cell (paper: 100 .. 10,000,
+        typical second-stage partition sizes).
+    densities:
+        ``n / m`` per cell; the key domain is derived as ``n/density``
+        (the paper fixes keys+density and varies the domain).
+    poisoning_percentages:
+        X-axis of each boxplot (paper: up to 15%).
+    n_trials:
+        Independent keysets per cell (paper: 20).
+    seed:
+        Base seed; trial ``t`` of each cell derives its own stream.
+    """
+
+    distribution: str
+    key_counts: tuple[int, ...]
+    densities: tuple[float, ...]
+    poisoning_percentages: tuple[float, ...]
+    n_trials: int = 20
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.distribution not in _GENERATORS:
+            raise ValueError(f"unknown distribution: {self.distribution!r}")
+        if any(not 0 < d <= 1 for d in self.densities):
+            raise ValueError("densities must be in (0, 1]")
+        if any(not 0 < p <= 20 for p in self.poisoning_percentages):
+            raise ValueError("percentages must be in (0, 20]")
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """All boxplots of one (keys, density) subplot."""
+
+    n_keys: int
+    density: float
+    domain_size: int
+    summaries: dict[float, BoxplotSummary]  # percentage -> summary
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Results for the whole grid."""
+
+    config: SweepConfig
+    cells: tuple[CellResult, ...]
+
+    def format(self) -> str:
+        """Paper-style tables, one block per subplot."""
+        blocks = []
+        for cell in self.cells:
+            title = (f"[{self.config.distribution}] Keys: {cell.n_keys}  "
+                     f"Key Domain: {cell.domain_size}  "
+                     f"Density: {cell.density:.0%}")
+            rows = []
+            for pct in self.config.poisoning_percentages:
+                s = cell.summaries[pct]
+                rows.append([f"{pct:g}%", format_ratio(s.median),
+                             format_ratio(s.q1), format_ratio(s.q3),
+                             format_ratio(s.minimum), format_ratio(s.maximum)])
+            table = render_table(
+                ["poison%", "median", "q1", "q3", "min", "max"], rows)
+            blocks.append(f"{section(title)}\n{table}")
+        return "\n\n".join(blocks)
+
+
+def run_sweep(config: SweepConfig) -> SweepResult:
+    """Run the full grid and summarise ratio losses per cell."""
+    generator = _GENERATORS[config.distribution]
+    max_pct = max(config.poisoning_percentages)
+    cells = []
+    for n_keys in config.key_counts:
+        for density in config.densities:
+            domain = Domain.of_size(int(round(n_keys / density)))
+            ratios: dict[float, list[float]] = {
+                pct: [] for pct in config.poisoning_percentages}
+            for trial in range(config.n_trials):
+                rng = np.random.default_rng(
+                    [config.seed, n_keys, int(density * 1000), trial])
+                keyset = generator(n_keys, domain, rng)
+                budget = int(n_keys * max_pct / 100.0)
+                run = greedy_poison(keyset, budget)
+                for pct in config.poisoning_percentages:
+                    k = int(n_keys * pct / 100.0)
+                    k = min(k, run.n_injected)
+                    if k == 0 or run.loss_before == 0.0:
+                        ratios[pct].append(1.0)
+                    else:
+                        ratios[pct].append(
+                            float(run.losses[k - 1]) / run.loss_before)
+            cells.append(CellResult(
+                n_keys=n_keys,
+                density=density,
+                domain_size=domain.size,
+                summaries={pct: summarize(vals)
+                           for pct, vals in ratios.items()}))
+    return SweepResult(config=config, cells=tuple(cells))
+
+
+def fig5_config(profile: str = "quick") -> SweepConfig:
+    """Figure 5 grid: uniform keys.
+
+    The quick profile drops the 10,000-key row (the costly one); the
+    full profile matches the paper's grid extent.
+    """
+    key_counts = (100, 1000) if profile == "quick" else (100, 1000, 10000)
+    return SweepConfig(
+        distribution="uniform",
+        key_counts=key_counts,
+        densities=(0.1, 0.4, 0.8),
+        poisoning_percentages=(2.0, 5.0, 8.0, 11.0, 14.0),
+        n_trials=20)
+
+
+def fig8_config(profile: str = "quick") -> SweepConfig:
+    """Figure 8 grid: the appendix's clipped-normal keys."""
+    key_counts = (100, 1000) if profile == "quick" else (100, 1000, 10000)
+    return SweepConfig(
+        distribution="normal",
+        key_counts=key_counts,
+        densities=(0.1, 0.4, 0.8),
+        poisoning_percentages=(2.0, 5.0, 8.0, 11.0, 14.0),
+        n_trials=20)

@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment results.
+
+The paper reports boxplots; a terminal harness reports the same
+five-number summaries as aligned tables plus a coarse ascii boxplot so
+shapes are comparable at a glance.  Every benchmark prints through
+these helpers so EXPERIMENTS.md rows can be pasted verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.metrics import BoxplotSummary
+
+__all__ = ["section", "render_table", "ascii_boxplot", "format_ratio"]
+
+
+def section(title: str, width: int = 78) -> str:
+    """A banner line announcing one experiment block."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def format_ratio(value: float) -> str:
+    """Ratio losses rendered like the paper annotates them (e.g. 7.4x)."""
+    if value != value:  # NaN
+        return "nan"
+    if value == float("inf"):
+        return "inf"
+    if value >= 100:
+        return f"{value:.0f}x"
+    return f"{value:.1f}x"
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Monospace table with right-padded columns."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def ascii_boxplot(summary: BoxplotSummary, lo: float, hi: float,
+                  width: int = 40) -> str:
+    """One-line ascii boxplot of a summary scaled into ``[lo, hi]``.
+
+    Layout: ``|----[==M==]------|`` where ``[``/``]`` are quartiles and
+    ``M`` the median; whiskers span min..max.
+    """
+    if hi <= lo:
+        hi = lo + 1.0
+    def col(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return min(max(int(frac * (width - 1)), 0), width - 1)
+    cells = [" "] * width
+    for pos in range(col(summary.minimum), col(summary.maximum) + 1):
+        cells[pos] = "-"
+    for pos in range(col(summary.q1), col(summary.q3) + 1):
+        cells[pos] = "="
+    cells[col(summary.q1)] = "["
+    cells[col(summary.q3)] = "]"
+    cells[col(summary.median)] = "M"
+    return "".join(cells)

@@ -1,0 +1,42 @@
+"""Index substrate: learned indexes and the traditional B-Tree baseline."""
+
+from .btree import BTree, BTreeSearchResult
+from .cost import (
+    CostReport,
+    btree_cost,
+    compare_costs,
+    linear_index_cost,
+    rmi_cost,
+)
+from .dynamic import DynamicLearnedIndex
+from .first_stage import LinearRoot, MLPRoot, PiecewiseLinearRoot, RootModel
+from .linear_index import LinearLearnedIndex
+from .rmi import (
+    BoundaryRoot,
+    LookupResult,
+    RecursiveModelIndex,
+    SecondStageModel,
+)
+from .sorted_store import ProbeResult, SortedStore
+
+__all__ = [
+    "SortedStore",
+    "ProbeResult",
+    "LinearLearnedIndex",
+    "RootModel",
+    "LinearRoot",
+    "PiecewiseLinearRoot",
+    "MLPRoot",
+    "BoundaryRoot",
+    "SecondStageModel",
+    "LookupResult",
+    "RecursiveModelIndex",
+    "BTree",
+    "BTreeSearchResult",
+    "DynamicLearnedIndex",
+    "CostReport",
+    "rmi_cost",
+    "linear_index_cost",
+    "btree_cost",
+    "compare_costs",
+]

@@ -1,0 +1,280 @@
+"""A classic in-memory B-Tree — the traditional baseline.
+
+The learned-index pitch is "RMI beats a highly-optimised B-Tree"; the
+poisoning attack's punchline is that a poisoned RMI loses that edge.
+To measure the crossover we need an actual B-Tree.  This one is a
+textbook implementation (Knuth order ``2t``): every node holds between
+``t - 1`` and ``2t - 1`` sorted keys, all leaves at equal depth.
+
+Search reports *comparisons* and *node visits* so the cost model in
+:mod:`repro.index.cost` can place the B-Tree and the (possibly
+poisoned) RMI on the same axis.  Insertion uses the standard
+split-on-the-way-down algorithm; :meth:`BTree.bulk_load` builds a
+packed tree from sorted keys in linear time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["BTreeSearchResult", "BTree"]
+
+
+@dataclass(frozen=True)
+class BTreeSearchResult:
+    """Outcome and cost of one B-Tree search."""
+
+    found: bool
+    comparisons: int
+    node_visits: int
+
+
+@dataclass
+class _Node:
+    keys: list[int] = field(default_factory=list)
+    children: list["_Node"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """B-Tree of minimum degree ``t`` (nodes hold ``t-1 .. 2t-1`` keys)."""
+
+    def __init__(self, min_degree: int = 16):
+        if min_degree < 2:
+            raise ValueError(f"minimum degree must be >= 2: {min_degree}")
+        self._t = min_degree
+        self._root = _Node()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(cls, sorted_keys: np.ndarray,
+                  min_degree: int = 16) -> "BTree":
+        """Build a packed tree from strictly increasing keys, bottom-up.
+
+        Leaves are filled to ``2t - 1`` keys; one separator key is
+        promoted between consecutive leaves, recursively, which yields
+        the same shape repeated insertion of sorted data would only
+        approximate.
+        """
+        keys = np.asarray(sorted_keys, dtype=np.int64)
+        if keys.size and np.any(np.diff(keys) <= 0):
+            raise ValueError("bulk_load requires strictly increasing keys")
+        tree = cls(min_degree)
+        if keys.size == 0:
+            return tree
+        capacity = 2 * min_degree - 1
+
+        # Chop keys into leaves of up to `capacity` keys with one
+        # separator between consecutive leaves.
+        level: list[_Node] = []
+        separators: list[int] = []
+        i = 0
+        n = keys.size
+        while i < n:
+            take = min(capacity, n - i)
+            remaining_after = n - (i + take)
+            # Keep at least t-1 keys for a possible next leaf + separator.
+            if 0 < remaining_after < min_degree:
+                take -= (min_degree - remaining_after)
+            node = _Node(keys=[int(k) for k in keys[i:i + take]])
+            level.append(node)
+            i += take
+            if i < n:
+                separators.append(int(keys[i]))
+                i += 1
+
+        while len(level) > 1:
+            next_level: list[_Node] = []
+            next_separators: list[int] = []
+            j = 0
+            while j < len(level):
+                take = min(capacity + 1, len(level) - j)
+                remaining_after = len(level) - (j + take)
+                if 0 < remaining_after < min_degree:
+                    take -= (min_degree - remaining_after)
+                node = _Node(
+                    keys=separators[j:j + take - 1],
+                    children=level[j:j + take])
+                next_level.append(node)
+                j += take
+                if j < len(level):
+                    next_separators.append(separators[j - 1])
+            separators = next_separators
+            level = next_level
+
+        tree._root = level[0]
+        tree._size = int(n)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a lone root leaf)."""
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def search(self, key: int) -> BTreeSearchResult:
+        """Standard top-down search with binary search inside nodes."""
+        node = self._root
+        comparisons = 0
+        visits = 0
+        while True:
+            visits += 1
+            lo, hi = 0, len(node.keys) - 1
+            child = len(node.keys)
+            while lo <= hi:
+                mid = (lo + hi) // 2
+                comparisons += 1
+                stored = node.keys[mid]
+                if stored == key:
+                    return BTreeSearchResult(True, comparisons, visits)
+                if stored < key:
+                    lo = mid + 1
+                else:
+                    hi = mid - 1
+                    child = mid
+            if node.is_leaf:
+                return BTreeSearchResult(False, comparisons, visits)
+            node = node.children[lo if lo <= len(node.children) - 1 else child]
+
+    def __contains__(self, key: int) -> bool:
+        return self.search(int(key)).found
+
+    def range_scan(self, lo: int, hi: int) -> list[int]:
+        """All stored keys in ``[lo, hi]`` in sorted order.
+
+        In-order traversal with subtree pruning on the separator keys
+        — the classic B-Tree range query the RMI competes with.
+        """
+        if hi < lo:
+            return []
+        out: list[int] = []
+        self._range_walk(self._root, lo, hi, out)
+        return out
+
+    def _range_walk(self, node: _Node, lo: int, hi: int,
+                    out: list[int]) -> None:
+        if node.is_leaf:
+            out.extend(k for k in node.keys if lo <= k <= hi)
+            return
+        for i, key in enumerate(node.keys):
+            if lo < key:
+                self._range_walk(node.children[i], lo, hi, out)
+            if lo <= key <= hi:
+                out.append(key)
+            if key > hi:
+                return
+        self._range_walk(node.children[-1], lo, hi, out)
+
+    def items(self) -> Iterator[int]:
+        """All keys in sorted order (in-order traversal)."""
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node) -> Iterator[int]:
+        if node.is_leaf:
+            yield from node.keys
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._walk(node.children[i])
+            yield key
+        yield from self._walk(node.children[-1])
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> None:
+        """Insert a key (duplicates rejected), splitting full nodes."""
+        key = int(key)
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node(children=[root])
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key)
+        self._size += 1
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node(keys=child.keys[t:],
+                        children=child.children[t:])
+        median = child.keys[t - 1]
+        child.keys = child.keys[:t - 1]
+        child.children = child.children[:t]
+        parent.keys.insert(index, median)
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: _Node, key: int) -> None:
+        while True:
+            idx = self._bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                raise ValueError(f"duplicate key: {key}")
+            if node.is_leaf:
+                node.keys.insert(idx, key)
+                return
+            child = node.children[idx]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, idx)
+                if key == node.keys[idx]:
+                    raise ValueError(f"duplicate key: {key}")
+                if key > node.keys[idx]:
+                    child = node.children[idx + 1]
+                else:
+                    child = node.children[idx]
+            node = child
+
+    @staticmethod
+    def _bisect(keys: list[int], key: int) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # Validation (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any B-Tree invariant is violated."""
+        t = self._t
+        leaf_depths: set[int] = set()
+
+        def visit(node: _Node, depth: int, lo: float, hi: float) -> None:
+            assert node.keys == sorted(node.keys), "node keys unsorted"
+            for k in node.keys:
+                assert lo < k < hi, "key outside separator range"
+            if node is not self._root:
+                assert len(node.keys) >= t - 1, "underfull node"
+            assert len(node.keys) <= 2 * t - 1, "overfull node"
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                return
+            assert len(node.children) == len(node.keys) + 1, "child count"
+            bounds = [lo] + [float(k) for k in node.keys] + [hi]
+            for i, child in enumerate(node.children):
+                visit(child, depth + 1, bounds[i], bounds[i + 1])
+
+        visit(self._root, 0, float("-inf"), float("inf"))
+        assert len(leaf_depths) <= 1, "leaves at unequal depth"

@@ -1,0 +1,191 @@
+"""A dynamic (updatable) learned index with a delta buffer.
+
+The paper's final future-work item: "as more follow-up works support
+updates and deletions we need to consider adversaries that use the
+update functionality of LIS to expand their attack surface."  This
+module provides the substrate for that study: a learned index that
+accepts inserts after construction, in the style of the
+delta-buffer designs the paper cites (Hadian & Heinis; ALEX keeps
+gaps instead, but the attack surface — retraining on attacker-
+influenced data — is the same).
+
+Design:
+
+* the trained :class:`~repro.index.rmi.RecursiveModelIndex` serves
+  the *base* keys;
+* new keys land in a sorted *delta buffer*, searched by binary search
+  on every lookup (so lookups stay correct but pay an extra
+  ``O(log |delta|)``);
+* when the buffer exceeds ``retrain_threshold`` (a fraction of the
+  base size), base and delta merge and the RMI **retrains on the
+  merged keys** — which is exactly the poisoning window: an adversary
+  feeding crafted keys through the public ``insert`` API poisons the
+  next retraining cycle without ever touching the initial build.
+
+:meth:`DynamicLearnedIndex.lookup` reports probes so experiments can
+watch the update-channel attack degrade post-retrain performance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.keyset import KeySet
+from .rmi import LookupResult, RecursiveModelIndex
+
+__all__ = ["DynamicLearnedIndex"]
+
+
+class DynamicLearnedIndex:
+    """RMI + sorted delta buffer + retrain-on-threshold."""
+
+    def __init__(self, keyset: KeySet | np.ndarray, n_models: int,
+                 retrain_threshold: float = 0.1):
+        """Build the base index.
+
+        Parameters
+        ----------
+        keyset:
+            Initial keys.
+        n_models:
+            Second-stage model count for every (re)build; the
+            keys-per-model ratio therefore grows with the data, like a
+            fixed-architecture deployment.
+        retrain_threshold:
+            Fraction of the base size the delta buffer may reach
+            before a merge + retrain is triggered.
+        """
+        if not 0.0 < retrain_threshold <= 1.0:
+            raise ValueError(
+                f"retrain threshold must be in (0, 1]: {retrain_threshold}")
+        keys = keyset.keys if isinstance(keyset, KeySet) else np.asarray(
+            keyset, dtype=np.int64)
+        self._n_models = n_models
+        self._threshold = retrain_threshold
+        self._base = np.sort(keys)
+        self._delta: list[int] = []
+        self._rmi = RecursiveModelIndex.build_equal_size(self._base,
+                                                         n_models)
+        self._retrain_count = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def n_keys(self) -> int:
+        """Total keys currently stored (base + delta)."""
+        return int(self._base.size) + len(self._delta)
+
+    @property
+    def delta_size(self) -> int:
+        """Keys waiting in the delta buffer."""
+        return len(self._delta)
+
+    @property
+    def retrain_count(self) -> int:
+        """Number of merge + retrain cycles so far."""
+        return self._retrain_count
+
+    @property
+    def rmi(self) -> RecursiveModelIndex:
+        """The currently trained base index (replaced on retrain)."""
+        return self._rmi
+
+    def second_stage_mse(self) -> np.ndarray:
+        """Per-model training MSE of the current base index."""
+        return self._rmi.second_stage_mse()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> bool:
+        """Insert one key through the public update API.
+
+        Returns True when the insertion triggered a retrain.  This is
+        the channel the update-time adversary uses: its crafted keys
+        sit in the buffer until the merge, then poison the retrained
+        models.
+        """
+        key = int(key)
+        if self.contains(key):
+            raise ValueError(f"duplicate key: {key}")
+        self._delta.append(key)
+        self._delta.sort()
+        if len(self._delta) >= self._threshold * self._base.size:
+            self._merge_and_retrain()
+            return True
+        return False
+
+    def insert_batch(self, keys: np.ndarray) -> int:
+        """Insert many keys; returns the number of retrains triggered."""
+        retrains = 0
+        for key in np.asarray(keys):
+            if self.insert(int(key)):
+                retrains += 1
+        return retrains
+
+    def flush(self) -> None:
+        """Force a merge + retrain regardless of the buffer level.
+
+        Models the passage of time in experiments: organic inserts
+        would eventually trip the threshold; flushing jumps straight
+        to the next training cycle.  No-op on an empty buffer.
+        """
+        if self._delta:
+            self._merge_and_retrain()
+
+    def _merge_and_retrain(self) -> None:
+        merged = np.sort(np.concatenate(
+            [self._base, np.asarray(self._delta, dtype=np.int64)]))
+        self._base = merged
+        self._delta = []
+        self._rmi = RecursiveModelIndex.build_equal_size(
+            merged, self._n_models)
+        self._retrain_count += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def contains(self, key: int) -> bool:
+        """Membership over base and delta."""
+        i = int(np.searchsorted(self._base, key))
+        if i < self._base.size and int(self._base[i]) == key:
+            return True
+        import bisect
+        j = bisect.bisect_left(self._delta, key)
+        return j < len(self._delta) and self._delta[j] == key
+
+    def lookup(self, key: int) -> LookupResult:
+        """Find a key: RMI over the base, binary search on the delta.
+
+        Probes include the delta binary-search steps, so the cost of a
+        swollen buffer (and of a poisoned retrain) is visible.
+        """
+        result = self._rmi.lookup(int(key))
+        if result.found:
+            return result
+        # Fall through to the delta buffer.
+        probes = result.probes
+        lo, hi = 0, len(self._delta) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            probes += 1
+            stored = self._delta[mid]
+            if stored == key:
+                return LookupResult(found=True,
+                                    position=self._base.size + mid,
+                                    probes=probes,
+                                    model_index=result.model_index)
+            if stored < key:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return LookupResult(found=False, position=-1, probes=probes,
+                            model_index=result.model_index)
+
+    def lookup_cost(self, keys: np.ndarray) -> float:
+        """Mean probes over a batch of lookups."""
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            raise ValueError("need at least one key to measure cost")
+        return float(np.mean([self.lookup(int(k)).probes for k in keys]))

@@ -1,0 +1,193 @@
+"""First-stage (root) models for the recursive model index.
+
+The RMI's stage one looks at a key and dispatches it to one of ``N``
+second-stage experts.  Kraska et al. use a small neural network to
+capture the coarse shape of complex CDFs; simpler roots work for
+near-linear ones.  Three interchangeable roots are provided:
+
+* :class:`LinearRoot` — a single line over the full CDF; exact for
+  uniform keys, coarse elsewhere;
+* :class:`PiecewiseLinearRoot` — equi-depth piecewise linear spline of
+  the CDF; a strong, cheap approximation of an arbitrary monotone CDF;
+* :class:`MLPRoot` — a small one-hidden-layer network trained with
+  Adam on the normalised CDF, built from scratch in numpy (the paper's
+  stage-1 "NN model").
+
+The attack never poisons stage one (Sec. V: keys used in training are
+always routed to the correct expert), but the substrate must exist so
+the end-to-end index — and the lookup-cost experiments — are real.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RootModel", "LinearRoot", "PiecewiseLinearRoot", "MLPRoot"]
+
+
+class RootModel:
+    """Interface: map keys to fractional positions in ``[0, n)``.
+
+    Subclasses implement :meth:`fit` on the full CDF and
+    :meth:`predict_position`; :meth:`route` converts a position
+    estimate into a second-stage model index.
+    """
+
+    def fit(self, keys: np.ndarray, ranks: np.ndarray) -> "RootModel":
+        """Train on the full CDF; returns self for chaining."""
+        raise NotImplementedError
+
+    def predict_position(self, keys: np.ndarray) -> np.ndarray:
+        """Fractional predicted rank (same scale as ``ranks``)."""
+        raise NotImplementedError
+
+    def route(self, keys: np.ndarray, n_total: int,
+              n_models: int) -> np.ndarray:
+        """Second-stage model index for each key, clamped to range."""
+        pos = self.predict_position(np.asarray(keys))
+        idx = np.floor(pos * n_models / n_total).astype(np.int64)
+        return np.clip(idx, 0, n_models - 1)
+
+
+class LinearRoot(RootModel):
+    """One global line over the CDF (adequate for uniform keys)."""
+
+    def __init__(self) -> None:
+        self._slope = 0.0
+        self._intercept = 0.0
+
+    def fit(self, keys: np.ndarray, ranks: np.ndarray) -> "LinearRoot":
+        keys = np.asarray(keys, dtype=np.float64)
+        ranks = np.asarray(ranks, dtype=np.float64)
+        mk, mr = keys.mean(), ranks.mean()
+        dk = keys - mk
+        var = float(dk @ dk)
+        if var == 0.0:
+            self._slope, self._intercept = 0.0, mr
+        else:
+            self._slope = float(dk @ (ranks - mr)) / var
+            self._intercept = mr - self._slope * mk
+        return self
+
+    def predict_position(self, keys: np.ndarray) -> np.ndarray:
+        return self._slope * np.asarray(keys, dtype=np.float64) + self._intercept
+
+
+class PiecewiseLinearRoot(RootModel):
+    """Equi-depth piecewise-linear interpolation of the CDF.
+
+    Stores ``n_segments + 1`` knots at evenly spaced ranks and
+    interpolates between them — a compact monotone approximation that
+    routes almost perfectly for any smooth CDF.
+    """
+
+    def __init__(self, n_segments: int = 64):
+        if n_segments < 1:
+            raise ValueError(f"need at least one segment: {n_segments}")
+        self.n_segments = n_segments
+        self._knot_keys = np.empty(0)
+        self._knot_ranks = np.empty(0)
+
+    def fit(self, keys: np.ndarray,
+            ranks: np.ndarray) -> "PiecewiseLinearRoot":
+        keys = np.asarray(keys, dtype=np.float64)
+        ranks = np.asarray(ranks, dtype=np.float64)
+        picks = np.linspace(0, keys.size - 1, self.n_segments + 1)
+        picks = np.unique(picks.astype(np.int64))
+        self._knot_keys = keys[picks]
+        self._knot_ranks = ranks[picks]
+        return self
+
+    def predict_position(self, keys: np.ndarray) -> np.ndarray:
+        return np.interp(np.asarray(keys, dtype=np.float64),
+                         self._knot_keys, self._knot_ranks)
+
+
+class MLPRoot(RootModel):
+    """One-hidden-layer ReLU network trained with Adam (from scratch).
+
+    Inputs and targets are min-max normalised; training minimises the
+    MSE of the normalised CDF.  Sized like the paper's stage-1 model:
+    a few dozen hidden units is plenty for routing.
+    """
+
+    def __init__(self, hidden: int = 32, epochs: int = 300,
+                 learning_rate: float = 0.01, batch_size: int = 1024,
+                 seed: int = 0):
+        if hidden < 1:
+            raise ValueError(f"need at least one hidden unit: {hidden}")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        self._params: dict[str, np.ndarray] = {}
+        self._key_lo = 0.0
+        self._key_span = 1.0
+        self._rank_lo = 0.0
+        self._rank_span = 1.0
+
+    # -- tiny Adam-trained MLP ----------------------------------------
+    def fit(self, keys: np.ndarray, ranks: np.ndarray) -> "MLPRoot":
+        rng = np.random.default_rng(self.seed)
+        keys = np.asarray(keys, dtype=np.float64)
+        ranks = np.asarray(ranks, dtype=np.float64)
+        self._key_lo = float(keys.min())
+        self._key_span = max(float(keys.max() - keys.min()), 1.0)
+        self._rank_lo = float(ranks.min())
+        self._rank_span = max(float(ranks.max() - ranks.min()), 1.0)
+        x = (keys - self._key_lo) / self._key_span
+        y = (ranks - self._rank_lo) / self._rank_span
+
+        h = self.hidden
+        params = {
+            "w1": rng.normal(0.0, 1.0, size=h) * np.sqrt(2.0),
+            "b1": rng.uniform(-1.0, 0.0, size=h),  # spread ReLU kinks
+            "w2": rng.normal(0.0, 1.0, size=h) / np.sqrt(h),
+            "b2": np.zeros(1),
+        }
+        moment1 = {k: np.zeros_like(v) for k, v in params.items()}
+        moment2 = {k: np.zeros_like(v) for k, v in params.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        n = x.size
+        batch = min(self.batch_size, n)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start:start + batch]
+                xb, yb = x[idx], y[idx]
+                # forward: hidden = relu(x*w1 + b1); out = hidden@w2 + b2
+                pre = np.outer(xb, params["w1"]) + params["b1"]
+                hid = np.maximum(pre, 0.0)
+                out = hid @ params["w2"] + params["b2"][0]
+                err = (out - yb) * (2.0 / xb.size)
+                grads = {
+                    "w2": hid.T @ err,
+                    "b2": np.array([err.sum()]),
+                }
+                dhid = np.outer(err, params["w2"]) * (pre > 0.0)
+                grads["w1"] = xb @ dhid
+                grads["b1"] = dhid.sum(axis=0)
+
+                step += 1
+                for name, grad in grads.items():
+                    moment1[name] = beta1 * moment1[name] + (1 - beta1) * grad
+                    moment2[name] = (beta2 * moment2[name]
+                                     + (1 - beta2) * grad * grad)
+                    m_hat = moment1[name] / (1 - beta1 ** step)
+                    v_hat = moment2[name] / (1 - beta2 ** step)
+                    params[name] = params[name] - self.learning_rate * m_hat / (
+                        np.sqrt(v_hat) + eps)
+        self._params = params
+        return self
+
+    def predict_position(self, keys: np.ndarray) -> np.ndarray:
+        if not self._params:
+            raise RuntimeError("MLPRoot.predict_position before fit")
+        x = (np.asarray(keys, dtype=np.float64) - self._key_lo) / self._key_span
+        pre = np.outer(np.atleast_1d(x), self._params["w1"]) + self._params["b1"]
+        hid = np.maximum(pre, 0.0)
+        out = hid @ self._params["w2"] + self._params["b2"][0]
+        return out * self._rank_span + self._rank_lo

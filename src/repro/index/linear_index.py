@@ -1,0 +1,62 @@
+"""Single-model learned index: one linear regression over the CDF.
+
+The simplest learned index — the building block Section IV attacks
+directly.  One line predicts the position of every key; lookups fall
+back to exponential search around the prediction, so the index is
+always correct and its cost degrades smoothly with the model error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cdf_regression import LinearModel, fit_cdf_regression
+from ..data.keyset import KeySet
+from .sorted_store import ProbeResult, SortedStore
+
+__all__ = ["LinearLearnedIndex"]
+
+
+class LinearLearnedIndex:
+    """A learned index backed by a single :class:`LinearModel`."""
+
+    def __init__(self, keyset: KeySet | np.ndarray):
+        keys = keyset.keys if isinstance(keyset, KeySet) else np.asarray(
+            keyset, dtype=np.int64)
+        self._store = SortedStore(keys)
+        # Fit on 0-based positions (rank - 1): position == memory slot.
+        fit = fit_cdf_regression(keys, np.arange(keys.size, dtype=np.float64))
+        self._model = fit.model
+        self._mse = fit.mse
+
+    @property
+    def model(self) -> LinearModel:
+        """The fitted two-parameter model."""
+        return self._model
+
+    @property
+    def mse(self) -> float:
+        """Training MSE (position scale) — the attack's target."""
+        return self._mse
+
+    @property
+    def store(self) -> SortedStore:
+        """The backing sorted array."""
+        return self._store
+
+    def predict_position(self, key: int) -> int:
+        """Clamped integer position prediction for a key."""
+        n = len(self._store)
+        predicted = int(np.rint(self._model.predict(float(key))))
+        return min(max(predicted, 0), n - 1)
+
+    def lookup(self, key: int) -> ProbeResult:
+        """Locate a key via prediction + exponential last-mile search."""
+        return self._store.search_exponential(key, self.predict_position(key))
+
+    def lookup_cost(self, keys: np.ndarray) -> float:
+        """Mean probes over a batch — rises as poisoning inflates MSE."""
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            raise ValueError("need at least one key to measure cost")
+        return float(np.mean([self.lookup(int(k)).probes for k in keys]))

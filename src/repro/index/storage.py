@@ -1,0 +1,98 @@
+"""Storage accounting for index structures.
+
+The learned-index pitch (paper Sec. I) is two-sided: speed *and*
+memory — "space efficiency from storing two parameters, therefore
+allowing to store tens of thousands of linear regression models in
+main memory".  The poisoning discussion (Sec. VI) then argues that
+hardening the second stage with bigger models "negatively affects the
+storage overhead".  To make both arguments quantitative this module
+prices each structure in bytes:
+
+* an RMI stores, per second-stage model, slope + intercept (and the
+  error-window pair the original design keeps for bounded last-mile
+  search), plus its root;
+* a B-Tree stores keys and child pointers per node;
+* a polynomial second stage stores ``degree + 1`` coefficients per
+  model plus normalisation.
+
+The numbers use the in-memory widths of the actual implementation
+(8-byte floats/ints/pointers), so they are honest for *this* system
+and proportional for any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .btree import BTree
+from .rmi import RecursiveModelIndex
+
+__all__ = ["StorageReport", "rmi_storage", "btree_storage",
+           "polynomial_stage_storage"]
+
+_FLOAT_BYTES = 8
+_INT_BYTES = 8
+_POINTER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Index-structure bytes, excluding the key-record data itself."""
+
+    structure: str
+    model_bytes: int
+    auxiliary_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Model + auxiliary structure bytes."""
+        return self.model_bytes + self.auxiliary_bytes
+
+    def row(self) -> str:
+        """Formatted table row."""
+        return (f"{self.structure:<24} model={self.model_bytes:>12,}B "
+                f"aux={self.auxiliary_bytes:>12,}B "
+                f"total={self.total_bytes:>12,}B")
+
+
+def rmi_storage(index: RecursiveModelIndex) -> StorageReport:
+    """Bytes of a two-stage RMI: root boundaries + per-model params.
+
+    Each second-stage model: slope, intercept (floats) and the two
+    error-window bounds (ints).  The equal-size build's root is a
+    boundary table of one key + one start rank per model.
+    """
+    per_model = 2 * _FLOAT_BYTES + 2 * _INT_BYTES
+    model_bytes = index.n_models * per_model
+    root_bytes = index.n_models * (_INT_BYTES + _FLOAT_BYTES)
+    return StorageReport("rmi", model_bytes, root_bytes)
+
+
+def btree_storage(tree: BTree) -> StorageReport:
+    """Bytes of a B-Tree: keys plus child pointers over all nodes."""
+    keys = 0
+    pointers = 0
+    stack = [tree._root]
+    while stack:
+        node = stack.pop()
+        keys += len(node.keys)
+        pointers += len(node.children)
+        stack.extend(node.children)
+    return StorageReport("btree",
+                         model_bytes=keys * _INT_BYTES,
+                         auxiliary_bytes=pointers * _POINTER_BYTES)
+
+
+def polynomial_stage_storage(n_models: int, degree: int) -> StorageReport:
+    """Bytes of a hypothetical polynomial second stage (Sec. VI).
+
+    ``degree + 1`` coefficients plus the normalisation pair per model,
+    plus the same error-window pair the linear design keeps.
+    """
+    if n_models < 1 or degree < 1:
+        raise ValueError("need positive model count and degree")
+    per_model = ((degree + 1 + 2) * _FLOAT_BYTES + 2 * _INT_BYTES)
+    return StorageReport(f"poly-deg{degree} stage",
+                         model_bytes=n_models * per_model,
+                         auxiliary_bytes=n_models * (_INT_BYTES
+                                                     + _FLOAT_BYTES))

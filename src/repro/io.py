@@ -1,0 +1,109 @@
+"""Persistence for keysets and attack results.
+
+Reproduction pipelines want three things on disk: the exact keysets an
+experiment used, the poisoning sets an attack produced, and the
+summary numbers a run reported.  Keysets and key arrays go to ``.npz``
+(lossless int64); result summaries go to JSON so EXPERIMENTS.md rows
+and external plotting tools can consume them without importing this
+library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .core.greedy import GreedyResult
+from .core.rmi_attack import RMIAttackResult
+from .data.keyset import Domain, KeySet
+
+__all__ = [
+    "save_keyset",
+    "load_keyset",
+    "greedy_result_to_dict",
+    "rmi_result_to_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def save_keyset(keyset: KeySet, path: str | Path) -> None:
+    """Write a keyset (keys + domain) to a ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        keys=keyset.keys,
+        domain=np.asarray([keyset.domain.lo, keyset.domain.hi],
+                          dtype=np.int64))
+
+
+def load_keyset(path: str | Path) -> KeySet:
+    """Read a keyset written by :func:`save_keyset`."""
+    with np.load(Path(path)) as archive:
+        keys = archive["keys"]
+        lo, hi = archive["domain"].tolist()
+    return KeySet(keys, Domain(int(lo), int(hi)))
+
+
+def greedy_result_to_dict(result: GreedyResult) -> dict[str, Any]:
+    """JSON-safe summary of an Algorithm 1 run."""
+    return {
+        "attack": "greedy-multi-point",
+        "n_injected": result.n_injected,
+        "poison_keys": result.poison_keys.tolist(),
+        "loss_before": result.loss_before,
+        "loss_after": result.loss_after,
+        "ratio_loss": _json_float(result.ratio_loss),
+        "exhausted": result.exhausted,
+        "loss_trajectory": result.losses.tolist(),
+    }
+
+
+def rmi_result_to_dict(result: RMIAttackResult) -> dict[str, Any]:
+    """JSON-safe summary of an Algorithm 2 run."""
+    return {
+        "attack": "greedy-rmi",
+        "n_models": len(result.reports),
+        "threshold": result.threshold,
+        "exchanges": result.exchanges,
+        "total_injected": result.total_injected,
+        "poison_keys": result.poison_keys.tolist(),
+        "rmi_loss_before": result.rmi_loss_before,
+        "rmi_loss_after": result.rmi_loss_after,
+        "rmi_ratio_loss": _json_float(result.rmi_ratio_loss),
+        "per_model": [
+            {
+                "model": r.model_index,
+                "n_keys": r.n_keys,
+                "budget": r.budget,
+                "n_injected": r.n_injected,
+                "loss_before": r.loss_before,
+                "loss_after": r.loss_after,
+                "ratio_loss": _json_float(r.ratio_loss),
+            }
+            for r in result.reports
+        ],
+    }
+
+
+def _json_float(value: float) -> float | str:
+    """JSON has no inf/nan literals; stringify them explicitly."""
+    if value != value:
+        return "nan"
+    if value == float("inf"):
+        return "inf"
+    if value == float("-inf"):
+        return "-inf"
+    return value
+
+
+def save_json(payload: dict[str, Any], path: str | Path) -> None:
+    """Pretty-print a result dictionary to disk."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a result dictionary back."""
+    return json.loads(Path(path).read_text())

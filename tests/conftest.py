@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Domain, KeySet, uniform_keyset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic per-test random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_keyset() -> KeySet:
+    """The running example of Section IV-C: 4 keys on [1, 13]."""
+    return KeySet([2, 6, 7, 12], Domain(1, 13))
+
+
+@pytest.fixture
+def small_keyset(rng: np.random.Generator) -> KeySet:
+    """A small random uniform keyset for unit tests."""
+    return uniform_keyset(50, Domain(0, 499), rng)
+
+
+@pytest.fixture
+def medium_keyset(rng: np.random.Generator) -> KeySet:
+    """A medium uniform keyset for integration-ish tests."""
+    return uniform_keyset(500, Domain(0, 9999), rng)

@@ -1,0 +1,78 @@
+"""Unit tests for black-box second-stage extraction (Sec. VI extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import extract_second_stage, observe_rmi
+from repro.core.blackbox import Observation
+from repro.data import Domain, uniform_keyset
+from repro.index import RecursiveModelIndex
+
+
+@pytest.fixture
+def rmi_and_keys(rng):
+    keyset = uniform_keyset(1000, Domain(0, 19_999), rng)
+    return RecursiveModelIndex.build_equal_size(keyset, 10), keyset
+
+
+class TestObserve:
+    def test_one_observation_per_probe(self, rmi_and_keys):
+        rmi, keyset = rmi_and_keys
+        obs = observe_rmi(rmi, keyset.keys[:50])
+        assert len(obs) == 50
+
+    def test_observations_consistent_with_models(self, rmi_and_keys):
+        rmi, keyset = rmi_and_keys
+        obs = observe_rmi(rmi, keyset.keys[:50])
+        for record in obs:
+            model = rmi.models[record.model_index]
+            assert record.predicted_position == pytest.approx(
+                float(model.predict(float(record.key))))
+
+
+class TestExtraction:
+    def test_exact_recovery_with_full_probing(self, rmi_and_keys):
+        """Linear responses make two probes per model sufficient;
+        probing everything recovers parameters to machine precision."""
+        rmi, keyset = rmi_and_keys
+        obs = observe_rmi(rmi, keyset.keys)
+        extraction = extract_second_stage(obs)
+        assert len(extraction.models) == rmi.n_models
+        assert extraction.slope_errors(rmi).max() < 1e-9
+        for inferred in extraction.models:
+            truth = rmi.models[inferred.model_index]
+            assert inferred.intercept == pytest.approx(truth.intercept,
+                                                       rel=1e-6,
+                                                       abs=1e-6)
+
+    def test_partial_probing_recovers_probed_models(self, rmi_and_keys):
+        rmi, keyset = rmi_and_keys
+        obs = observe_rmi(rmi, keyset.keys[:300])  # first 3 partitions
+        extraction = extract_second_stage(obs)
+        assert 1 <= len(extraction.models) <= rmi.n_models
+        assert extraction.slope_errors(rmi).max() < 1e-9
+
+    def test_single_probe_gives_intercept_only(self):
+        obs = [Observation(key=100, model_index=0,
+                           predicted_position=42.0)]
+        extraction = extract_second_stage(obs)
+        assert extraction.models[0].slope == 0.0
+        assert extraction.models[0].intercept == pytest.approx(42.0)
+
+    def test_no_observations_rejected(self):
+        with pytest.raises(ValueError):
+            extract_second_stage([])
+
+    def test_boundaries_increase(self, rmi_and_keys):
+        rmi, keyset = rmi_and_keys
+        extraction = extract_second_stage(observe_rmi(rmi, keyset.keys))
+        assert np.all(np.diff(extraction.boundaries) > 0)
+
+
+class TestBlackboxAttackEquivalence:
+    def test_recovered_partition_count_matches(self, rmi_and_keys):
+        """With full probing the attacker sees all N partitions, so
+        the black-box attack degenerates to the white-box attack."""
+        rmi, keyset = rmi_and_keys
+        extraction = extract_second_stage(observe_rmi(rmi, keyset.keys))
+        assert extraction.boundaries.size == rmi.n_models

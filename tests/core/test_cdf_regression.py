@@ -1,0 +1,189 @@
+"""Unit tests for the closed-form CDF regression (Theorem 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LinearModel, fit_cdf_regression, mse_of
+from repro.data import Domain, KeySet
+
+
+class TestLinearModel:
+    def test_predict_scalar(self):
+        model = LinearModel(2.0, 1.0)
+        assert model.predict(3.0) == pytest.approx(7.0)
+
+    def test_predict_array(self):
+        model = LinearModel(0.5, -1.0)
+        got = model.predict(np.array([0, 2, 4]))
+        assert np.allclose(got, [-1.0, 0.0, 1.0])
+
+    def test_frozen(self):
+        model = LinearModel(1.0, 0.0)
+        with pytest.raises(AttributeError):
+            model.slope = 2.0
+
+
+class TestFit:
+    def test_perfectly_linear_cdf_has_zero_loss(self):
+        ks = KeySet([10, 20, 30, 40, 50])
+        fit = fit_cdf_regression(ks)
+        assert fit.mse == pytest.approx(0.0, abs=1e-12)
+        assert fit.model.slope == pytest.approx(0.1)
+
+    def test_matches_polyfit(self, medium_keyset):
+        fit = fit_cdf_regression(medium_keyset)
+        slope, intercept = np.polyfit(
+            medium_keyset.keys.astype(float),
+            medium_keyset.ranks.astype(float), 1)
+        assert fit.model.slope == pytest.approx(slope, rel=1e-9)
+        assert fit.model.intercept == pytest.approx(intercept, rel=1e-6)
+
+    def test_loss_is_mean_squared_residual(self, small_keyset):
+        fit = fit_cdf_regression(small_keyset)
+        residuals = (fit.model.predict(small_keyset.keys.astype(float))
+                     - small_keyset.ranks)
+        assert fit.mse == pytest.approx(
+            float(residuals @ residuals) / small_keyset.n, rel=1e-9)
+
+    def test_single_key_degenerate(self):
+        fit = fit_cdf_regression(KeySet([42]))
+        assert fit.model.slope == 0.0
+        assert fit.model.intercept == pytest.approx(1.0)
+        assert fit.mse == pytest.approx(0.0)
+
+    def test_raw_arrays_with_explicit_ranks(self):
+        keys = np.array([1.0, 2.0, 3.0])
+        ranks = np.array([10.0, 20.0, 30.0])
+        fit = fit_cdf_regression(keys, ranks)
+        assert fit.model.slope == pytest.approx(10.0)
+
+    def test_raw_arrays_require_ranks(self):
+        with pytest.raises(ValueError):
+            fit_cdf_regression(np.array([1.0, 2.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cdf_regression(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_rank_shift_invariance(self, small_keyset):
+        """Global vs partition-local ranks: identical MSE.
+
+        This is the observation that makes the RMI attack's per-model
+        decomposition exact (DESIGN.md section 4).
+        """
+        keys = small_keyset.keys.astype(float)
+        local = fit_cdf_regression(keys, np.arange(1, keys.size + 1,
+                                                   dtype=float))
+        shifted = fit_cdf_regression(
+            keys, np.arange(1001, 1001 + keys.size, dtype=float))
+        assert local.mse == pytest.approx(shifted.mse, rel=1e-9)
+        assert local.model.slope == pytest.approx(shifted.model.slope,
+                                                  rel=1e-9)
+
+    def test_key_translation_invariance(self, small_keyset):
+        """Shifting all keys leaves slope and loss unchanged."""
+        keys = small_keyset.keys.astype(float)
+        ranks = small_keyset.ranks.astype(float)
+        base = fit_cdf_regression(keys, ranks)
+        moved = fit_cdf_regression(keys + 1e9, ranks)
+        assert base.model.slope == pytest.approx(moved.model.slope,
+                                                 rel=1e-6)
+        assert base.mse == pytest.approx(moved.mse, rel=1e-6, abs=1e-9)
+
+    def test_large_magnitude_narrow_band_stability(self):
+        """Second-stage regime: 100 keys near 1e9, variance tiny."""
+        keys = np.arange(1_000_000_000, 1_000_000_000 + 1000, 10,
+                         dtype=np.int64)
+        ks = KeySet(keys)
+        fit = fit_cdf_regression(ks)
+        assert fit.mse == pytest.approx(0.0, abs=1e-6)
+
+
+class TestMseOf:
+    def test_zero_for_exact_model(self):
+        model = LinearModel(1.0, 0.0)
+        keys = np.array([1.0, 2.0, 3.0])
+        assert mse_of(model, keys, keys) == pytest.approx(0.0)
+
+    def test_stale_model_on_poisoned_cdf(self, small_keyset):
+        """Evaluating the clean model on poisoned data exceeds refit."""
+        from repro.core import optimal_single_point
+        clean = fit_cdf_regression(small_keyset)
+        attack = optimal_single_point(small_keyset)
+        poisoned = small_keyset.insert([attack.key])
+        stale = mse_of(clean.model, poisoned.keys.astype(float),
+                       poisoned.ranks.astype(float))
+        refit = fit_cdf_regression(poisoned).mse
+        assert stale >= refit - 1e-9  # refit is the minimiser
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            mse_of(LinearModel(1.0, 0.0), np.array([]), np.array([]))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100_000),
+                min_size=2, max_size=150, unique=True))
+@settings(max_examples=80, deadline=None)
+def test_closed_form_is_least_squares(raw):
+    """Property: Theorem 1's closed form equals numpy's lstsq fit."""
+    ks = KeySet(raw)
+    fit = fit_cdf_regression(ks)
+    design = np.vstack([ks.keys.astype(float),
+                        np.ones(ks.n)]).T
+    (slope, intercept), *_ = np.linalg.lstsq(
+        design, ks.ranks.astype(float), rcond=None)
+    assert fit.model.slope == pytest.approx(slope, rel=1e-6, abs=1e-9)
+    assert fit.model.intercept == pytest.approx(intercept, rel=1e-6,
+                                                abs=1e-6)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50_000),
+                min_size=2, max_size=100, unique=True),
+       st.floats(min_value=-2.0, max_value=2.0),
+       st.floats(min_value=-50.0, max_value=50.0))
+@settings(max_examples=60, deadline=None)
+def test_fitted_loss_is_minimal(raw, other_slope, other_intercept):
+    """Property: no other line beats the closed-form loss."""
+    ks = KeySet(raw)
+    fit = fit_cdf_regression(ks)
+    other = LinearModel(other_slope, other_intercept)
+    other_loss = mse_of(other, ks.keys.astype(float),
+                        ks.ranks.astype(float))
+    assert fit.mse <= other_loss + 1e-6
+
+
+class TestRidge:
+    def test_zero_penalty_equals_plain_fit(self, medium_keyset):
+        from repro.core.cdf_regression import fit_ridge_cdf
+        plain = fit_cdf_regression(medium_keyset)
+        ridge = fit_ridge_cdf(medium_keyset, lam=0.0)
+        assert ridge.model.slope == pytest.approx(plain.model.slope,
+                                                  rel=1e-12)
+        assert ridge.mse == pytest.approx(plain.mse, rel=1e-9)
+
+    def test_penalty_shrinks_slope(self, medium_keyset):
+        from repro.core.cdf_regression import fit_ridge_cdf
+        plain = fit_cdf_regression(medium_keyset)
+        var_k = float(medium_keyset.keys.astype(float).var())
+        ridge = fit_ridge_cdf(medium_keyset, lam=var_k)
+        assert abs(ridge.model.slope) == pytest.approx(
+            abs(plain.model.slope) / 2.0, rel=1e-9)
+
+    def test_shrinkage_raises_training_error(self, medium_keyset):
+        from repro.core.cdf_regression import fit_ridge_cdf
+        plain = fit_cdf_regression(medium_keyset)
+        var_k = float(medium_keyset.keys.astype(float).var())
+        ridge = fit_ridge_cdf(medium_keyset, lam=0.5 * var_k)
+        assert ridge.mse > plain.mse
+
+    def test_negative_penalty_rejected(self, medium_keyset):
+        from repro.core.cdf_regression import fit_ridge_cdf
+        with pytest.raises(ValueError):
+            fit_ridge_cdf(medium_keyset, lam=-1.0)
+
+    def test_raw_arrays_need_ranks(self):
+        from repro.core.cdf_regression import fit_ridge_cdf
+        with pytest.raises(ValueError):
+            fit_ridge_cdf(np.array([1.0, 2.0]), lam=0.0)

@@ -1,0 +1,103 @@
+"""Unit + property tests for the deletion adversary (Sec. VI extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    deletion_losses,
+    fit_cdf_regression,
+    greedy_delete,
+    optimal_single_deletion,
+)
+from repro.data import Domain, KeySet, uniform_keyset
+
+
+class TestDeletionLosses:
+    def test_matches_direct_refit(self, small_keyset):
+        """Vectorised deletion losses equal removing-and-refitting."""
+        losses = deletion_losses(small_keyset)
+        for i in range(0, small_keyset.n, 7):
+            victim = int(small_keyset.keys[i])
+            direct = fit_cdf_regression(small_keyset.remove([victim])).mse
+            assert losses[i] == pytest.approx(direct, rel=1e-9, abs=1e-9)
+
+    def test_aligned_with_keys(self, small_keyset):
+        assert deletion_losses(small_keyset).shape == (small_keyset.n,)
+
+    def test_two_key_degenerate(self):
+        losses = deletion_losses(KeySet([3, 9]))
+        assert np.allclose(losses, 0.0)
+
+    def test_nonnegative(self, medium_keyset):
+        assert np.all(deletion_losses(medium_keyset) >= 0.0)
+
+
+class TestOptimalSingleDeletion:
+    def test_beats_every_other_victim(self, small_keyset):
+        victim, loss = optimal_single_deletion(small_keyset)
+        losses = deletion_losses(small_keyset)
+        assert loss == pytest.approx(float(losses.max()), rel=1e-12)
+        assert victim in small_keyset
+
+    def test_requires_three_keys(self):
+        with pytest.raises(ValueError):
+            optimal_single_deletion(KeySet([1, 2]))
+
+    def test_deletion_can_increase_loss(self, rng):
+        """Deleting the right key from a near-linear CDF hurts it."""
+        ks = uniform_keyset(50, Domain(0, 499), rng)
+        before = fit_cdf_regression(ks).mse
+        _, after = optimal_single_deletion(ks)
+        assert after >= before * 0.5  # max over victims is never tiny
+
+
+class TestGreedyDelete:
+    def test_removes_requested_count(self, medium_keyset):
+        result = greedy_delete(medium_keyset, 20)
+        assert result.n_removed == 20
+        assert result.losses.size == 20
+
+    def test_victims_were_stored(self, medium_keyset):
+        result = greedy_delete(medium_keyset, 15)
+        assert np.isin(result.removed_keys, medium_keyset.keys).all()
+        assert np.unique(result.removed_keys).size == 15
+
+    def test_final_loss_matches_refit(self, medium_keyset):
+        result = greedy_delete(medium_keyset, 10)
+        remaining = medium_keyset.remove(result.removed_keys)
+        assert fit_cdf_regression(remaining).mse == pytest.approx(
+            result.loss_after, rel=1e-9)
+
+    def test_zero_budget(self, small_keyset):
+        result = greedy_delete(small_keyset, 0)
+        assert result.n_removed == 0
+        assert result.ratio_loss == pytest.approx(1.0)
+
+    def test_negative_budget_rejected(self, small_keyset):
+        with pytest.raises(ValueError):
+            greedy_delete(small_keyset, -1)
+
+    def test_stops_before_degenerate(self):
+        ks = KeySet([1, 5, 9, 13, 17])
+        result = greedy_delete(ks, 10)
+        assert result.n_removed <= 2  # keeps at least 3 keys
+
+    def test_increases_loss_on_uniform_keys(self, rng):
+        ks = uniform_keyset(200, Domain(0, 1999), rng)
+        result = greedy_delete(ks, 20)
+        assert result.ratio_loss > 1.0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5_000), min_size=4,
+                max_size=80, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_deletion_losses_equal_refit_everywhere(raw):
+    """Property: the mirrored equations match removal + refit."""
+    ks = KeySet(raw)
+    losses = deletion_losses(ks)
+    picks = np.linspace(0, ks.n - 1, min(8, ks.n)).astype(int)
+    for i in picks:
+        direct = fit_cdf_regression(ks.remove([int(ks.keys[i])])).mse
+        assert losses[i] == pytest.approx(direct, rel=1e-7, abs=1e-7)

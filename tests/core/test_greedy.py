@@ -1,0 +1,141 @@
+"""Unit + property tests for Algorithm 1 (greedy multi-point)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    fit_cdf_regression,
+    greedy_poison,
+    optimal_single_point,
+    poison_budget,
+)
+from repro.data import Domain, KeySet, uniform_keyset
+
+
+class TestPoisonBudget:
+    def test_floor_semantics(self):
+        assert poison_budget(1000, 10.0) == 100
+        assert poison_budget(105, 10.0) == 10
+
+    def test_zero(self):
+        assert poison_budget(1000, 0.0) == 0
+
+    def test_cap_enforced(self):
+        with pytest.raises(ValueError):
+            poison_budget(100, 25.0)
+        with pytest.raises(ValueError):
+            poison_budget(100, -1.0)
+
+
+class TestGreedyPoison:
+    def test_injects_requested_count(self, small_keyset):
+        result = greedy_poison(small_keyset, 5)
+        assert result.n_injected == 5
+        assert result.poison_keys.size == 5
+        assert result.losses.size == 5
+        assert not result.exhausted
+
+    def test_loss_trajectory_monotone(self, medium_keyset):
+        """Each greedy insertion increases the augmented loss."""
+        result = greedy_poison(medium_keyset, 25)
+        assert np.all(np.diff(result.losses) > -1e-9)
+        assert result.losses[0] > result.loss_before
+
+    def test_final_loss_matches_refit(self, small_keyset):
+        result = greedy_poison(small_keyset, 7)
+        poisoned = small_keyset.insert(result.poison_keys)
+        assert fit_cdf_regression(poisoned).mse == pytest.approx(
+            result.loss_after, rel=1e-9)
+
+    def test_poison_keys_distinct_and_absent(self, small_keyset):
+        result = greedy_poison(small_keyset, 6)
+        assert np.unique(result.poison_keys).size == 6
+        for key in result.poison_keys:
+            assert int(key) not in small_keyset
+
+    def test_keys_stay_interior(self, small_keyset):
+        result = greedy_poison(small_keyset, 6)
+        assert result.poison_keys.min() > small_keyset.keys[0]
+        assert result.poison_keys.max() < small_keyset.keys[-1]
+
+    def test_zero_budget(self, small_keyset):
+        result = greedy_poison(small_keyset, 0)
+        assert result.n_injected == 0
+        assert result.loss_after == result.loss_before
+        assert result.ratio_loss == pytest.approx(1.0)
+
+    def test_negative_budget_rejected(self, small_keyset):
+        with pytest.raises(ValueError):
+            greedy_poison(small_keyset, -1)
+
+    def test_exhaustion_stops_early(self):
+        """A nearly-full interior runs out of candidate slots."""
+        ks = KeySet([0, 1, 2, 4, 5, 6])  # one interior slot: 3
+        result = greedy_poison(ks, 5)
+        assert result.exhausted
+        assert result.n_injected == 1
+        assert result.poison_keys.tolist() == [3]
+
+    def test_first_step_is_single_point_optimum(self, medium_keyset):
+        single = optimal_single_point(medium_keyset)
+        greedy = greedy_poison(medium_keyset, 1)
+        assert greedy.poison_keys.tolist() == [single.key]
+        assert greedy.loss_after == pytest.approx(single.loss_after,
+                                                  rel=1e-12)
+
+    def test_fast_path_equals_keyset_path(self, rng):
+        """Workspace hot path == step-by-step KeySet reference."""
+        ks = uniform_keyset(80, Domain(0, 800), rng)
+        fast = greedy_poison(ks, 12, interior_only=True)
+        current = ks
+        reference = []
+        for _ in range(12):
+            step = optimal_single_point(current, interior_only=True)
+            reference.append(step.key)
+            current = current.insert([step.key])
+        assert fast.poison_keys.tolist() == reference
+
+    def test_non_interior_mode(self):
+        ks = KeySet([4, 5, 6], Domain(0, 20))
+        result = greedy_poison(ks, 3, interior_only=False)
+        assert result.n_injected == 3
+
+    def test_ratio_loss_inf_for_perfect_cdf(self):
+        ks = KeySet([0, 10, 20, 30, 40, 50])
+        result = greedy_poison(ks, 2)
+        assert result.loss_before == pytest.approx(0.0, abs=1e-12)
+        assert result.ratio_loss == float("inf")
+
+    def test_clusters_in_dense_regions(self, rng):
+        """Fig. 4's observation: poisoning keys bunch together."""
+        ks = uniform_keyset(90, Domain(0, 499), rng)
+        result = greedy_poison(ks, 10)
+        span = result.poison_keys.max() - result.poison_keys.min()
+        key_range = ks.keys[-1] - ks.keys[0]
+        assert span < 0.5 * key_range
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2_000), min_size=5,
+                max_size=60, unique=True),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_greedy_invariants(raw, budget):
+    """Property: distinctness, interiority, monotone loss, exact refit."""
+    ks = KeySet(raw)
+    result = greedy_poison(ks, budget)
+    assert result.n_injected <= budget
+    if result.n_injected == 0:
+        assert result.exhausted
+        return
+    # Distinct, absent from the original keyset, inside the key range.
+    assert np.unique(result.poison_keys).size == result.n_injected
+    assert not np.isin(result.poison_keys, ks.keys).any()
+    assert result.poison_keys.min() > ks.keys[0]
+    assert result.poison_keys.max() < ks.keys[-1]
+    # Monotone non-decreasing trajectory.
+    assert np.all(np.diff(result.losses) > -1e-9)
+    # The recorded final loss is the true refit loss.
+    refit = fit_cdf_regression(ks.insert(result.poison_keys)).mse
+    assert result.loss_after == pytest.approx(refit, rel=1e-7, abs=1e-9)

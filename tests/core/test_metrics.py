@@ -1,0 +1,54 @@
+"""Unit tests for the ratio-loss metric and boxplot summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import BoxplotSummary, ratio_loss, summarize
+
+
+class TestRatioLoss:
+    def test_basic_ratio(self):
+        assert ratio_loss(2.0, 8.0) == pytest.approx(4.0)
+
+    def test_unchanged_is_one(self):
+        assert ratio_loss(3.0, 3.0) == pytest.approx(1.0)
+
+    def test_zero_before_nonzero_after(self):
+        assert ratio_loss(0.0, 1.0) == float("inf")
+
+    def test_zero_before_zero_after(self):
+        assert ratio_loss(0.0, 0.0) == pytest.approx(1.0)
+
+
+class TestSummarize:
+    def test_five_numbers(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.minimum == 1.0
+        assert s.median == 3.0
+        assert s.maximum == 5.0
+        assert s.q1 == 2.0
+        assert s.q3 == 4.0
+        assert s.mean == pytest.approx(3.0)
+        assert s.count == 5
+
+    def test_single_value(self):
+        s = summarize([7.5])
+        assert s.minimum == s.median == s.maximum == 7.5
+
+    def test_accepts_generators(self):
+        s = summarize(float(x) for x in range(10))
+        assert s.count == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_row_renders_all_fields(self):
+        row = summarize([1.0, 2.0, 3.0]).row()
+        for token in ("min=", "q1=", "med=", "q3=", "max=", "mean="):
+            assert token in row
+
+    def test_quartiles_bracket_median(self):
+        rng = np.random.default_rng(0)
+        s = summarize(rng.lognormal(0, 1, 500).tolist())
+        assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum

@@ -1,0 +1,91 @@
+"""Unit tests for the modification (move-a-key) adversary."""
+
+import numpy as np
+import pytest
+
+from repro.core import fit_cdf_regression
+from repro.core.modification import (
+    best_modification,
+    greedy_modify,
+)
+from repro.data import Domain, KeySet, uniform_keyset
+
+
+class TestBestModification:
+    def test_returns_valid_move(self, small_keyset):
+        victim, destination, loss = best_modification(small_keyset)
+        assert victim in small_keyset
+        assert destination not in small_keyset
+        assert loss > 0.0
+
+    def test_loss_matches_refit(self, small_keyset):
+        victim, destination, loss = best_modification(small_keyset)
+        moved = small_keyset.remove([victim]).insert([destination])
+        assert fit_cdf_regression(moved).mse == pytest.approx(
+            loss, rel=1e-9)
+
+    def test_shortlist_matches_exhaustive(self):
+        """The top-deletion shortlist finds the exhaustive optimum."""
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            ks = uniform_keyset(30, Domain(0, 300), rng)
+            fast = best_modification(ks, shortlist=8)
+            full = best_modification(ks, exhaustive=True)
+            assert fast[2] == pytest.approx(full[2], rel=0.05), seed
+
+    def test_too_few_keys(self):
+        with pytest.raises(ValueError):
+            best_modification(KeySet([1, 2, 3]))
+
+    def test_no_gaps_raises(self):
+        with pytest.raises(ValueError):
+            best_modification(KeySet([4, 5, 6, 7, 8]))
+
+
+class TestGreedyModify:
+    def test_moves_requested_count(self, medium_keyset):
+        result = greedy_modify(medium_keyset, 10)
+        assert result.n_moves == 10
+        assert result.victims.size == result.destinations.size == 10
+
+    def test_key_count_conserved(self, medium_keyset):
+        """The stealth property: cardinality never changes."""
+        result = greedy_modify(medium_keyset, 10)
+        current = medium_keyset
+        for victim, dest in zip(result.victims, result.destinations):
+            current = current.remove([int(victim)]).insert([int(dest)])
+            assert current.n == medium_keyset.n
+
+    def test_final_loss_matches_refit(self, medium_keyset):
+        result = greedy_modify(medium_keyset, 8)
+        current = medium_keyset
+        for victim, dest in zip(result.victims, result.destinations):
+            current = current.remove([int(victim)]).insert([int(dest)])
+        assert fit_cdf_regression(current).mse == pytest.approx(
+            result.loss_after, rel=1e-9)
+
+    def test_damage_compounds(self, medium_keyset):
+        result = greedy_modify(medium_keyset, 15)
+        assert result.ratio_loss > 1.5
+        assert result.losses[-1] >= result.losses[0]
+
+    def test_zero_budget(self, small_keyset):
+        result = greedy_modify(small_keyset, 0)
+        assert result.n_moves == 0
+        assert result.ratio_loss == pytest.approx(1.0)
+
+    def test_negative_budget_rejected(self, small_keyset):
+        with pytest.raises(ValueError):
+            greedy_modify(small_keyset, -1)
+
+    def test_stronger_than_insertion_at_equal_budget(self, rng):
+        """A move is a delete + insert pair — two perturbations per
+        budget unit — so at equal budget the modification adversary
+        matches or beats pure insertion, while staying invisible to
+        cardinality audits."""
+        from repro.core import greedy_poison
+        ks = uniform_keyset(200, Domain(0, 1999), rng)
+        insert = greedy_poison(ks, 20)
+        modify = greedy_modify(ks, 20)
+        assert modify.ratio_loss > 1.0
+        assert modify.ratio_loss >= 0.8 * insert.ratio_loss

@@ -1,0 +1,106 @@
+"""Unit tests for polynomial CDF regression (Sec. VI mitigation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    fit_cdf_regression,
+    fit_polynomial_cdf,
+    greedy_poison,
+)
+from repro.data import Domain, KeySet, uniform_keyset
+
+
+class TestFit:
+    def test_degree_one_equals_linear_closed_form(self, medium_keyset):
+        poly = fit_polynomial_cdf(medium_keyset, degree=1)
+        linear = fit_cdf_regression(medium_keyset)
+        assert poly.mse == pytest.approx(linear.mse, rel=1e-6, abs=1e-9)
+
+    def test_quadratic_cdf_fit_exactly_by_degree_two(self):
+        # ranks ~ key^2 shape: keys at i^2 make the CDF a sqrt curve;
+        # instead build keys so rank is a quadratic in the key.
+        keys = np.arange(0, 50)
+        ks = KeySet(keys)
+        poly = fit_polynomial_cdf(ks, degree=2)
+        assert poly.mse == pytest.approx(0.0, abs=1e-9)
+
+    def test_higher_degree_never_worse(self, medium_keyset):
+        losses = [fit_polynomial_cdf(medium_keyset, d).mse
+                  for d in (1, 2, 3, 4)]
+        for lower, higher in zip(losses, losses[1:]):
+            assert higher <= lower + 1e-6
+
+    def test_degree_validated(self, small_keyset):
+        with pytest.raises(ValueError):
+            fit_polynomial_cdf(small_keyset, degree=0)
+
+    def test_degree_vs_points(self):
+        with pytest.raises(ValueError):
+            fit_polynomial_cdf(KeySet([1, 2, 3]), degree=3)
+
+    def test_raw_arrays_need_ranks(self):
+        with pytest.raises(ValueError):
+            fit_polynomial_cdf(np.array([1, 2, 3]), degree=1)
+
+    def test_raw_arrays_with_ranks(self):
+        fit = fit_polynomial_cdf(np.array([0, 10, 20, 30]), degree=1,
+                                 ranks=np.array([1.0, 2.0, 3.0, 4.0]))
+        assert fit.mse == pytest.approx(0.0, abs=1e-9)
+
+
+class TestModel:
+    def test_cost_accounting(self, small_keyset):
+        poly = fit_polynomial_cdf(small_keyset, degree=3)
+        assert poly.model.degree == 3
+        assert poly.model.n_parameters == 6  # 4 coeffs + lo + span
+        assert poly.model.multiply_adds_per_lookup == 3
+
+    def test_predict_matches_training_points(self):
+        keys = np.arange(0, 100, 5)
+        ks = KeySet(keys)
+        poly = fit_polynomial_cdf(ks, degree=1)
+        pred = poly.model.predict(keys)
+        assert np.allclose(pred, ks.ranks, atol=1e-6)
+
+    def test_large_magnitude_keys_conditioned(self):
+        keys = 10**9 + np.arange(0, 1000, 13)
+        ks = KeySet(keys)
+        poly = fit_polynomial_cdf(ks, degree=3)
+        assert poly.mse < 1.0  # normalisation keeps lstsq well-behaved
+
+
+class TestRobustnessStory:
+    def test_extra_capacity_absorbs_some_poisoning(self, rng):
+        """A7's narrative: degree 3 < degree 1 loss on poisoned data."""
+        ks = uniform_keyset(400, Domain(0, 3999), rng)
+        attack = greedy_poison(ks, 40)
+        poisoned = ks.insert(attack.poison_keys)
+        linear = fit_polynomial_cdf(poisoned, 1).mse
+        cubic = fit_polynomial_cdf(poisoned, 3).mse
+        assert cubic < linear
+
+    def test_but_does_not_restore_clean_loss(self, rng):
+        """...and the residual still dwarfs the clean loss."""
+        ks = uniform_keyset(400, Domain(0, 3999), rng)
+        attack = greedy_poison(ks, 60)
+        poisoned = ks.insert(attack.poison_keys)
+        cubic_dirty = fit_polynomial_cdf(poisoned, 3).mse
+        cubic_clean = fit_polynomial_cdf(ks, 3).mse
+        assert cubic_dirty > 2.0 * max(cubic_clean, 1e-9)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20_000), min_size=6,
+                max_size=120, unique=True),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_polynomial_loss_at_most_linear_loss(raw, degree):
+    """Property: a degree-d fit never loses to the linear fit."""
+    ks = KeySet(raw)
+    if degree >= ks.n:
+        return
+    linear = fit_cdf_regression(ks).mse
+    poly = fit_polynomial_cdf(ks, degree).mse
+    assert poly <= linear + 1e-6 * max(1.0, linear)

@@ -1,0 +1,119 @@
+"""Unit tests for gap structure and discrete derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    all_unoccupied_keys,
+    candidate_endpoints,
+    discrete_derivative,
+    find_gaps,
+)
+from repro.data import Domain, KeySet
+
+
+class TestFindGapsInterior:
+    def test_running_example(self, tiny_keyset):
+        """The paper's example: keys {2,6,7,12} on [1,13]."""
+        gaps = find_gaps(tiny_keyset)
+        assert gaps.lefts.tolist() == [3, 8]
+        assert gaps.rights.tolist() == [5, 11]
+
+    def test_no_gaps_when_contiguous(self):
+        gaps = find_gaps(KeySet([5, 6, 7, 8]))
+        assert gaps.count == 0
+        assert gaps.total_slots == 0
+        assert gaps.endpoints().size == 0
+
+    def test_length_one_gap(self):
+        gaps = find_gaps(KeySet([1, 3]))
+        assert gaps.lefts.tolist() == [2]
+        assert gaps.rights.tolist() == [2]
+        assert gaps.endpoints().tolist() == [2]
+
+    def test_total_slots(self, tiny_keyset):
+        assert find_gaps(tiny_keyset).total_slots == 3 + 4
+
+
+class TestFindGapsWithBoundaries:
+    def test_boundary_gaps_included(self):
+        ks = KeySet([5, 6], Domain(0, 10))
+        gaps = find_gaps(ks, interior_only=False)
+        assert gaps.lefts.tolist() == [0, 7]
+        assert gaps.rights.tolist() == [4, 10]
+
+    def test_paper_example_full_domain(self, tiny_keyset):
+        gaps = find_gaps(tiny_keyset, interior_only=False)
+        # {1}, {3,4,5}, {8..11}, {13}
+        assert gaps.lefts.tolist() == [1, 3, 8, 13]
+        assert gaps.rights.tolist() == [1, 5, 11, 13]
+
+    def test_keys_fill_domain(self):
+        ks = KeySet([0, 1, 2], Domain(0, 2))
+        assert find_gaps(ks, interior_only=False).count == 0
+
+
+class TestEndpoints:
+    def test_paper_example_endpoints(self, tiny_keyset):
+        got = find_gaps(tiny_keyset, interior_only=False).endpoints()
+        assert got.tolist() == [1, 3, 5, 8, 11, 13]
+
+    def test_candidate_endpoints_interior(self, tiny_keyset):
+        assert candidate_endpoints(tiny_keyset).tolist() == [3, 5, 8, 11]
+
+    def test_endpoints_are_unoccupied(self, medium_keyset):
+        for endpoint in candidate_endpoints(medium_keyset):
+            assert int(endpoint) not in medium_keyset
+
+
+class TestAllUnoccupied:
+    def test_enumerates_every_slot(self, tiny_keyset):
+        got = all_unoccupied_keys(tiny_keyset)
+        assert got.tolist() == [3, 4, 5, 8, 9, 10, 11]
+
+    def test_full_domain(self, tiny_keyset):
+        got = all_unoccupied_keys(tiny_keyset, interior_only=False)
+        assert got.tolist() == [1, 3, 4, 5, 8, 9, 10, 11, 13]
+
+    def test_matches_complement(self, small_keyset):
+        unocc = all_unoccupied_keys(small_keyset, interior_only=False)
+        occupied = set(small_keyset.keys.tolist())
+        universe = set(range(small_keyset.domain.lo,
+                             small_keyset.domain.hi + 1))
+        assert set(unocc.tolist()) == universe - occupied
+
+
+class TestDiscreteDerivative:
+    def test_definition(self):
+        got = discrete_derivative(np.array([1, 4, 9, 16]))
+        assert got.tolist() == [3, 5, 7]
+
+    def test_short_input(self):
+        assert discrete_derivative(np.array([5])).size == 0
+        assert discrete_derivative(np.array([])).size == 0
+
+    def test_linear_sequence_constant_derivative(self):
+        got = discrete_derivative(np.arange(0, 50, 5))
+        assert np.all(got == 5)
+
+    def test_second_difference_of_quadratic_constant(self):
+        xs = np.arange(10, dtype=float)
+        second = discrete_derivative(discrete_derivative(xs * xs))
+        assert np.allclose(second, 2.0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2_000), min_size=2,
+                max_size=120, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_gaps_tile_the_interior(raw):
+    """Property: gaps + keys exactly tile [min(K), max(K)]."""
+    ks = KeySet(raw)
+    gaps = find_gaps(ks)
+    covered = ks.n + gaps.total_slots
+    assert covered == int(ks.keys[-1] - ks.keys[0] + 1)
+    # Gap bounds never touch a stored key.
+    for lo, hi in zip(gaps.lefts, gaps.rights):
+        assert int(lo - 1) in ks
+        assert int(hi + 1) in ks

@@ -1,0 +1,246 @@
+"""Unit tests for repro.data.keyset (Domain and KeySet)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Domain, KeySet
+from repro.data.keyset import as_keyset
+
+
+class TestDomain:
+    def test_size_inclusive(self):
+        assert Domain(0, 9).size == 10
+
+    def test_single_value_domain(self):
+        assert Domain(5, 5).size == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Domain(10, 9)
+
+    def test_rejects_negative_keys(self):
+        with pytest.raises(ValueError):
+            Domain(-1, 10)
+
+    def test_contains(self):
+        domain = Domain(10, 20)
+        assert 10 in domain
+        assert 20 in domain
+        assert 9 not in domain
+        assert 21 not in domain
+
+    def test_contains_all_vectorised(self):
+        domain = Domain(0, 100)
+        assert domain.contains_all(np.array([0, 50, 100]))
+        assert not domain.contains_all(np.array([0, 101]))
+
+    def test_contains_all_empty(self):
+        assert Domain(0, 10).contains_all(np.array([], dtype=np.int64))
+
+    def test_of_size(self):
+        domain = Domain.of_size(100, lo=5)
+        assert domain.lo == 5
+        assert domain.hi == 104
+        assert domain.size == 100
+
+    def test_of_size_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Domain.of_size(0)
+
+
+class TestKeySetConstruction:
+    def test_sorts_and_deduplicates(self):
+        ks = KeySet([5, 1, 3, 1, 5])
+        assert ks.keys.tolist() == [1, 3, 5]
+
+    def test_default_domain_is_key_range(self):
+        ks = KeySet([10, 30, 20])
+        assert ks.domain == Domain(10, 30)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KeySet([])
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            KeySet([1, 100], Domain(0, 50))
+
+    def test_keys_are_readonly(self):
+        ks = KeySet([1, 2, 3])
+        with pytest.raises(ValueError):
+            ks.keys[0] = 99
+
+    def test_accepts_numpy_array(self):
+        ks = KeySet(np.array([4, 2, 8]))
+        assert ks.keys.tolist() == [2, 4, 8]
+
+
+class TestKeySetProperties:
+    def test_n_m_density(self):
+        ks = KeySet([0, 1, 2, 3], Domain(0, 9))
+        assert ks.n == 4
+        assert ks.m == 10
+        assert ks.density == pytest.approx(0.4)
+
+    def test_ranks_are_one_based(self):
+        ks = KeySet([10, 20, 30])
+        assert ks.ranks.tolist() == [1, 2, 3]
+
+    def test_len_and_iter(self):
+        ks = KeySet([3, 1, 2])
+        assert len(ks) == 3
+        assert list(ks) == [1, 2, 3]
+
+    def test_contains(self):
+        ks = KeySet([2, 4, 6])
+        assert 4 in ks
+        assert 5 not in ks
+
+    def test_contains_boundaries(self):
+        ks = KeySet([2, 4, 6])
+        assert 2 in ks and 6 in ks
+        assert 1 not in ks and 7 not in ks
+
+    def test_equality(self):
+        a = KeySet([1, 2], Domain(0, 5))
+        b = KeySet([2, 1], Domain(0, 5))
+        c = KeySet([1, 2], Domain(0, 6))
+        assert a == b
+        assert a != c
+
+    def test_repr_mentions_size(self):
+        assert "n=3" in repr(KeySet([1, 2, 3]))
+
+
+class TestRankQueries:
+    def test_rank_of_stored_key(self):
+        ks = KeySet([10, 20, 30])
+        assert ks.rank_of(10) == 1
+        assert ks.rank_of(20) == 2
+        assert ks.rank_of(30) == 3
+
+    def test_rank_of_absent_key_is_insertion_rank(self):
+        ks = KeySet([10, 20, 30])
+        assert ks.rank_of(5) == 1
+        assert ks.rank_of(15) == 2
+        assert ks.rank_of(35) == 4
+
+    def test_insertion_ranks_vectorised(self):
+        ks = KeySet([10, 20, 30])
+        got = ks.insertion_ranks(np.array([5, 15, 25, 35]))
+        assert got.tolist() == [1, 2, 3, 4]
+
+
+class TestInsert:
+    def test_insert_shifts_ranks(self):
+        ks = KeySet([10, 20, 30])
+        out = ks.insert([15])
+        assert out.keys.tolist() == [10, 15, 20, 30]
+        assert out.rank_of(20) == 3  # compound effect: bumped by one
+
+    def test_insert_is_pure(self):
+        ks = KeySet([10, 20])
+        ks.insert([15])
+        assert ks.keys.tolist() == [10, 20]
+
+    def test_insert_empty_returns_self(self):
+        ks = KeySet([1, 2])
+        assert ks.insert([]) is ks
+
+    def test_insert_duplicate_rejected(self):
+        ks = KeySet([10, 20])
+        with pytest.raises(ValueError):
+            ks.insert([20])
+
+    def test_insert_out_of_domain_rejected(self):
+        ks = KeySet([10, 20], Domain(0, 25))
+        with pytest.raises(ValueError):
+            ks.insert([30])
+
+    def test_insert_multiple(self):
+        ks = KeySet([10, 40], Domain(0, 50))
+        out = ks.insert([20, 30])
+        assert out.keys.tolist() == [10, 20, 30, 40]
+
+
+class TestRemoveRestrictPartition:
+    def test_remove(self):
+        ks = KeySet([1, 2, 3, 4])
+        assert ks.remove([2, 4]).keys.tolist() == [1, 3]
+
+    def test_remove_keeps_domain(self):
+        ks = KeySet([1, 2, 3], Domain(0, 10))
+        assert ks.remove([2]).domain == Domain(0, 10)
+
+    def test_restrict(self):
+        ks = KeySet([1, 5, 9, 14])
+        assert ks.restrict(4, 10).keys.tolist() == [5, 9]
+
+    def test_restrict_inclusive_bounds(self):
+        ks = KeySet([1, 5, 9])
+        assert ks.restrict(5, 9).keys.tolist() == [5, 9]
+
+    def test_partition_equal_sizes(self):
+        ks = KeySet(list(range(100)))
+        parts = ks.partition(4)
+        assert [p.n for p in parts] == [25, 25, 25, 25]
+        recombined = np.concatenate([p.keys for p in parts])
+        assert recombined.tolist() == list(range(100))
+
+    def test_partition_remainder_spreads_left(self):
+        ks = KeySet(list(range(10)))
+        parts = ks.partition(3)
+        assert [p.n for p in parts] == [4, 3, 3]
+
+    def test_partition_keeps_parent_domain(self):
+        ks = KeySet([1, 2, 3, 4], Domain(0, 100))
+        for part in ks.partition(2):
+            assert part.domain == Domain(0, 100)
+
+    def test_partition_bounds_checked(self):
+        ks = KeySet([1, 2, 3])
+        with pytest.raises(ValueError):
+            ks.partition(0)
+        with pytest.raises(ValueError):
+            ks.partition(4)
+
+
+class TestAsKeyset:
+    def test_passthrough(self):
+        ks = KeySet([1, 2])
+        assert as_keyset(ks) is ks
+
+    def test_coerces_list(self):
+        ks = as_keyset([3, 1])
+        assert isinstance(ks, KeySet)
+        assert ks.keys.tolist() == [1, 3]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000),
+                min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_keyset_invariants_hold_for_any_input(raw):
+    """Property: sorted, unique, 1-based contiguous ranks."""
+    ks = KeySet(raw)
+    assert np.all(np.diff(ks.keys) > 0)
+    assert ks.ranks[0] == 1
+    assert ks.ranks[-1] == ks.n
+    assert ks.n == len(set(raw))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5_000), min_size=2,
+                max_size=100, unique=True),
+       st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=60, deadline=None)
+def test_insert_bumps_exactly_larger_keys(raw, new_key):
+    """Property: inserting k bumps ranks of keys > k by exactly one."""
+    ks = KeySet(raw, Domain(0, 5_000))
+    if new_key in ks:
+        return
+    out = ks.insert([new_key])
+    for key in ks.keys:
+        before = ks.rank_of(int(key))
+        after = out.rank_of(int(key))
+        assert after - before == (1 if key > new_key else 0)

@@ -1,0 +1,99 @@
+"""Unit tests for the synthetic keyset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import Domain, KeySet
+from repro.data.synthetic import (
+    keyset_from_sampler,
+    lognormal_keyset,
+    normal_keyset,
+    uniform_keyset,
+)
+
+
+class TestUniform:
+    def test_exact_count_and_range(self, rng):
+        ks = uniform_keyset(100, Domain(0, 999), rng)
+        assert ks.n == 100
+        assert ks.keys.min() >= 0
+        assert ks.keys.max() <= 999
+
+    def test_dense_request_uses_exact_sampling(self, rng):
+        ks = uniform_keyset(90, Domain(0, 99), rng)
+        assert ks.n == 90
+        assert ks.density == pytest.approx(0.9)
+
+    def test_full_density(self, rng):
+        ks = uniform_keyset(10, Domain(0, 9), rng)
+        assert ks.keys.tolist() == list(range(10))
+
+    def test_rejects_overfull(self, rng):
+        with pytest.raises(ValueError):
+            uniform_keyset(11, Domain(0, 9), rng)
+
+    def test_deterministic_given_seed(self):
+        a = uniform_keyset(50, Domain(0, 500), np.random.default_rng(1))
+        b = uniform_keyset(50, Domain(0, 500), np.random.default_rng(1))
+        assert a == b
+
+    def test_roughly_uniform_spread(self, rng):
+        ks = uniform_keyset(5000, Domain(0, 99_999), rng)
+        # Mean of Uniform[0, 1e5) is ~5e4; allow generous tolerance.
+        assert abs(ks.keys.mean() - 50_000) < 3_000
+
+
+class TestLognormal:
+    def test_exact_count(self, rng):
+        ks = lognormal_keyset(500, Domain(0, 49_999), rng)
+        assert ks.n == 500
+
+    def test_right_skew(self, rng):
+        """Log-normal keys concentrate near the low end of the domain."""
+        ks = lognormal_keyset(2000, Domain(0, 199_999), rng)
+        assert np.median(ks.keys) < ks.keys.mean()
+        assert np.median(ks.keys) < 0.2 * ks.domain.hi
+
+    def test_custom_mu_sigma(self, rng):
+        narrow = lognormal_keyset(200, Domain(0, 9_999), rng, sigma=0.5)
+        assert narrow.n == 200
+
+
+class TestNormal:
+    def test_exact_count(self, rng):
+        ks = normal_keyset(300, Domain(0, 2_999), rng)
+        assert ks.n == 300
+
+    def test_centered_on_domain_middle(self, rng):
+        ks = normal_keyset(3000, Domain(0, 29_999), rng)
+        mid = 15_000
+        assert abs(ks.keys.astype(float).mean() - mid) < 0.1 * mid
+
+    def test_single_value_domain(self, rng):
+        ks = normal_keyset(1, Domain(7, 7), rng)
+        assert ks.keys.tolist() == [7]
+
+
+class TestSamplerHarness:
+    def test_rejects_nonpositive_count(self, rng):
+        with pytest.raises(ValueError):
+            keyset_from_sampler(0, Domain(0, 9), lambda s: np.zeros(s), rng)
+
+    def test_rejects_impossible_density(self, rng):
+        with pytest.raises(ValueError):
+            keyset_from_sampler(20, Domain(0, 9),
+                                lambda s: np.arange(s), rng)
+
+    def test_degenerate_sampler_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            keyset_from_sampler(
+                5, Domain(0, 100),
+                lambda s: np.full(s, 42, dtype=np.int64), rng)
+
+    def test_out_of_range_draws_are_discarded(self, rng):
+        def sampler(size):
+            return rng.integers(-50, 150, size=size)
+        ks = keyset_from_sampler(30, Domain(0, 99), sampler, rng)
+        assert isinstance(ks, KeySet)
+        assert ks.keys.min() >= 0
+        assert ks.keys.max() <= 99

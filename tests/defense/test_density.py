@@ -1,0 +1,89 @@
+"""Unit tests for the density-based anomaly detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import greedy_poison
+from repro.data import Domain, uniform_keyset
+from repro.defense import (
+    density_anomaly_scores,
+    flag_densest_keys,
+    score_detection,
+)
+
+
+class TestScores:
+    def test_uniform_keys_score_near_one(self):
+        keys = np.arange(0, 1000, 10)
+        scores = density_anomaly_scores(keys)
+        assert scores.mean() == pytest.approx(1.0, rel=0.2)
+
+    def test_dense_cluster_scores_high(self):
+        sparse = np.arange(0, 10_000, 100)
+        cluster = np.arange(5_001, 5_030)  # tightly packed intruders
+        keys = np.unique(np.concatenate([sparse, cluster]))
+        scores = density_anomaly_scores(keys, window=4)
+        in_cluster = np.isin(keys, cluster)
+        assert scores[in_cluster].mean() > 3 * scores[~in_cluster].mean()
+
+    def test_short_inputs(self):
+        assert density_anomaly_scores(np.array([5])).tolist() == [1.0]
+        assert density_anomaly_scores(np.array([5, 5])).tolist() == [1.0, 1.0]
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            density_anomaly_scores(np.arange(10), window=0)
+
+
+class TestFlagging:
+    def test_flags_requested_count(self, rng):
+        ks = uniform_keyset(200, Domain(0, 1999), rng)
+        flagged = flag_densest_keys(ks.keys, 15)
+        assert flagged.size == 15
+        assert np.isin(flagged, ks.keys).all()
+
+    def test_zero_flags(self, rng):
+        ks = uniform_keyset(50, Domain(0, 499), rng)
+        assert flag_densest_keys(ks.keys, 0).size == 0
+
+    def test_count_validated(self, rng):
+        ks = uniform_keyset(50, Domain(0, 499), rng)
+        with pytest.raises(ValueError):
+            flag_densest_keys(ks.keys, 51)
+
+    def test_detector_catches_some_poison_but_not_cleanly(self, rng):
+        """Sec. VI: the attack populates already-dense areas, so the
+        detector's flags hit legitimate neighbours too."""
+        ks = uniform_keyset(300, Domain(0, 5999), rng)
+        attack = greedy_poison(ks, 45)
+        poisoned = ks.insert(attack.poison_keys)
+        flagged = flag_densest_keys(poisoned.keys, 45, window=4)
+        report = score_detection(flagged, attack.poison_keys)
+        assert report.recall > 0.0  # it sees the dense cluster...
+        assert report.precision < 1.0  # ...but flags legit keys too
+
+
+class TestDetectionReport:
+    def test_counts(self):
+        report = score_detection(np.array([1, 2, 3]), np.array([2, 3, 4]))
+        assert report.true_positives == 2
+        assert report.precision == pytest.approx(2 / 3)
+        assert report.recall == pytest.approx(2 / 3)
+        assert 0 < report.f1 < 1
+
+    def test_perfect_detection(self):
+        report = score_detection(np.array([7, 8]), np.array([7, 8]))
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_empty_flags(self):
+        report = score_detection(np.array([], dtype=np.int64),
+                                 np.array([1]))
+        assert report.precision == 1.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+    def test_empty_poison(self):
+        report = score_detection(np.array([1]), np.array([], dtype=np.int64))
+        assert report.recall == 1.0

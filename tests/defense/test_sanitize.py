@@ -1,0 +1,73 @@
+"""Unit tests for the range/outlier sanitizers the attack evades."""
+
+import numpy as np
+import pytest
+
+from repro.core import greedy_poison
+from repro.data import Domain, uniform_keyset
+from repro.defense import filter_out_of_range, filter_quantile_outliers
+
+
+class TestRangeFilter:
+    def test_drops_out_of_range(self):
+        report = filter_out_of_range(
+            np.array([5, 50, 500, -3]), Domain(0, 100))
+        assert report.kept.tolist() == [5, 50]
+        assert report.dropped.tolist() == [-3, 500]
+        assert report.n_dropped == 2
+
+    def test_keeps_everything_in_range(self):
+        report = filter_out_of_range(np.array([1, 2, 3]), Domain(0, 10))
+        assert report.n_dropped == 0
+
+    def test_catches_naive_out_of_range_poisoning(self, rng):
+        """The mitigation that motivates the in-range restriction."""
+        ks = uniform_keyset(100, Domain(100, 1099), rng)
+        naive_poison = np.array([0, 5, 2_000, 5_000])
+        report = filter_out_of_range(
+            np.concatenate([ks.keys, naive_poison]),
+            Domain(100, 1099))
+        assert set(report.dropped.tolist()) == set(naive_poison.tolist())
+
+    def test_misses_the_papers_attack(self, rng):
+        """The paper's in-range attack sails through untouched."""
+        ks = uniform_keyset(200, Domain(0, 1999), rng)
+        attack = greedy_poison(ks, 30)
+        poisoned = ks.insert(attack.poison_keys)
+        report = filter_out_of_range(poisoned.keys, ks.domain)
+        assert report.n_dropped == 0
+
+
+class TestQuantileFilter:
+    def test_drops_extreme_tails(self):
+        keys = np.concatenate([np.arange(100, 200),
+                               np.array([0, 10_000])])
+        report = filter_quantile_outliers(keys, tail_fraction=0.02)
+        assert 0 in report.dropped
+        assert 10_000 in report.dropped
+
+    def test_zero_fraction_keeps_all(self):
+        keys = np.arange(50)
+        report = filter_quantile_outliers(keys, tail_fraction=0.0)
+        assert report.n_dropped == 0
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            filter_quantile_outliers(np.arange(10), tail_fraction=0.5)
+        with pytest.raises(ValueError):
+            filter_quantile_outliers(np.arange(10), tail_fraction=-0.1)
+
+    def test_tiny_inputs_passthrough(self):
+        report = filter_quantile_outliers(np.array([1, 2]),
+                                          tail_fraction=0.1)
+        assert report.n_dropped == 0
+
+    def test_attack_survives_mostly(self, rng):
+        """Interior clustering defeats tail trimming (Sec. IV-C)."""
+        ks = uniform_keyset(300, Domain(0, 2999), rng)
+        attack = greedy_poison(ks, 45)
+        poisoned = ks.insert(attack.poison_keys)
+        report = filter_quantile_outliers(poisoned.keys,
+                                          tail_fraction=0.02)
+        survived = np.isin(attack.poison_keys, report.kept).mean()
+        assert survived > 0.8

@@ -1,0 +1,120 @@
+"""Unit tests for the TRIM defenses (classic and rank-aware)."""
+
+import numpy as np
+import pytest
+
+from repro.core import greedy_poison
+from repro.data import Domain, KeySet, uniform_keyset
+from repro.defense import trim_cdf, trim_regression
+
+
+class TestClassicTrim:
+    def test_recovers_obvious_vertical_outliers(self, rng):
+        """Sanity: on classic (fixed-y) poisoning TRIM works."""
+        keys = np.arange(0, 1000, 10, dtype=np.float64)
+        responses = keys * 0.1  # a clean line
+        bad_keys = np.array([005.0, 500.0, 900.0])
+        bad_responses = np.array([90.0, 5.0, 40.0])  # wild y-values
+        all_keys = np.concatenate([keys, bad_keys])
+        all_resp = np.concatenate([responses, bad_responses])
+        result = trim_regression(all_keys, all_resp, n_keep=keys.size)
+        assert result.final_loss < 1e-6
+        assert result.converged
+
+    def test_result_partition_sizes(self, rng):
+        ks = uniform_keyset(200, Domain(0, 1999), rng)
+        attack = greedy_poison(ks, 20)
+        poisoned = ks.insert(attack.poison_keys)
+        result = trim_regression(
+            poisoned.keys.astype(np.float64),
+            poisoned.ranks.astype(np.float64), n_keep=200)
+        assert result.kept_keys.size == 200
+        assert result.removed_keys.size == 20
+
+    def test_n_keep_validated(self):
+        with pytest.raises(ValueError):
+            trim_regression(np.array([1.0, 2.0]), np.array([1.0, 2.0]),
+                            n_keep=0)
+        with pytest.raises(ValueError):
+            trim_regression(np.array([1.0]), np.array([1.0]), n_keep=2)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            trim_regression(np.array([1.0, 2.0]), np.array([1.0]),
+                            n_keep=1)
+
+
+class TestRankAwareTrim:
+    def test_result_partition_sizes(self, rng):
+        ks = uniform_keyset(300, Domain(0, 2999), rng)
+        attack = greedy_poison(ks, 30)
+        poisoned = ks.insert(attack.poison_keys)
+        result = trim_cdf(poisoned.keys, n_keep=300)
+        assert result.kept_keys.size == 300
+        assert result.removed_keys.size == 30
+        combined = np.sort(np.concatenate(
+            [result.kept_keys, result.removed_keys]))
+        assert np.array_equal(combined, poisoned.keys)
+
+    def test_no_poison_keeps_low_loss(self, rng):
+        """On a clean keyset trimming nothing essential."""
+        ks = uniform_keyset(200, Domain(0, 1999), rng)
+        result = trim_cdf(ks.keys, n_keep=180)
+        clean_loss = float(np.var(np.arange(1, 201)))  # worst case ref
+        assert result.final_loss < clean_loss
+
+    def test_reduces_loss_relative_to_poisoned(self, rng):
+        """Trimming should at least beat doing nothing."""
+        from repro.core import fit_cdf_regression
+        ks = uniform_keyset(300, Domain(0, 2999), rng)
+        attack = greedy_poison(ks, 45)
+        poisoned = ks.insert(attack.poison_keys)
+        poisoned_loss = fit_cdf_regression(poisoned).mse
+        result = trim_cdf(poisoned.keys, n_keep=300)
+        assert result.final_loss <= poisoned_loss + 1e-9
+
+    def test_section6_claim_defense_is_imperfect(self, rng):
+        """Sec. VI: poisoning keys hide among dense legitimate keys.
+
+        Across seeds the rank-aware defense should (a) fail to achieve
+        perfect recall in at least some runs and (b) leave residual
+        loss above the clean loss in at least some runs — the defense
+        is measurably imperfect against this attack.
+        """
+        imperfect_recall = 0
+        residual_runs = 0
+        for seed in range(5):
+            rng_local = np.random.default_rng(seed)
+            ks = uniform_keyset(200, Domain(0, 1999), rng_local)
+            attack = greedy_poison(ks, 30)
+            poisoned = ks.insert(attack.poison_keys)
+            result = trim_cdf(poisoned.keys, n_keep=200, seed=seed)
+            if result.recall_against(attack.poison_keys) < 1.0:
+                imperfect_recall += 1
+            if result.final_loss > 2.0 * attack.loss_before:
+                residual_runs += 1
+        assert imperfect_recall + residual_runs > 0
+
+    def test_n_keep_validated(self):
+        with pytest.raises(ValueError):
+            trim_cdf(np.array([1, 2, 3]), n_keep=5)
+
+
+class TestTrimResultScoring:
+    def test_recall_and_precision(self):
+        from repro.defense import TrimResult
+        result = TrimResult(
+            kept_keys=np.array([1, 2, 3]),
+            removed_keys=np.array([10, 11]),
+            iterations=1, converged=True, final_loss=0.0)
+        poison = np.array([10, 99])
+        assert result.recall_against(poison) == pytest.approx(0.5)
+        assert result.precision_against(poison) == pytest.approx(0.5)
+
+    def test_empty_poison_set(self):
+        from repro.defense import TrimResult
+        result = TrimResult(
+            kept_keys=np.array([1]), removed_keys=np.array([], dtype=np.int64),
+            iterations=1, converged=True, final_loss=0.0)
+        assert result.recall_against(np.array([])) == 1.0
+        assert result.precision_against(np.array([])) == 1.0

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro.experiments`` entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import _TARGETS, main
+
+
+class TestTargetRegistry:
+    def test_every_figure_present(self):
+        for name in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                     "fig8"):
+            assert name in _TARGETS
+
+    def test_every_ablation_present(self):
+        expected = {"a1-bruteforce", "a2-trim", "a3-cost", "a4-alpha",
+                    "a5-allocation", "a6-deletion", "a7-polynomial",
+                    "a8-blackbox", "a9-updates", "a10-ridge",
+                    "a11-adversaries"}
+        assert expected <= set(_TARGETS)
+
+
+class TestMain:
+    def test_runs_cheap_target(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "compound effect" in out
+
+    def test_runs_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "convex" in capsys.readouterr().out
+
+    def test_profile_flag_accepted(self, capsys):
+        assert main(["fig4", "--profile", "quick"]) == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--profile", "huge"])

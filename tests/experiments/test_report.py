@@ -1,0 +1,63 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.core import summarize
+from repro.experiments import ascii_boxplot, format_ratio, render_table, section
+
+
+class TestSection:
+    def test_contains_title(self):
+        out = section("Hello")
+        assert "Hello" in out
+        assert out.count("=") >= 2
+
+
+class TestFormatRatio:
+    def test_small_values_one_decimal(self):
+        assert format_ratio(7.43) == "7.4x"
+
+    def test_large_values_no_decimals(self):
+        assert format_ratio(312.7) == "313x"
+
+    def test_infinity(self):
+        assert format_ratio(float("inf")) == "inf"
+
+    def test_nan(self):
+        assert format_ratio(float("nan")) == "nan"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bee"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # All rows align the second column at the same offset.
+        offsets = {line.index(c) for line, c in
+                   zip(lines[2:], ["2", "4"])}
+        assert len(offsets) == 1
+
+    def test_header_separator(self):
+        out = render_table(["x"], [[1]])
+        assert "-" in out.splitlines()[1]
+
+    def test_empty_rows(self):
+        out = render_table(["col"], [])
+        assert out.splitlines()[0].strip() == "col"
+
+
+class TestAsciiBoxplot:
+    def test_markers_present(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        plot = ascii_boxplot(s, 0.0, 6.0, width=30)
+        assert len(plot) == 30
+        assert "M" in plot
+        assert "[" in plot and "]" in plot
+
+    def test_degenerate_range(self):
+        s = summarize([2.0, 2.0])
+        plot = ascii_boxplot(s, 2.0, 2.0, width=10)
+        assert len(plot) == 10
+
+    def test_median_between_quartiles(self):
+        s = summarize([1.0, 2.0, 3.0, 8.0, 20.0])
+        plot = ascii_boxplot(s, 0.0, 21.0, width=40)
+        assert plot.index("[") <= plot.index("M") <= plot.index("]")

@@ -1,0 +1,143 @@
+"""Unit + property tests for the B-Tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import BTree
+
+
+class TestConstruction:
+    def test_min_degree_validated(self):
+        with pytest.raises(ValueError):
+            BTree(1)
+
+    def test_empty_tree(self):
+        tree = BTree(4)
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert 5 not in tree
+
+
+class TestInsertion:
+    def test_sequential_inserts(self):
+        tree = BTree(2)
+        for value in range(100):
+            tree.insert(value)
+        tree.check_invariants()
+        assert len(tree) == 100
+        assert list(tree.items()) == list(range(100))
+
+    def test_reverse_inserts(self):
+        tree = BTree(3)
+        for value in reversed(range(64)):
+            tree.insert(value)
+        tree.check_invariants()
+        assert list(tree.items()) == list(range(64))
+
+    def test_duplicate_rejected(self):
+        tree = BTree(4)
+        tree.insert(7)
+        with pytest.raises(ValueError):
+            tree.insert(7)
+        assert len(tree) == 1
+
+    def test_duplicate_rejected_deep(self):
+        tree = BTree(2)
+        for value in range(50):
+            tree.insert(value)
+        with pytest.raises(ValueError):
+            tree.insert(25)
+        assert len(tree) == 50
+
+    def test_random_inserts_maintain_invariants(self, rng):
+        tree = BTree(3)
+        values = rng.permutation(500)
+        for value in values:
+            tree.insert(int(value))
+        tree.check_invariants()
+        assert list(tree.items()) == sorted(values.tolist())
+
+
+class TestBulkLoad:
+    def test_round_trip(self):
+        keys = np.arange(0, 1000, 3)
+        tree = BTree.bulk_load(keys, min_degree=8)
+        tree.check_invariants()
+        assert len(tree) == keys.size
+        assert list(tree.items()) == keys.tolist()
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            BTree.bulk_load(np.array([3, 1, 2]))
+
+    def test_small_inputs(self):
+        for n in (1, 2, 3, 7, 15, 16, 17):
+            tree = BTree.bulk_load(np.arange(n), min_degree=4)
+            tree.check_invariants()
+            assert list(tree.items()) == list(range(n))
+
+    def test_empty_input(self):
+        tree = BTree.bulk_load(np.array([], dtype=np.int64))
+        assert len(tree) == 0
+
+    def test_height_logarithmic(self):
+        tree = BTree.bulk_load(np.arange(100_000), min_degree=16)
+        # ~log_16(1e5) levels; generous upper bound.
+        assert tree.height <= 5
+
+    def test_insert_after_bulk_load(self):
+        tree = BTree.bulk_load(np.arange(0, 100, 2), min_degree=4)
+        tree.insert(51)
+        tree.check_invariants()
+        assert 51 in tree
+        assert len(tree) == 51
+
+
+class TestSearch:
+    def test_found_and_cost(self):
+        tree = BTree.bulk_load(np.arange(1000), min_degree=8)
+        result = tree.search(123)
+        assert result.found
+        assert result.node_visits <= tree.height
+        assert result.comparisons >= 1
+
+    def test_absent(self):
+        tree = BTree.bulk_load(np.arange(0, 1000, 2), min_degree=8)
+        result = tree.search(501)
+        assert not result.found
+
+    def test_contains_dunder(self):
+        tree = BTree.bulk_load(np.array([1, 5, 9]))
+        assert 5 in tree
+        assert 6 not in tree
+
+
+@given(st.lists(st.integers(min_value=-10_000, max_value=10_000),
+                min_size=1, max_size=400, unique=True),
+       st.integers(min_value=2, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_btree_equals_sorted_set_semantics(values, degree):
+    """Property: after random inserts, contents equal the sorted set."""
+    tree = BTree(degree)
+    for value in values:
+        tree.insert(value)
+    tree.check_invariants()
+    assert list(tree.items()) == sorted(values)
+    for probe in values[:20]:
+        assert probe in tree
+    universe = set(values)
+    for probe in range(-5, 6):
+        assert (probe in tree) == (probe in universe)
+
+
+@given(st.integers(min_value=1, max_value=2_000),
+       st.integers(min_value=2, max_value=16))
+@settings(max_examples=30, deadline=None)
+def test_bulk_load_equals_incremental(n, degree):
+    """Property: bulk load and repeated insert hold the same keys."""
+    keys = np.arange(0, 3 * n, 3)
+    bulk = BTree.bulk_load(keys, min_degree=degree)
+    bulk.check_invariants()
+    assert list(bulk.items()) == keys.tolist()

@@ -1,0 +1,113 @@
+"""Unit tests for the RMI first-stage (root) models."""
+
+import numpy as np
+import pytest
+
+from repro.data import Domain, lognormal_keyset, uniform_keyset
+from repro.index import LinearRoot, MLPRoot, PiecewiseLinearRoot
+from repro.index.rmi import BoundaryRoot
+
+
+@pytest.fixture
+def cdf(rng):
+    ks = uniform_keyset(1000, Domain(0, 99_999), rng)
+    return ks.keys, np.arange(ks.n, dtype=np.float64)
+
+
+class TestLinearRoot:
+    def test_exact_on_linear_cdf(self):
+        keys = np.arange(0, 1000, 10)
+        positions = np.arange(keys.size, dtype=np.float64)
+        root = LinearRoot().fit(keys, positions)
+        pred = root.predict_position(keys)
+        assert np.allclose(pred, positions, atol=1e-8)
+
+    def test_route_clamped(self, cdf):
+        keys, positions = cdf
+        root = LinearRoot().fit(keys, positions)
+        routes = root.route(np.array([-10**9, 10**9]), keys.size, 10)
+        assert routes.tolist() == [0, 9]
+
+    def test_constant_keys_degenerate(self):
+        keys = np.array([5.0, 5.0, 5.0])
+        root = LinearRoot().fit(keys, np.array([0.0, 1.0, 2.0]))
+        assert root.predict_position(np.array([5.0]))[0] == pytest.approx(1.0)
+
+
+class TestPiecewiseLinearRoot:
+    def test_interpolates_knots_exactly(self, cdf):
+        keys, positions = cdf
+        root = PiecewiseLinearRoot(16).fit(keys, positions)
+        pred = root.predict_position(keys[::100])
+        assert np.allclose(pred, positions[::100], atol=keys.size / 16)
+
+    def test_more_segments_more_accuracy(self, rng):
+        ks = lognormal_keyset(2000, Domain.of_size(200_000), rng)
+        positions = np.arange(ks.n, dtype=np.float64)
+        coarse = PiecewiseLinearRoot(4).fit(ks.keys, positions)
+        fine = PiecewiseLinearRoot(128).fit(ks.keys, positions)
+        coarse_err = np.abs(
+            coarse.predict_position(ks.keys) - positions).mean()
+        fine_err = np.abs(
+            fine.predict_position(ks.keys) - positions).mean()
+        assert fine_err < coarse_err
+
+    def test_segment_count_validated(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearRoot(0)
+
+    def test_routing_mostly_correct(self, cdf):
+        keys, positions = cdf
+        root = PiecewiseLinearRoot(64).fit(keys, positions)
+        routes = root.route(keys, keys.size, 20)
+        truth = np.minimum(
+            (positions * 20 / keys.size).astype(np.int64), 19)
+        agreement = np.mean(routes == truth)
+        assert agreement > 0.95
+
+
+class TestMLPRoot:
+    def test_learns_uniform_cdf(self, cdf):
+        keys, positions = cdf
+        root = MLPRoot(hidden=16, epochs=80, seed=1).fit(keys, positions)
+        pred = root.predict_position(keys)
+        rel_err = np.abs(pred - positions).mean() / keys.size
+        assert rel_err < 0.05  # within 5% of the key count on average
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPRoot().predict_position(np.array([1.0]))
+
+    def test_deterministic_given_seed(self, cdf):
+        keys, positions = cdf
+        a = MLPRoot(hidden=8, epochs=10, seed=3).fit(keys, positions)
+        b = MLPRoot(hidden=8, epochs=10, seed=3).fit(keys, positions)
+        assert np.allclose(a.predict_position(keys),
+                           b.predict_position(keys))
+
+    def test_hidden_units_validated(self):
+        with pytest.raises(ValueError):
+            MLPRoot(hidden=0)
+
+    def test_scalar_input(self, cdf):
+        keys, positions = cdf
+        root = MLPRoot(hidden=8, epochs=10).fit(keys, positions)
+        out = root.predict_position(np.array([keys[5]]))
+        assert out.shape == (1,)
+
+
+class TestBoundaryRoot:
+    def test_routes_by_boundary(self):
+        root = BoundaryRoot().fit_boundaries(
+            np.array([0, 100, 200]), np.array([0.0, 10.0, 20.0]), 30)
+        routes = root.route(np.array([5, 100, 150, 250]), 30, 3)
+        assert routes.tolist() == [0, 1, 1, 2]
+
+    def test_keys_below_first_boundary_clamp_to_zero(self):
+        root = BoundaryRoot().fit_boundaries(
+            np.array([10, 20]), np.array([0.0, 5.0]), 10)
+        assert root.route(np.array([0]), 10, 2).tolist() == [0]
+
+    def test_fit_is_disabled(self):
+        with pytest.raises(NotImplementedError):
+            BoundaryRoot().fit(np.array([1]), np.array([0.0]))

@@ -1,0 +1,69 @@
+"""Unit tests for the persistence helpers."""
+
+import numpy as np
+import pytest
+
+from repro import io
+from repro.core import RMIAttackerCapability, greedy_poison, poison_rmi
+from repro.data import Domain, KeySet, uniform_keyset
+
+
+class TestKeysetRoundTrip:
+    def test_round_trip(self, tmp_path, rng):
+        keyset = uniform_keyset(200, Domain(0, 4999), rng)
+        path = tmp_path / "keys.npz"
+        io.save_keyset(keyset, path)
+        loaded = io.load_keyset(path)
+        assert loaded == keyset
+
+    def test_domain_preserved(self, tmp_path):
+        keyset = KeySet([5, 10], Domain(0, 100))
+        path = tmp_path / "keys.npz"
+        io.save_keyset(keyset, path)
+        assert io.load_keyset(path).domain == Domain(0, 100)
+
+
+class TestGreedyResultDict:
+    def test_fields(self, rng):
+        keyset = uniform_keyset(100, Domain(0, 999), rng)
+        result = greedy_poison(keyset, 10)
+        payload = io.greedy_result_to_dict(result)
+        assert payload["n_injected"] == 10
+        assert len(payload["poison_keys"]) == 10
+        assert payload["ratio_loss"] == pytest.approx(result.ratio_loss)
+        assert len(payload["loss_trajectory"]) == 10
+
+    def test_infinite_ratio_stringified(self):
+        keyset = KeySet([0, 10, 20, 30, 40])
+        result = greedy_poison(keyset, 2)
+        payload = io.greedy_result_to_dict(result)
+        assert payload["ratio_loss"] == "inf"
+
+    def test_json_round_trip(self, tmp_path, rng):
+        keyset = uniform_keyset(100, Domain(0, 999), rng)
+        payload = io.greedy_result_to_dict(greedy_poison(keyset, 10))
+        path = tmp_path / "attack.json"
+        io.save_json(payload, path)
+        assert io.load_json(path) == payload
+
+
+class TestRmiResultDict:
+    def test_fields_and_round_trip(self, tmp_path, rng):
+        keyset = uniform_keyset(500, Domain(0, 9999), rng)
+        capability = RMIAttackerCapability(poisoning_percentage=10.0)
+        result = poison_rmi(keyset, 5, capability, max_exchanges=5)
+        payload = io.rmi_result_to_dict(result)
+        assert payload["n_models"] == 5
+        assert payload["total_injected"] == result.total_injected
+        assert len(payload["per_model"]) == 5
+        path = tmp_path / "rmi.json"
+        io.save_json(payload, path)
+        assert io.load_json(path) == payload
+
+    def test_per_model_consistency(self, rng):
+        keyset = uniform_keyset(500, Domain(0, 9999), rng)
+        capability = RMIAttackerCapability(poisoning_percentage=10.0)
+        result = poison_rmi(keyset, 5, capability, max_exchanges=0)
+        payload = io.rmi_result_to_dict(result)
+        injected = sum(m["n_injected"] for m in payload["per_model"])
+        assert injected == payload["total_injected"]
