@@ -1,0 +1,75 @@
+"""Bench the SweepEngine's process fan-out on the fig5 quick grid.
+
+Runs the identical sweep at jobs in {1, 2, 4, 8} and reports
+wall-clock, speedup over the serial engine, and a verification bit
+(every jobs level must aggregate to the jobs=1 result, exactly).
+Speedup tracks the machine: on an N-core box expect ~min(jobs, N)x
+minus pool startup; on a single core expect ~1x (the engine must not
+make things *slower* than serial by more than pool overhead).
+
+Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_runner_scaling.py
+
+or through the bench harness (`pytest benchmarks/ ... -s`), which
+times the whole scaling ladder once.
+"""
+
+import dataclasses
+import os
+import time
+
+from repro.experiments import fig5_config, run_sweep
+from repro.experiments.report import render_table, section
+
+JOBS_LADDER = (1, 2, 4, 8)
+
+
+def _fingerprint(result):
+    """Comparable value summary of a sweep result."""
+    return [
+        (cell.n_keys, cell.density,
+         tuple(sorted((pct, dataclasses.astuple(s))
+                      for pct, s in cell.summaries.items())))
+        for cell in result.cells
+    ]
+
+
+def run_scaling(profile: str = "quick",
+                jobs_ladder: tuple[int, ...] = JOBS_LADDER) -> str:
+    """Time the fig5 grid at each jobs level; return the table text."""
+    config = fig5_config(profile)
+    rows = []
+    baseline_seconds = None
+    baseline_fingerprint = None
+    for jobs in jobs_ladder:
+        start = time.perf_counter()
+        result = run_sweep(config, jobs=jobs)
+        elapsed = time.perf_counter() - start
+        fingerprint = _fingerprint(result)
+        if baseline_seconds is None:
+            baseline_seconds = elapsed
+            baseline_fingerprint = fingerprint
+        rows.append([
+            jobs,
+            f"{elapsed:.2f}s",
+            f"{baseline_seconds / elapsed:.2f}x",
+            fingerprint == baseline_fingerprint,
+        ])
+    title = (f"SweepEngine scaling - fig5 {profile} grid "
+             f"({os.cpu_count()} cpu cores visible)")
+    return (section(title) + "\n"
+            + render_table(["jobs", "wall-clock", "speedup",
+                            "identical"], rows))
+
+
+def test_runner_scaling(once):
+    profile = os.environ.get("REPRO_PROFILE", "quick")
+    table = once(lambda: run_scaling(profile))
+    print()
+    print(table)
+    assert "False" not in table  # every jobs level bit-identical
+
+
+if __name__ == "__main__":
+    print(run_scaling(os.environ.get("REPRO_PROFILE", "quick")))

@@ -12,6 +12,8 @@ Public API tour:
 * ``repro.index`` — learned index substrate (linear index, two-stage
   RMI, B-Tree baseline, lookup cost model);
 * ``repro.defense`` — TRIM and the other Section VI mitigations;
+* ``repro.runtime`` — parallel, resumable sweep engine (cells,
+  checkpoints, process-pool fan-out);
 * ``repro.experiments`` — per-figure reproduction harness.
 
 Quick taste::
@@ -26,7 +28,7 @@ Quick taste::
     print(f"MSE inflated {attack.ratio_loss:.1f}x")
 """
 
-from . import core, data, defense, index
+from . import core, data, defense, index, runtime
 from .core import (
     AttackerCapability,
     GreedyResult,
@@ -47,6 +49,7 @@ __all__ = [
     "data",
     "defense",
     "index",
+    "runtime",
     "Domain",
     "KeySet",
     "fit_cdf_regression",

@@ -8,13 +8,32 @@ Targets mirror the paper's figures and the ablations:
 
 ``--profile quick`` (default) runs the scaled-down configurations;
 ``--profile full`` runs the larger grids recorded in EXPERIMENTS.md.
+
+Runtime flags (engine-backed targets: fig5, fig6, fig8, a6, a11):
+
+``--jobs N``
+    Fan the sweep's cells out over N worker processes.  Results are
+    bit-identical to ``--jobs 1``.
+``--out DIR``
+    Checkpoint completed cells under ``DIR/<target>/`` and write the
+    aggregated summary to ``DIR/<target>/result.json``.
+``--resume``
+    With ``--out``, reuse completed cells from a previous (possibly
+    interrupted) run instead of recomputing them.
+
+Targets that are not sweeps ignore ``--jobs``/``--resume`` and simply
+skip the ``result.json`` payload.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
 
+from .. import io
 from . import (
     ablations,
     fig2_compound_effect,
@@ -25,58 +44,130 @@ from . import (
 )
 from .regression_sweep import fig5_config, fig8_config, run_sweep
 
-
-def _run_fig5(profile: str) -> str:
-    return run_sweep(fig5_config(profile)).format()
+RESULT_SCHEMA = "repro.experiments.result/v1"
 
 
-def _run_fig8(profile: str) -> str:
-    return run_sweep(fig8_config(profile)).format()
+@dataclass(frozen=True)
+class RunOptions:
+    """Parsed runtime flags handed to every target."""
+
+    profile: str = "quick"
+    jobs: int = 1
+    out: Path | None = None
+    resume: bool = False
+
+    def checkpoint_dir(self, target: str) -> Path | None:
+        """Per-target checkpoint directory under ``--out`` (if any)."""
+        return self.out / target if self.out is not None else None
 
 
-def _run_fig6(profile: str) -> str:
-    config = (fig6_rmi_synthetic.full_config() if profile == "full"
+# Each target returns (formatted text, JSON payload or None).
+Target = Callable[[RunOptions], tuple[str, dict[str, Any] | None]]
+
+
+def _run_fig5(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
+    result = run_sweep(fig5_config(opts.profile), jobs=opts.jobs,
+                       checkpoint_dir=opts.checkpoint_dir("fig5"),
+                       resume=opts.resume)
+    return result.format(), result.to_dict()
+
+
+def _run_fig8(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
+    result = run_sweep(fig8_config(opts.profile), jobs=opts.jobs,
+                       checkpoint_dir=opts.checkpoint_dir("fig8"),
+                       resume=opts.resume)
+    return result.format(), result.to_dict()
+
+
+def _run_fig6(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
+    config = (fig6_rmi_synthetic.full_config() if opts.profile == "full"
               else fig6_rmi_synthetic.quick_config())
-    return fig6_rmi_synthetic.run(config).format()
+    result = fig6_rmi_synthetic.run(
+        config, jobs=opts.jobs,
+        checkpoint_dir=opts.checkpoint_dir("fig6"), resume=opts.resume)
+    return result.format(), result.to_dict()
 
 
-def _run_fig7(profile: str) -> str:
-    config = (fig7_rmi_realworld.full_config() if profile == "full"
+def _run_fig7(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
+    config = (fig7_rmi_realworld.full_config() if opts.profile == "full"
               else fig7_rmi_realworld.quick_config())
-    return fig7_rmi_realworld.run(config).format()
+    return fig7_rmi_realworld.run(config).format(), None
 
 
-_TARGETS = {
-    "fig2": lambda profile: fig2_compound_effect.run().format(),
-    "fig3": lambda profile: fig3_loss_landscape.run().format(),
-    "fig4": lambda profile: fig4_greedy_showcase.run().format(),
+def _run_a6(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
+    rows = ablations.run_deletion_ablation(
+        jobs=opts.jobs, checkpoint_dir=opts.checkpoint_dir("a6-deletion"),
+        resume=opts.resume)
+    payload = {"rows": [
+        {"budget_percentage": r.budget_percentage,
+         "insertion_ratio": io.json_float(r.insertion_ratio),
+         "deletion_ratio": io.json_float(r.deletion_ratio)}
+        for r in rows]}
+    return ablations.format_deletion(rows), payload
+
+
+def _run_a11(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
+    rows = ablations.run_adversary_comparison(
+        jobs=opts.jobs,
+        checkpoint_dir=opts.checkpoint_dir("a11-adversaries"),
+        resume=opts.resume)
+    payload = {"rows": [
+        {"budget_percentage": r.budget_percentage,
+         "insertion_ratio": io.json_float(r.insertion_ratio),
+         "deletion_ratio": io.json_float(r.deletion_ratio),
+         "modification_ratio": io.json_float(r.modification_ratio)}
+        for r in rows]}
+    return ablations.format_adversaries(rows), payload
+
+
+def _plain(render: Callable[[RunOptions], str]) -> Target:
+    """Wrap a non-sweep target: formatted text only, no payload."""
+    return lambda opts: (render(opts), None)
+
+
+_TARGETS: dict[str, Target] = {
+    "fig2": _plain(lambda opts: fig2_compound_effect.run().format()),
+    "fig3": _plain(lambda opts: fig3_loss_landscape.run().format()),
+    "fig4": _plain(lambda opts: fig4_greedy_showcase.run().format()),
     "fig5": _run_fig5,
     "fig6": _run_fig6,
     "fig7": _run_fig7,
     "fig8": _run_fig8,
-    "a1-bruteforce": lambda profile: ablations.format_bruteforce(
-        ablations.run_bruteforce_equivalence()),
-    "a2-trim": lambda profile: ablations.format_trim(
-        ablations.run_trim_defense()),
-    "a3-cost": lambda profile: ablations.format_lookup_cost(
-        ablations.run_lookup_cost()),
-    "a4-alpha": lambda profile: ablations.format_alpha(
-        ablations.run_alpha_sweep()),
-    "a5-allocation": lambda profile: ablations.format_allocation(
-        ablations.run_allocation_ablation()),
-    "a6-deletion": lambda profile: ablations.format_deletion(
-        ablations.run_deletion_ablation()),
-    "a7-polynomial": lambda profile: ablations.format_polynomial(
-        ablations.run_polynomial_ablation()),
-    "a8-blackbox": lambda profile: ablations.format_blackbox(
-        ablations.run_blackbox_ablation()),
-    "a9-updates": lambda profile: ablations.format_update(
-        ablations.run_update_ablation()),
-    "a10-ridge": lambda profile: ablations.format_ridge(
-        ablations.run_ridge_ablation()),
-    "a11-adversaries": lambda profile: ablations.format_adversaries(
-        ablations.run_adversary_comparison()),
+    "a1-bruteforce": _plain(lambda opts: ablations.format_bruteforce(
+        ablations.run_bruteforce_equivalence())),
+    "a2-trim": _plain(lambda opts: ablations.format_trim(
+        ablations.run_trim_defense())),
+    "a3-cost": _plain(lambda opts: ablations.format_lookup_cost(
+        ablations.run_lookup_cost())),
+    "a4-alpha": _plain(lambda opts: ablations.format_alpha(
+        ablations.run_alpha_sweep())),
+    "a5-allocation": _plain(lambda opts: ablations.format_allocation(
+        ablations.run_allocation_ablation())),
+    "a6-deletion": _run_a6,
+    "a7-polynomial": _plain(lambda opts: ablations.format_polynomial(
+        ablations.run_polynomial_ablation())),
+    "a8-blackbox": _plain(lambda opts: ablations.format_blackbox(
+        ablations.run_blackbox_ablation())),
+    "a9-updates": _plain(lambda opts: ablations.format_update(
+        ablations.run_update_ablation())),
+    "a10-ridge": _plain(lambda opts: ablations.format_ridge(
+        ablations.run_ridge_ablation())),
+    "a11-adversaries": _run_a11,
 }
+
+
+def _write_result(target: str, opts: RunOptions,
+                  payload: dict[str, Any]) -> None:
+    """Emit ``<out>/<target>/result.json`` with the stable schema."""
+    out_dir = opts.checkpoint_dir(target)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    io.save_json({
+        "schema": RESULT_SCHEMA,
+        "target": target,
+        "profile": opts.profile,
+        "jobs": opts.jobs,
+        "result": payload,
+    }, out_dir / "result.json")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,12 +181,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", choices=("quick", "full"),
                         default="quick",
                         help="quick (scaled, default) or full grids")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep targets "
+                             "(default 1; results are identical)")
+    parser.add_argument("--out", type=Path, default=None, metavar="DIR",
+                        help="checkpoint cells and write result.json "
+                             "under DIR/<target>/")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --out: reuse completed cells from a "
+                             "previous run")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.resume and args.out is None:
+        parser.error("--resume requires --out")
+    if args.out is not None and args.out.exists() and not args.out.is_dir():
+        parser.error(f"--out {args.out} exists and is not a directory")
+    opts = RunOptions(profile=args.profile, jobs=args.jobs, out=args.out,
+                      resume=args.resume)
 
     targets = sorted(_TARGETS) if args.target == "all" else [args.target]
     for name in targets:
-        print(_TARGETS[name](args.profile))
+        text, payload = _TARGETS[name](opts)
+        print(text)
         print()
+        if opts.out is not None and payload is not None:
+            _write_result(name, opts, payload)
     return 0
 
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -39,6 +41,7 @@ from ..data.keyset import Domain
 from ..data.synthetic import lognormal_keyset, uniform_keyset
 from ..defense.trim import TrimResult, trim_cdf, trim_regression
 from ..index.cost import CostReport, compare_costs
+from ..runtime import Cell, CheckpointStore, SweepEngine
 from .report import format_ratio, render_table, section
 
 __all__ = [
@@ -312,29 +315,54 @@ class DeletionRow:
     deletion_ratio: float
 
 
+def _ablation_keyset_and_budget(params: dict[str, Any]):
+    """Rebuild an A-series cell's shared keyset and its budget.
+
+    Every budget cell regenerates the identical keyset from the shared
+    seed, so per-percentage comparisons stay exact across workers.
+    """
+    rng = np.random.default_rng(params["seed"])
+    keyset = uniform_keyset(
+        params["n_keys"],
+        Domain.of_size(int(params["n_keys"] / params["density"])), rng)
+    budget = int(params["n_keys"] * params["percentage"] / 100.0)
+    return keyset, budget
+
+
+def run_deletion_cell(cell: Cell) -> dict[str, Any]:
+    """One A6 budget: insertion vs deletion on the shared keyset."""
+    from ..core.deletion import greedy_delete
+
+    keyset, budget = _ablation_keyset_and_budget(cell.params_dict)
+    return {
+        "insertion_ratio": greedy_poison(keyset, budget).ratio_loss,
+        "deletion_ratio": greedy_delete(keyset, budget).ratio_loss,
+    }
+
+
 def run_deletion_ablation(n_keys: int = 1000, density: float = 0.1,
                           percentages: tuple[float, ...] = (5.0, 10.0, 20.0),
-                          seed: int = 37) -> list[DeletionRow]:
+                          seed: int = 37, jobs: int = 1,
+                          checkpoint_dir: str | Path | None = None,
+                          resume: bool = False) -> list[DeletionRow]:
     """A6: how does removing keys compare to injecting them?
 
     Both adversaries get the same budget (p keys inserted vs p keys
-    deleted) against the same uniform keyset.
+    deleted) against the same uniform keyset; every worker regenerates
+    that keyset from the shared seed, so the comparison stays exact.
     """
-    from ..core.deletion import greedy_delete
-
-    rng = np.random.default_rng(seed)
-    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
-                            rng)
-    rows = []
-    for pct in percentages:
-        budget = int(n_keys * pct / 100.0)
-        insertion = greedy_poison(keyset, budget)
-        deletion = greedy_delete(keyset, budget)
-        rows.append(DeletionRow(
-            budget_percentage=pct,
-            insertion_ratio=insertion.ratio_loss,
-            deletion_ratio=deletion.ratio_loss))
-    return rows
+    cells = [Cell.make("a6-deletion", n_keys=n_keys, density=density,
+                       percentage=pct, seed=seed)
+             for pct in percentages]
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    engine = SweepEngine(run_deletion_cell, jobs=jobs, checkpoint=store,
+                         resume=resume)
+    return [
+        DeletionRow(budget_percentage=pct,
+                    insertion_ratio=outcome["insertion_ratio"],
+                    deletion_ratio=outcome["deletion_ratio"])
+        for pct, outcome in zip(percentages, engine.run(cells))
+    ]
 
 
 def format_deletion(rows: list["DeletionRow"]) -> str:
@@ -626,31 +654,44 @@ class AdversaryRow:
     modification_ratio: float
 
 
+def run_adversary_cell(cell: Cell) -> dict[str, Any]:
+    """One A11 budget: all three adversaries on the shared keyset."""
+    from ..core.deletion import greedy_delete
+    from ..core.modification import greedy_modify
+
+    keyset, budget = _ablation_keyset_and_budget(cell.params_dict)
+    return {
+        "insertion_ratio": greedy_poison(keyset, budget).ratio_loss,
+        "deletion_ratio": greedy_delete(keyset, budget).ratio_loss,
+        "modification_ratio": greedy_modify(keyset, budget).ratio_loss,
+    }
+
+
 def run_adversary_comparison(n_keys: int = 1000, density: float = 0.1,
                              percentages: tuple[float, ...] = (
                                  5.0, 10.0, 20.0),
-                             seed: int = 59) -> list[AdversaryRow]:
+                             seed: int = 59, jobs: int = 1,
+                             checkpoint_dir: str | Path | None = None,
+                             resume: bool = False) -> list[AdversaryRow]:
     """A11: insert vs delete vs modify at equal budget.
 
     A modification spends one budget unit on a delete + insert pair,
     so it matches or beats pure insertion while leaving the key count
     untouched — the stealthiest and often strongest adversary.
     """
-    from ..core.deletion import greedy_delete
-    from ..core.modification import greedy_modify
-
-    rng = np.random.default_rng(seed)
-    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
-                            rng)
-    rows = []
-    for pct in percentages:
-        budget = int(n_keys * pct / 100.0)
-        rows.append(AdversaryRow(
-            budget_percentage=pct,
-            insertion_ratio=greedy_poison(keyset, budget).ratio_loss,
-            deletion_ratio=greedy_delete(keyset, budget).ratio_loss,
-            modification_ratio=greedy_modify(keyset, budget).ratio_loss))
-    return rows
+    cells = [Cell.make("a11-adversaries", n_keys=n_keys, density=density,
+                       percentage=pct, seed=seed)
+             for pct in percentages]
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    engine = SweepEngine(run_adversary_cell, jobs=jobs, checkpoint=store,
+                         resume=resume)
+    return [
+        AdversaryRow(budget_percentage=pct,
+                     insertion_ratio=outcome["insertion_ratio"],
+                     deletion_ratio=outcome["deletion_ratio"],
+                     modification_ratio=outcome["modification_ratio"])
+        for pct, outcome in zip(percentages, engine.run(cells))
+    ]
 
 
 def format_adversaries(rows: list["AdversaryRow"]) -> str:

@@ -17,7 +17,9 @@ section 2 records the scaling argument.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -26,10 +28,12 @@ from ..core.rmi_attack import poison_rmi
 from ..core.threat_model import RMIAttackerCapability
 from ..data.keyset import Domain
 from ..data.synthetic import lognormal_keyset, uniform_keyset
+from ..io import json_float, parse_json_float
+from ..runtime import Cell, CheckpointStore, SweepEngine, stable_text_hash
 from .report import format_ratio, render_table, section
 
-__all__ = ["Fig6Config", "Fig6Cell", "Fig6Result", "run", "quick_config",
-           "full_config"]
+__all__ = ["Fig6Config", "Fig6Cell", "Fig6Result", "plan_cells",
+           "run_rmi_cell", "run", "quick_config", "full_config"]
 
 
 @dataclass(frozen=True)
@@ -106,6 +110,26 @@ class Fig6Result:
             blocks.append(f"{section(title)}\n{table}")
         return "\n\n".join(blocks)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe summary (the CLI's ``--out`` payload)."""
+        return {
+            "n_keys": self.config.n_keys,
+            "seed": self.config.seed,
+            "cells": [
+                {
+                    "distribution": cell.distribution,
+                    "model_size": cell.model_size,
+                    "n_models": cell.n_models,
+                    "domain_multiplier": cell.domain_multiplier,
+                    "poisoning_percentage": cell.poisoning_percentage,
+                    "alpha": cell.alpha,
+                    "per_model": asdict(cell.per_model),
+                    "rmi_ratio": json_float(cell.rmi_ratio),
+                }
+                for cell in self.cells
+            ],
+        }
+
 
 def quick_config() -> Fig6Config:
     """Scaled-down grid that finishes in a couple of minutes."""
@@ -117,38 +141,100 @@ def full_config() -> Fig6Config:
     return Fig6Config(n_keys=100_000, model_sizes=(100, 1000, 10000))
 
 
-def run(config: Fig6Config | None = None) -> Fig6Result:
-    """Run every cell of the grid."""
+def _make_keyset(distribution: str, n_keys: int, multiplier: int,
+                 seed: int):
+    """The cell's keyset, regenerated deterministically per cell.
+
+    Workers cannot share the parent's keyset object, so each cell
+    rebuilds it from the same stream.  The stream seed uses a CRC-32
+    of the distribution name: the builtin ``hash(str)`` is salted per
+    interpreter, which would have made resumed runs draw different
+    keysets than the original run.
+    """
+    domain = Domain.of_size(n_keys * multiplier)
+    rng = np.random.default_rng(
+        [seed, multiplier, stable_text_hash(distribution) % 2**31])
+    if distribution == "uniform":
+        return uniform_keyset(n_keys, domain, rng)
+    return lognormal_keyset(n_keys, domain, rng)
+
+
+def plan_cells(config: Fig6Config) -> list[Cell]:
+    """One cell per (distribution, domain, model size, poison%, alpha)."""
+    return [
+        Cell.make("fig6-rmi",
+                  distribution=distribution,
+                  n_keys=config.n_keys,
+                  domain_multiplier=multiplier,
+                  model_size=model_size,
+                  poisoning_percentage=pct,
+                  alpha=alpha,
+                  max_exchanges_per_model=config.max_exchanges_per_model,
+                  seed=config.seed)
+        for distribution in config.distributions
+        for multiplier in config.domain_multipliers
+        for model_size in config.model_sizes
+        for pct in config.poisoning_percentages
+        for alpha in config.alphas
+    ]
+
+
+def run_rmi_cell(cell: Cell) -> dict[str, Any]:
+    """Mount Algorithm 2 for one grid point."""
+    p = cell.params_dict
+    keyset = _make_keyset(p["distribution"], p["n_keys"],
+                          p["domain_multiplier"], p["seed"])
+    n_models = max(p["n_keys"] // p["model_size"], 1)
+    capability = RMIAttackerCapability(
+        poisoning_percentage=p["poisoning_percentage"], alpha=p["alpha"])
+    result = poison_rmi(
+        keyset, n_models, capability,
+        max_exchanges=p["max_exchanges_per_model"] * n_models)
+    ratios = result.per_model_ratios
+    finite = ratios[np.isfinite(ratios)]
+    return {
+        "n_models": n_models,
+        "per_model_finite_ratios": finite.tolist(),
+        "rmi_ratio": json_float(result.rmi_ratio_loss),
+    }
+
+
+def run(config: Fig6Config | None = None, jobs: int = 1,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False) -> Fig6Result:
+    """Run every cell of the grid, optionally in parallel/resumable."""
     config = config or quick_config()
+    store = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        store.write_manifest({
+            "experiment": "fig6-rmi",
+            "config": {
+                "n_keys": config.n_keys,
+                "model_sizes": list(config.model_sizes),
+                "domain_multipliers": list(config.domain_multipliers),
+                "distributions": list(config.distributions),
+                "poisoning_percentages": list(
+                    config.poisoning_percentages),
+                "alphas": list(config.alphas),
+                "seed": config.seed,
+            },
+        })
+    engine = SweepEngine(run_rmi_cell, jobs=jobs, checkpoint=store,
+                         resume=resume)
+    plan = plan_cells(config)
+    outcomes = engine.run(plan)
     cells = []
-    for distribution in config.distributions:
-        for multiplier in config.domain_multipliers:
-            domain = Domain.of_size(config.n_keys * multiplier)
-            rng = np.random.default_rng(
-                [config.seed, multiplier, hash(distribution) % 2**31])
-            if distribution == "uniform":
-                keyset = uniform_keyset(config.n_keys, domain, rng)
-            else:
-                keyset = lognormal_keyset(config.n_keys, domain, rng)
-            for model_size in config.model_sizes:
-                n_models = max(config.n_keys // model_size, 1)
-                for pct in config.poisoning_percentages:
-                    for alpha in config.alphas:
-                        capability = RMIAttackerCapability(
-                            poisoning_percentage=pct, alpha=alpha)
-                        result = poison_rmi(
-                            keyset, n_models, capability,
-                            max_exchanges=(config.max_exchanges_per_model
-                                           * n_models))
-                        ratios = result.per_model_ratios
-                        finite = ratios[np.isfinite(ratios)]
-                        cells.append(Fig6Cell(
-                            distribution=distribution,
-                            model_size=model_size,
-                            n_models=n_models,
-                            domain_multiplier=multiplier,
-                            poisoning_percentage=pct,
-                            alpha=alpha,
-                            per_model=summarize(finite),
-                            rmi_ratio=result.rmi_ratio_loss))
+    for cell, outcome in zip(plan, outcomes):
+        p = cell.params_dict
+        cells.append(Fig6Cell(
+            distribution=p["distribution"],
+            model_size=p["model_size"],
+            n_models=outcome["n_models"],
+            domain_multiplier=p["domain_multiplier"],
+            poisoning_percentage=p["poisoning_percentage"],
+            alpha=p["alpha"],
+            per_model=summarize(
+                np.asarray(outcome["per_model_finite_ratios"])),
+            rmi_ratio=parse_json_float(outcome["rmi_ratio"])))
     return Fig6Result(config=config, cells=tuple(cells))

@@ -13,8 +13,9 @@ after ``k`` insertions is the loss of a ``k``-key attack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 
@@ -22,12 +23,15 @@ from ..core.greedy import greedy_poison
 from ..core.metrics import BoxplotSummary, summarize
 from ..data.keyset import Domain, KeySet
 from ..data.synthetic import normal_keyset, uniform_keyset
+from ..runtime import Cell, CheckpointStore, SweepEngine
 from .report import format_ratio, render_table, section
 
 __all__ = [
     "SweepConfig",
     "CellResult",
     "SweepResult",
+    "plan_cells",
+    "run_trial_cell",
     "run_sweep",
     "fig5_config",
     "fig8_config",
@@ -114,38 +118,136 @@ class SweepResult:
             blocks.append(f"{section(title)}\n{table}")
         return "\n\n".join(blocks)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe summary (the CLI's ``--out`` payload)."""
+        return {
+            "distribution": self.config.distribution,
+            "n_trials": self.config.n_trials,
+            "seed": self.config.seed,
+            "poisoning_percentages": list(
+                self.config.poisoning_percentages),
+            "cells": [
+                {
+                    "n_keys": cell.n_keys,
+                    "density": cell.density,
+                    "domain_size": cell.domain_size,
+                    "summaries": {f"{pct:g}": asdict(cell.summaries[pct])
+                                  for pct in
+                                  self.config.poisoning_percentages},
+                }
+                for cell in self.cells
+            ],
+        }
 
-def run_sweep(config: SweepConfig) -> SweepResult:
-    """Run the full grid and summarise ratio losses per cell."""
-    generator = _GENERATORS[config.distribution]
+
+def plan_cells(config: SweepConfig) -> list[Cell]:
+    """Expand a sweep grid into one cell per (keys, density, trial).
+
+    One greedy run at the largest percentage serves every smaller one
+    (Algorithm 1 is incremental), so the trial — not the percentage —
+    is the unit of parallel work.
+    """
     max_pct = max(config.poisoning_percentages)
+    return [
+        Cell.make("regression-sweep",
+                  distribution=config.distribution,
+                  n_keys=n_keys,
+                  density=density,
+                  max_percentage=max_pct,
+                  seed=config.seed,
+                  trial=trial)
+        for n_keys in config.key_counts
+        for density in config.densities
+        for trial in range(config.n_trials)
+    ]
+
+
+def run_trial_cell(cell: Cell) -> dict[str, Any]:
+    """Run one trial: generate its keyset, mount the greedy attack.
+
+    Seeding reproduces the pre-runtime serial path bit for bit: the
+    stream is derived from ``[seed, n_keys, density*1000, trial]``
+    exactly as the legacy loop did (pinned by the golden grid under
+    ``tests/experiments/``).
+    """
+    p = cell.params_dict
+    n_keys, density = p["n_keys"], p["density"]
+    domain = Domain.of_size(int(round(n_keys / density)))
+    rng = np.random.default_rng(
+        [p["seed"], n_keys, int(density * 1000), p["trial"]])
+    keyset = _GENERATORS[p["distribution"]](n_keys, domain, rng)
+    budget = int(n_keys * p["max_percentage"] / 100.0)
+    run = greedy_poison(keyset, budget)
+    return {
+        "domain_size": domain.size,
+        "loss_before": run.loss_before,
+        "losses": run.losses.tolist(),
+        "n_injected": run.n_injected,
+        "exhausted": run.exhausted,
+    }
+
+
+def _aggregate(config: SweepConfig,
+               trial_results: list[dict[str, Any]]) -> SweepResult:
+    """Fold per-trial results back into the per-subplot summaries."""
     cells = []
+    cursor = 0
     for n_keys in config.key_counts:
         for density in config.densities:
-            domain = Domain.of_size(int(round(n_keys / density)))
             ratios: dict[float, list[float]] = {
                 pct: [] for pct in config.poisoning_percentages}
-            for trial in range(config.n_trials):
-                rng = np.random.default_rng(
-                    [config.seed, n_keys, int(density * 1000), trial])
-                keyset = generator(n_keys, domain, rng)
-                budget = int(n_keys * max_pct / 100.0)
-                run = greedy_poison(keyset, budget)
+            domain_size = 0
+            for _ in range(config.n_trials):
+                trial = trial_results[cursor]
+                cursor += 1
+                domain_size = trial["domain_size"]
+                losses = trial["losses"]
+                loss_before = trial["loss_before"]
                 for pct in config.poisoning_percentages:
                     k = int(n_keys * pct / 100.0)
-                    k = min(k, run.n_injected)
-                    if k == 0 or run.loss_before == 0.0:
+                    k = min(k, trial["n_injected"])
+                    if k == 0 or loss_before == 0.0:
                         ratios[pct].append(1.0)
                     else:
                         ratios[pct].append(
-                            float(run.losses[k - 1]) / run.loss_before)
+                            float(losses[k - 1]) / loss_before)
             cells.append(CellResult(
                 n_keys=n_keys,
                 density=density,
-                domain_size=domain.size,
+                domain_size=domain_size,
                 summaries={pct: summarize(vals)
                            for pct, vals in ratios.items()}))
     return SweepResult(config=config, cells=tuple(cells))
+
+
+def run_sweep(config: SweepConfig, jobs: int = 1,
+              checkpoint_dir: str | Path | None = None,
+              resume: bool = False) -> SweepResult:
+    """Run the full grid and summarise ratio losses per cell.
+
+    ``jobs`` fans trials out over worker processes; ``checkpoint_dir``
+    persists each completed trial so an interrupted sweep restarted
+    with ``resume=True`` only computes what is missing.  Results are
+    identical for every combination of those options.
+    """
+    store = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        store.write_manifest({
+            "experiment": f"regression-sweep/{config.distribution}",
+            "config": {
+                "distribution": config.distribution,
+                "key_counts": list(config.key_counts),
+                "densities": list(config.densities),
+                "poisoning_percentages": list(
+                    config.poisoning_percentages),
+                "n_trials": config.n_trials,
+                "seed": config.seed,
+            },
+        })
+    engine = SweepEngine(run_trial_cell, jobs=jobs, checkpoint=store,
+                         resume=resume)
+    return _aggregate(config, engine.run(plan_cells(config)))
 
 
 def fig5_config(profile: str = "quick") -> SweepConfig:

@@ -11,8 +11,10 @@ library.
 from __future__ import annotations
 
 import json
+import os
+import uuid
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -23,8 +25,12 @@ from .data.keyset import Domain, KeySet
 __all__ = [
     "save_keyset",
     "load_keyset",
+    "save_arrays",
+    "load_arrays",
     "greedy_result_to_dict",
     "rmi_result_to_dict",
+    "json_float",
+    "parse_json_float",
     "save_json",
     "load_json",
 ]
@@ -47,6 +53,36 @@ def load_keyset(path: str | Path) -> KeySet:
     return KeySet(keys, Domain(int(lo), int(hi)))
 
 
+def save_arrays(path: str | Path, **arrays: np.ndarray) -> None:
+    """Write named numpy arrays to a ``.npz`` file (lossless).
+
+    Used by the runtime's checkpoint store for optional per-cell
+    artifacts (poison sets, loss trajectories) next to the JSON
+    summary.
+    """
+    if not arrays:
+        raise ValueError("save_arrays needs at least one named array")
+    path = Path(path)
+    if path.suffix != ".npz":
+        # Mirror savez's own name normalisation so callers find the
+        # file where numpy would have put it.
+        path = path.with_name(path.name + ".npz")
+
+    def write(tmp: Path) -> None:
+        # A file object, not a name: savez appends ".npz" to names
+        # that lack it, which would dodge the atomic rename.
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+
+    _atomic_replace(path, write)
+
+
+def load_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    """Read every array written by :func:`save_arrays`."""
+    with np.load(Path(path)) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
 def greedy_result_to_dict(result: GreedyResult) -> dict[str, Any]:
     """JSON-safe summary of an Algorithm 1 run."""
     return {
@@ -55,7 +91,7 @@ def greedy_result_to_dict(result: GreedyResult) -> dict[str, Any]:
         "poison_keys": result.poison_keys.tolist(),
         "loss_before": result.loss_before,
         "loss_after": result.loss_after,
-        "ratio_loss": _json_float(result.ratio_loss),
+        "ratio_loss": json_float(result.ratio_loss),
         "exhausted": result.exhausted,
         "loss_trajectory": result.losses.tolist(),
     }
@@ -72,7 +108,7 @@ def rmi_result_to_dict(result: RMIAttackResult) -> dict[str, Any]:
         "poison_keys": result.poison_keys.tolist(),
         "rmi_loss_before": result.rmi_loss_before,
         "rmi_loss_after": result.rmi_loss_after,
-        "rmi_ratio_loss": _json_float(result.rmi_ratio_loss),
+        "rmi_ratio_loss": json_float(result.rmi_ratio_loss),
         "per_model": [
             {
                 "model": r.model_index,
@@ -81,14 +117,14 @@ def rmi_result_to_dict(result: RMIAttackResult) -> dict[str, Any]:
                 "n_injected": r.n_injected,
                 "loss_before": r.loss_before,
                 "loss_after": r.loss_after,
-                "ratio_loss": _json_float(r.ratio_loss),
+                "ratio_loss": json_float(r.ratio_loss),
             }
             for r in result.reports
         ],
     }
 
 
-def _json_float(value: float) -> float | str:
+def json_float(value: float) -> float | str:
     """JSON has no inf/nan literals; stringify them explicitly."""
     if value != value:
         return "nan"
@@ -99,9 +135,36 @@ def _json_float(value: float) -> float | str:
     return value
 
 
+def parse_json_float(value: float | str) -> float:
+    """Inverse of :func:`json_float` (``float`` parses the sentinels)."""
+    return float(value)
+
+
+def _atomic_replace(path: Path, write: "Callable[[Path], None]") -> None:
+    """Publish a file under ``path`` only after a complete write.
+
+    The temp name embeds pid + a random suffix so concurrent writers
+    of the same destination (two sweeps sharing a checkpoint dir)
+    never touch each other's half-written files; last replace wins.
+    """
+    suffix = f".{os.getpid()}.{uuid.uuid4().hex[:8]}{path.suffix}.tmp"
+    tmp = path.with_name(path.name + suffix)
+    try:
+        write(tmp)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def save_json(payload: dict[str, Any], path: str | Path) -> None:
-    """Pretty-print a result dictionary to disk."""
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    """Pretty-print a result dictionary to disk, atomically.
+
+    A killed (or racing) writer can never leave a truncated JSON file
+    under the final name — the invariant the checkpoint store's
+    resume logic relies on.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    _atomic_replace(Path(path), lambda tmp: tmp.write_text(text))
 
 
 def load_json(path: str | Path) -> dict[str, Any]:

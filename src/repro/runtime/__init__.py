@@ -1,0 +1,32 @@
+"""Parallel experiment runtime: cells, checkpoints, and the engine.
+
+Every sweep in this reproduction is embarrassingly parallel: a grid of
+(distribution x n x poisoning-rate x seed) cells whose results are
+aggregated only at the very end.  This package factors that shape out
+of the individual experiment modules:
+
+* :mod:`repro.runtime.cell` — a :class:`Cell` is one hashable, seeded
+  unit of work (an experiment name plus canonical JSON parameters).
+* :mod:`repro.runtime.checkpoint` — a content-addressed on-disk store
+  of completed cells, so interrupted sweeps resume instead of
+  restarting.
+* :mod:`repro.runtime.engine` — the :class:`SweepEngine` fans cells
+  out over a process pool and hands the results back in plan order,
+  which makes ``jobs=1`` and ``jobs=N`` bit-identical by construction.
+
+Experiment modules keep their public ``run(config) -> result`` shape;
+they gain ``jobs`` / ``checkpoint_dir`` / ``resume`` keywords that are
+forwarded here.
+"""
+
+from .cell import Cell, stable_text_hash
+from .checkpoint import CheckpointStore
+from .engine import SweepEngine, SweepStats
+
+__all__ = [
+    "Cell",
+    "stable_text_hash",
+    "CheckpointStore",
+    "SweepEngine",
+    "SweepStats",
+]

@@ -1,0 +1,110 @@
+"""Cells: the hashable atomic units of an experiment sweep.
+
+A :class:`Cell` names one experiment plus the exact parameters of one
+grid point.  Two properties make the runtime work:
+
+* **Canonical** — parameters are JSON scalars stored in sorted key
+  order, so logically equal cells compare and hash equal no matter how
+  they were constructed.
+* **Content-addressed** — :attr:`Cell.digest` is a SHA-256 prefix of
+  the canonical JSON spec.  Checkpoint files are keyed by it, which
+  makes resume safe by construction: a cell from a different grid (or
+  an edited parameter) can never be mistaken for a completed one.
+
+Seeding: :meth:`Cell.rng` derives an independent, deterministic numpy
+stream per cell from ``seed_root + digest`` — order of execution and
+number of workers cannot leak into the randomness.  Experiments that
+predate the runtime instead keep their historical seed derivations
+inside their cell runners, so their results stay bit-identical to the
+legacy serial path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["Cell", "stable_text_hash"]
+
+_DIGEST_HEX = 16  # 64-bit prefix; ample for any realistic grid size
+
+
+def stable_text_hash(text: str) -> int:
+    """A small non-negative hash of a string, stable across processes.
+
+    Python's builtin ``hash(str)`` is salted per interpreter, which
+    silently breaks reproducibility the moment work spans more than
+    one process (workers, resumed runs).  CRC-32 is stable everywhere.
+    """
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def _canonical_scalar(key: str, value: Any) -> Any:
+    """Coerce one parameter to a canonical JSON scalar or fail loudly."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        out = float(value)
+        if out != out or out in (float("inf"), float("-inf")):
+            raise ValueError(
+                f"cell parameter {key!r} must be finite, got {out}")
+        return out
+    if isinstance(value, str):
+        return value
+    raise TypeError(
+        f"cell parameter {key!r} must be a JSON scalar, "
+        f"got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point of a sweep: experiment name + canonical params."""
+
+    experiment: str
+    params: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def make(cls, experiment: str, **params: Any) -> "Cell":
+        """Build a cell, canonicalising parameters (sorted, JSON scalars)."""
+        items = tuple(sorted(
+            (name, _canonical_scalar(name, value))
+            for name, value in params.items()))
+        return cls(experiment=experiment, params=items)
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        """Parameters as a plain dict (fresh copy)."""
+        return dict(self.params)
+
+    def spec(self) -> dict[str, Any]:
+        """JSON-safe description of the cell (what the digest covers)."""
+        return {"experiment": self.experiment, "params": self.params_dict}
+
+    def canonical_json(self) -> str:
+        """Canonical serialisation: sorted keys, no whitespace games."""
+        return json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+
+    @property
+    def digest(self) -> str:
+        """Hex content hash; the checkpoint filename key."""
+        raw = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return raw.hexdigest()[:_DIGEST_HEX]
+
+    def seed(self, seed_root: int) -> int:
+        """Deterministic per-cell seed: ``seed_root + int(digest)``."""
+        return seed_root + int(self.digest, 16)
+
+    def rng(self, seed_root: int) -> np.random.Generator:
+        """Independent numpy stream for this cell under ``seed_root``."""
+        return np.random.default_rng(self.seed(seed_root))
+
+    def matches(self, spec: Mapping[str, Any]) -> bool:
+        """Whether a stored spec describes this exact cell."""
+        return spec == self.spec()

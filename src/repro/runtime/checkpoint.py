@@ -1,0 +1,136 @@
+"""Content-addressed on-disk checkpoints for sweep cells.
+
+Layout under one root directory::
+
+    <root>/
+        manifest.json           # sweep description (informational)
+        cells/
+            <experiment>-<digest>.json   # {"schema", "cell", "result"}
+            <experiment>-<digest>.npz    # optional array artifacts
+
+Cell files are keyed by the cell's content digest, so a checkpoint
+directory may be shared across runs and even across grids: a cell
+whose parameters changed hashes to a new name and is recomputed, while
+untouched cells are reused verbatim.  Loads are defensive — a missing,
+truncated, or mismatching file simply reports the cell as not done,
+which costs a recompute instead of a wrong result.
+
+All JSON goes through :mod:`repro.io`, whose :func:`repro.io.save_json`
+is atomic; a sweep killed mid-write never corrupts its store.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from .. import io
+from .cell import Cell
+
+__all__ = ["CheckpointStore", "CELL_SCHEMA", "MANIFEST_SCHEMA"]
+
+CELL_SCHEMA = "repro.runtime.cell/v1"
+MANIFEST_SCHEMA = "repro.runtime.manifest/v1"
+
+
+class CheckpointStore:
+    """A directory of completed cells, safe to resume from."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.cells_dir = self.root / "cells"
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def cell_path(self, cell: Cell) -> Path:
+        """JSON file this cell checkpoints to."""
+        return self.cells_dir / f"{cell.experiment}-{cell.digest}.json"
+
+    def arrays_path(self, cell: Cell) -> Path:
+        """Sibling ``.npz`` for the cell's optional array artifacts."""
+        return self.cell_path(cell).with_suffix(".npz")
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def save_cell(self, cell: Cell, result: Mapping[str, Any],
+                  arrays: Mapping[str, np.ndarray] | None = None) -> None:
+        """Persist one completed cell (JSON summary + optional arrays)."""
+        payload = {
+            "schema": CELL_SCHEMA,
+            "cell": cell.spec(),
+            "result": dict(result),
+        }
+        if arrays:
+            io.save_arrays(self.arrays_path(cell), **arrays)
+        io.save_json(payload, self.cell_path(cell))
+
+    def load_cell(self, cell: Cell) -> dict[str, Any] | None:
+        """The stored result for ``cell``, or ``None`` if not done.
+
+        Unreadable or mismatching files are treated as absent; resume
+        then recomputes the cell rather than trusting a stale record.
+        """
+        path = self.cell_path(cell)
+        if not path.exists():
+            return None
+        try:
+            payload = io.load_json(path)
+        except (ValueError, OSError):
+            # ValueError covers both malformed JSON and non-UTF-8 bytes.
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != CELL_SCHEMA:
+            return None
+        if not cell.matches(payload.get("cell", {})):
+            return None
+        result = payload.get("result")
+        return result if isinstance(result, dict) else None
+
+    def load_arrays(self, cell: Cell) -> dict[str, np.ndarray]:
+        """Array artifacts saved next to the cell (empty dict if none).
+
+        Defensive like :meth:`load_cell`: a truncated or foreign
+        ``.npz`` reads as "no artifacts" rather than crashing resume.
+        """
+        path = self.arrays_path(cell)
+        if not path.exists():
+            return {}
+        try:
+            return io.load_arrays(path)
+        except (ValueError, OSError, zipfile.BadZipFile):
+            return {}
+
+    def completed(self, cells: Iterable[Cell]) -> dict[Cell, dict[str, Any]]:
+        """Subset of ``cells`` already checkpointed, with their results."""
+        done = {}
+        for cell in cells:
+            result = self.load_cell(cell)
+            if result is not None:
+                done[cell] = result
+        return done
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def write_manifest(self, meta: Mapping[str, Any]) -> None:
+        """Describe the sweep this directory belongs to (for humans)."""
+        payload = {"schema": MANIFEST_SCHEMA, **dict(meta)}
+        io.save_json(payload, self.root / "manifest.json")
+
+    def read_manifest(self) -> dict[str, Any] | None:
+        """The manifest, or ``None`` when absent/unreadable."""
+        path = self.root / "manifest.json"
+        if not path.exists():
+            return None
+        try:
+            payload = io.load_json(path)
+        except (ValueError, OSError):
+            return None
+        return payload if isinstance(payload, dict) else None

@@ -1,0 +1,147 @@
+"""The sweep engine: fan cells out, checkpoint, aggregate in order.
+
+Determinism contract
+--------------------
+``SweepEngine.run`` returns one JSON-safe result dict per cell, **in
+plan order**, regardless of how many workers computed them or which
+finished first.  Cell runners derive all randomness from the cell's
+parameters alone.  Together those two rules make ``jobs=1``,
+``jobs=N``, and any resumed combination produce identical aggregates.
+
+Execution model
+---------------
+* ``jobs=1`` runs cells inline — no pool, no pickling, the exact code
+  path a debugger wants.
+* ``jobs>1`` submits cells to a ``ProcessPoolExecutor``.  The runner
+  must be a module-level callable (picklable) and cells carry only
+  plain scalars, so both ``fork`` and ``spawn`` start methods work.
+* Checkpoints are written by the parent as results arrive — a single
+  writer, so no file races — and a run killed between cells loses at
+  most the cells in flight.  ``resume=True`` reloads every completed
+  cell from the store before any work is scheduled.
+
+A worker exception cancels the remaining queue and re-raises in the
+parent; cells that completed before the failure keep their
+checkpoints, so the fix-and-resume loop is cheap.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .cell import Cell
+from .checkpoint import CheckpointStore
+
+__all__ = ["SweepEngine", "SweepStats", "CellRunner"]
+
+CellRunner = Callable[[Cell], dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Accounting of one :meth:`SweepEngine.run` call."""
+
+    total: int      # cells in the plan
+    reused: int     # satisfied from the checkpoint store
+    computed: int   # actually executed this run
+    jobs: int       # worker processes used (1 = inline)
+
+
+class SweepEngine:
+    """Execute a plan of cells with a runner, optionally in parallel.
+
+    Parameters
+    ----------
+    runner:
+        Module-level callable ``Cell -> dict`` (JSON-safe values only,
+        so results checkpoint and aggregate identically either way).
+    jobs:
+        Worker processes; ``1`` (default) runs inline.
+    checkpoint:
+        Optional store; completed cells are written to it as they
+        finish.
+    resume:
+        Reuse completed cells from ``checkpoint`` instead of
+        recomputing them.  Safe even across edited grids: cells are
+        content-addressed, so only exact parameter matches are reused.
+    """
+
+    def __init__(self, runner: CellRunner, jobs: int = 1,
+                 checkpoint: CheckpointStore | None = None,
+                 resume: bool = False):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint store")
+        self._runner = runner
+        self._jobs = jobs
+        self._checkpoint = checkpoint
+        self._resume = resume
+        self.last_stats: SweepStats | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, cells: Sequence[Cell]) -> list[dict[str, Any]]:
+        """Execute the plan; results align index-for-index with ``cells``."""
+        results: dict[int, dict[str, Any]] = {}
+
+        # Identical cells (same digest) are computed once and shared.
+        first_index: dict[str, int] = {}
+        duplicates: dict[int, int] = {}
+        todo: list[int] = []
+        for index, cell in enumerate(cells):
+            if cell.digest in first_index:
+                duplicates[index] = first_index[cell.digest]
+                continue
+            first_index[cell.digest] = index
+            todo.append(index)
+
+        reused = 0
+        if self._resume and self._checkpoint is not None:
+            done = self._checkpoint.completed(cells[i] for i in todo)
+            remaining = []
+            for index in todo:
+                if cells[index] in done:
+                    results[index] = done[cells[index]]
+                    reused += 1
+                else:
+                    remaining.append(index)
+            todo = remaining
+
+        if self._jobs == 1 or len(todo) <= 1:
+            for index in todo:
+                results[index] = self._finish(cells[index],
+                                              self._runner(cells[index]))
+            used_jobs = 1
+        else:
+            used_jobs = min(self._jobs, len(todo))
+            with ProcessPoolExecutor(max_workers=used_jobs) as pool:
+                futures = {pool.submit(self._runner, cells[index]): index
+                           for index in todo}
+                try:
+                    # Checkpoint each cell the moment it completes, so
+                    # a run killed mid-sweep keeps everything finished.
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        results[index] = self._finish(cells[index],
+                                                      future.result())
+                except BaseException:
+                    for f in futures:
+                        f.cancel()
+                    raise
+
+        for index, source in duplicates.items():
+            results[index] = results[source]
+
+        self.last_stats = SweepStats(
+            total=len(cells), reused=reused,
+            computed=len(cells) - reused - len(duplicates), jobs=used_jobs)
+        return [results[index] for index in range(len(cells))]
+
+    # ------------------------------------------------------------------
+    def _finish(self, cell: Cell, result: dict[str, Any]) -> dict[str, Any]:
+        """Checkpoint one freshly computed cell."""
+        if self._checkpoint is not None:
+            self._checkpoint.save_cell(cell, result)
+        return result

@@ -1,0 +1,105 @@
+"""Property tests: the greedy fast path equals the reference attack.
+
+``greedy_poison`` runs Algorithm 1 through the allocation-free
+:class:`GreedyWorkspace`; the public single-step reference is
+``optimal_single_point`` over immutable :class:`KeySet` objects.  The
+fast path must pick **bit-identical poison keys** across random
+keysets — including stopping identically at the
+:class:`KeySpaceExhausted` edge — otherwise every figure built on it
+silently drifts from the paper's algorithm.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KeySpaceExhausted, greedy_poison, optimal_single_point
+from repro.data import Domain, KeySet
+
+
+def reference_greedy(keyset: KeySet, n_poison: int):
+    """Algorithm 1 via the public single-step API (the slow oracle)."""
+    chosen: list[int] = []
+    exhausted = False
+    current = keyset
+    for _ in range(n_poison):
+        try:
+            step = optimal_single_point(current, interior_only=True)
+        except KeySpaceExhausted:
+            exhausted = True
+            break
+        chosen.append(step.key)
+        current = current.insert([step.key])
+    return chosen, exhausted
+
+
+keysets = st.lists(st.integers(min_value=0, max_value=5_000),
+                   min_size=4, max_size=60, unique=True)
+
+
+@given(keysets, st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_fast_path_picks_identical_keys(raw, budget):
+    keyset = KeySet(np.asarray(sorted(raw), dtype=np.int64))
+    fast = greedy_poison(keyset, budget)
+    want_keys, want_exhausted = reference_greedy(keyset, budget)
+    assert fast.poison_keys.tolist() == want_keys
+    assert fast.exhausted == want_exhausted
+
+
+@given(st.integers(min_value=0, max_value=2**40),
+       st.integers(min_value=2, max_value=12))
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_contiguous_keysets_exhaust_identically(start, length):
+    """The KeySpaceExhausted edge: a gap-free keyset defeats both paths."""
+    keyset = KeySet(np.arange(start, start + length, dtype=np.int64))
+    fast = greedy_poison(keyset, 3)
+    assert fast.exhausted
+    assert fast.n_injected == 0
+    with pytest.raises(KeySpaceExhausted):
+        optimal_single_point(keyset, interior_only=True)
+
+
+@given(keysets)
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_exhaustion_consumes_every_interior_slot(raw):
+    """With an oversized budget the attack fills the interior exactly."""
+    keys = np.asarray(sorted(raw), dtype=np.int64)
+    keyset = KeySet(keys)
+    interior_slots = int(keys[-1] - keys[0] + 1) - keys.size
+    result = greedy_poison(keyset, interior_slots + 5)
+    assert result.exhausted
+    assert result.n_injected == interior_slots
+
+
+class TestSeededFuzzLoop:
+    """Plain seeded fuzz sweep — no hypothesis machinery in the loop,
+    so failures reproduce from the printed seed alone."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_keysets_match_reference(self, seed):
+        rng = np.random.default_rng([987, seed])
+        n = int(rng.integers(5, 80))
+        domain = Domain.of_size(int(n / rng.uniform(0.05, 0.9)) + 2)
+        keys = rng.choice(domain.size, size=n, replace=False)
+        keyset = KeySet(np.sort(keys).astype(np.int64), domain)
+        budget = int(rng.integers(1, 12))
+
+        fast = greedy_poison(keyset, budget)
+        want_keys, want_exhausted = reference_greedy(keyset, budget)
+        assert fast.poison_keys.tolist() == want_keys, (
+            f"divergence at seed={seed}: fast={fast.poison_keys.tolist()} "
+            f"reference={want_keys}")
+        assert fast.exhausted == want_exhausted
+
+    def test_dense_keyset_partial_exhaustion(self):
+        """Budget larger than the remaining gaps: both paths stop at
+        the same prefix and flag exhaustion."""
+        keyset = KeySet(np.array([0, 2, 3, 5, 6, 8], dtype=np.int64))
+        fast = greedy_poison(keyset, 10)
+        want_keys, want_exhausted = reference_greedy(keyset, 10)
+        assert want_exhausted
+        assert fast.exhausted
+        assert fast.poison_keys.tolist() == want_keys
+        assert fast.n_injected == 3  # slots 1, 4, 7

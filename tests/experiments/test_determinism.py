@@ -1,0 +1,112 @@
+"""Determinism regressions for the engine-backed sweeps.
+
+Two guarantees are pinned here:
+
+1. **Parallelism is invisible** — the same config and seed produce
+   identical aggregated results at ``jobs=1`` and ``jobs=4``, with and
+   without checkpoint/resume.
+2. **The engine reproduces the legacy serial path** — a golden grid
+   recorded from the pre-runtime ``run_sweep`` loop (same machine,
+   same numpy) is matched value for value.  The golden file lives in
+   ``tests/experiments/golden_fig5_grid.json``; tolerances are tight
+   relative bounds rather than bit-equality only to survive BLAS/
+   platform variation on other hosts.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import fig6_rmi_synthetic
+from repro.experiments.regression_sweep import SweepConfig, run_sweep
+
+GOLDEN_PATH = Path(__file__).parent / "golden_fig5_grid.json"
+
+SMALL_CONFIG = SweepConfig(
+    distribution="uniform",
+    key_counts=(60, 120),
+    densities=(0.15, 0.6),
+    poisoning_percentages=(4.0, 9.0, 13.0),
+    n_trials=4,
+    seed=7)
+
+
+def summaries_of(result):
+    return [
+        {f"{pct:g}": dataclasses.asdict(cell.summaries[pct])
+         for pct in result.config.poisoning_percentages}
+        for cell in result.cells
+    ]
+
+
+class TestJobsParity:
+    def test_jobs_1_and_4_identical(self):
+        serial = run_sweep(SMALL_CONFIG, jobs=1)
+        parallel = run_sweep(SMALL_CONFIG, jobs=4)
+        assert summaries_of(serial) == summaries_of(parallel)
+
+    def test_checkpointed_resume_identical(self, tmp_path):
+        serial = run_sweep(SMALL_CONFIG, jobs=1)
+        first = run_sweep(SMALL_CONFIG, jobs=4, checkpoint_dir=tmp_path)
+        resumed = run_sweep(SMALL_CONFIG, jobs=2, checkpoint_dir=tmp_path,
+                            resume=True)
+        assert summaries_of(first) == summaries_of(serial)
+        assert summaries_of(resumed) == summaries_of(serial)
+
+    def test_fig6_jobs_parity(self):
+        config = fig6_rmi_synthetic.Fig6Config(
+            n_keys=1000,
+            model_sizes=(100,),
+            domain_multipliers=(100,),
+            distributions=("uniform",),
+            poisoning_percentages=(5.0, 10.0),
+            alphas=(3.0,),
+            max_exchanges_per_model=1)
+        serial = fig6_rmi_synthetic.run(config, jobs=1)
+        parallel = fig6_rmi_synthetic.run(config, jobs=3)
+        assert serial.cells == parallel.cells
+
+
+class TestGoldenGrid:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text())
+
+    def test_config_matches_recorded_grid(self, golden):
+        g = golden["config"]
+        assert g["distribution"] == SMALL_CONFIG.distribution
+        assert tuple(g["key_counts"]) == SMALL_CONFIG.key_counts
+        assert tuple(g["densities"]) == SMALL_CONFIG.densities
+        assert (tuple(g["poisoning_percentages"])
+                == SMALL_CONFIG.poisoning_percentages)
+        assert g["n_trials"] == SMALL_CONFIG.n_trials
+        assert g["seed"] == SMALL_CONFIG.seed
+
+    def test_engine_reproduces_legacy_serial_output(self, golden):
+        result = run_sweep(SMALL_CONFIG, jobs=1)
+        assert len(result.cells) == len(golden["cells"])
+        for got, want in zip(result.cells, golden["cells"]):
+            assert got.n_keys == want["n_keys"]
+            assert got.density == want["density"]
+            assert got.domain_size == want["domain_size"]
+            for pct in SMALL_CONFIG.poisoning_percentages:
+                got_summary = dataclasses.asdict(got.summaries[pct])
+                want_summary = want["summaries"][f"{pct:g}"]
+                assert got_summary.keys() == want_summary.keys()
+                for field, want_value in want_summary.items():
+                    assert got_summary[field] == pytest.approx(
+                        want_value, rel=1e-9), (
+                        f"{field} drifted in cell n={got.n_keys} "
+                        f"density={got.density} pct={pct}")
+
+    def test_parallel_also_reproduces_golden(self, golden):
+        result = run_sweep(SMALL_CONFIG, jobs=4)
+        for got, want in zip(result.cells, golden["cells"]):
+            for pct in SMALL_CONFIG.poisoning_percentages:
+                got_summary = dataclasses.asdict(got.summaries[pct])
+                for field, want_value in (
+                        want["summaries"][f"{pct:g}"].items()):
+                    assert got_summary[field] == pytest.approx(
+                        want_value, rel=1e-9)

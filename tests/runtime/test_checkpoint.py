@@ -1,0 +1,122 @@
+"""Tests for the content-addressed checkpoint store."""
+
+import json
+
+import numpy as np
+
+from repro.runtime import Cell, CheckpointStore
+from repro.runtime.checkpoint import CELL_SCHEMA
+
+
+def make_cell(**params):
+    return Cell.make("test-exp", **params)
+
+
+class TestCellRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        store.save_cell(cell, {"loss": 1.5, "keys": [1, 2, 3]})
+        assert store.load_cell(cell) == {"loss": 1.5, "keys": [1, 2, 3]}
+
+    def test_missing_cell_is_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load_cell(make_cell(n=3)) is None
+
+    def test_cells_are_isolated_by_digest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save_cell(make_cell(n=3), {"v": 3})
+        store.save_cell(make_cell(n=4), {"v": 4})
+        assert store.load_cell(make_cell(n=3)) == {"v": 3}
+        assert store.load_cell(make_cell(n=4)) == {"v": 4}
+        assert store.load_cell(make_cell(n=5)) is None
+
+    def test_arrays_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        poison = np.array([5, 9, 11], dtype=np.int64)
+        losses = np.array([0.5, 1.5], dtype=np.float64)
+        store.save_cell(cell, {"ok": True},
+                        arrays={"poison": poison, "losses": losses})
+        arrays = store.load_arrays(cell)
+        assert np.array_equal(arrays["poison"], poison)
+        assert np.array_equal(arrays["losses"], losses)
+
+    def test_no_arrays_is_empty_dict(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        store.save_cell(cell, {"ok": True})
+        assert store.load_arrays(cell) == {}
+
+
+class TestDefensiveLoads:
+    def test_truncated_json_treated_as_absent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        store.save_cell(cell, {"v": 1})
+        store.cell_path(cell).write_text('{"schema": "repro')
+        assert store.load_cell(cell) is None
+
+    def test_non_utf8_bytes_treated_as_absent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        store.save_cell(cell, {"v": 1})
+        store.cell_path(cell).write_bytes(b"\xff\xfe\x00garbage")
+        assert store.load_cell(cell) is None
+
+    def test_wrong_schema_treated_as_absent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        store.cell_path(cell).write_text(json.dumps(
+            {"schema": "something-else", "cell": cell.spec(),
+             "result": {"v": 1}}))
+        assert store.load_cell(cell) is None
+
+    def test_spec_mismatch_treated_as_absent(self, tmp_path):
+        """A tampered or colliding file must not be trusted."""
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        other = make_cell(n=4)
+        store.cell_path(cell).write_text(json.dumps(
+            {"schema": CELL_SCHEMA, "cell": other.spec(),
+             "result": {"v": 4}}))
+        assert store.load_cell(cell) is None
+
+    def test_truncated_npz_treated_as_no_artifacts(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        store.save_cell(cell, {"v": 1},
+                        arrays={"poison": np.array([1], dtype=np.int64)})
+        store.arrays_path(cell).write_bytes(b"PK\x03\x04trunc")
+        assert store.load_arrays(cell) == {}
+        # The JSON summary is unaffected.
+        assert store.load_cell(cell) == {"v": 1}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save_cell(make_cell(n=3), {"v": 1})
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+
+class TestCompleted:
+    def test_reports_only_finished_cells(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        done_cell = make_cell(n=1)
+        store.save_cell(done_cell, {"v": 1})
+        cells = [done_cell, make_cell(n=2)]
+        done = store.completed(cells)
+        assert done == {done_cell: {"v": 1}}
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write_manifest({"experiment": "fig5", "config": {"seed": 7}})
+        manifest = store.read_manifest()
+        assert manifest["experiment"] == "fig5"
+        assert manifest["config"] == {"seed": 7}
+        assert manifest["schema"].startswith("repro.runtime.manifest/")
+
+    def test_absent_manifest_is_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).read_manifest() is None

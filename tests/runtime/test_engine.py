@@ -1,0 +1,147 @@
+"""Tests for the sweep engine: parity, checkpoints, resume, failures.
+
+Cell runners live at module level so worker processes can unpickle
+them by name.
+"""
+
+import pytest
+
+from repro.runtime import Cell, CheckpointStore, SweepEngine
+
+
+def square_cell(cell: Cell) -> dict:
+    return {"value": cell.params_dict["x"] ** 2}
+
+
+def marker_cell(cell: Cell) -> dict:
+    """Records each execution on disk, so reuse is observable."""
+    from pathlib import Path
+
+    p = cell.params_dict
+    marker_dir = Path(p["marker_dir"])
+    marker_dir.mkdir(exist_ok=True)
+    stamp = marker_dir / f"ran-{p['x']}"
+    count = int(stamp.read_text()) + 1 if stamp.exists() else 1
+    stamp.write_text(str(count))
+    return {"value": p["x"] ** 2}
+
+
+def failing_cell(cell: Cell) -> dict:
+    x = cell.params_dict["x"]
+    if x == 13:
+        raise RuntimeError("unlucky cell")
+    return {"value": x ** 2}
+
+
+def plan(n, **extra):
+    return [Cell.make("engine-test", x=x, **extra) for x in range(n)]
+
+
+class TestSerialExecution:
+    def test_results_align_with_plan_order(self):
+        engine = SweepEngine(square_cell, jobs=1)
+        results = engine.run(plan(5))
+        assert [r["value"] for r in results] == [0, 1, 4, 9, 16]
+
+    def test_empty_plan(self):
+        assert SweepEngine(square_cell).run([]) == []
+
+    def test_stats(self):
+        engine = SweepEngine(square_cell)
+        engine.run(plan(4))
+        stats = engine.last_stats
+        assert (stats.total, stats.computed, stats.reused) == (4, 4, 0)
+
+    def test_duplicate_cells_computed_once(self):
+        cells = plan(3) + plan(3)
+        engine = SweepEngine(square_cell)
+        results = engine.run(cells)
+        assert [r["value"] for r in results] == [0, 1, 4, 0, 1, 4]
+        assert engine.last_stats.computed == 3
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepEngine(square_cell, jobs=0)
+
+    def test_resume_requires_store(self):
+        with pytest.raises(ValueError):
+            SweepEngine(square_cell, resume=True)
+
+
+class TestParallelExecution:
+    def test_matches_serial_results(self):
+        cells = plan(12)
+        serial = SweepEngine(square_cell, jobs=1).run(cells)
+        parallel = SweepEngine(square_cell, jobs=4).run(cells)
+        assert parallel == serial
+
+    def test_more_jobs_than_cells(self):
+        results = SweepEngine(square_cell, jobs=16).run(plan(3))
+        assert [r["value"] for r in results] == [0, 1, 4]
+
+    def test_worker_exception_propagates(self):
+        engine = SweepEngine(failing_cell, jobs=2)
+        with pytest.raises(RuntimeError, match="unlucky"):
+            engine.run(plan(20))
+
+
+class TestCheckpointing:
+    def test_cells_written_as_run_progresses(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cells = plan(4)
+        SweepEngine(square_cell, checkpoint=store).run(cells)
+        for cell in cells:
+            assert store.load_cell(cell) is not None
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cells = plan(6, marker_dir=str(tmp_path / "markers"))
+
+        first = SweepEngine(marker_cell, checkpoint=store).run(cells)
+        resumed = SweepEngine(marker_cell, checkpoint=store,
+                              resume=True).run(cells)
+        assert resumed == first
+        markers = tmp_path / "markers"
+        # Every cell executed exactly once across both runs.
+        for x in range(6):
+            assert (markers / f"ran-{x}").read_text() == "1"
+        engine = SweepEngine(marker_cell, checkpoint=store, resume=True)
+        engine.run(cells)
+        assert (engine.last_stats.reused, engine.last_stats.computed) == (6, 0)
+
+    def test_partial_checkpoints_fill_in_the_rest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cells = plan(4)
+        # Simulate an interrupted run: two cells already done.
+        store.save_cell(cells[0], {"value": 0})
+        store.save_cell(cells[2], {"value": 4})
+        engine = SweepEngine(square_cell, checkpoint=store, resume=True)
+        results = engine.run(cells)
+        assert [r["value"] for r in results] == [0, 1, 4, 9]
+        assert engine.last_stats.reused == 2
+        assert engine.last_stats.computed == 2
+
+    def test_failure_keeps_finished_checkpoints(self, tmp_path):
+        """Fail mid-sweep, then resume past the repaired cell."""
+        store = CheckpointStore(tmp_path)
+        cells = [Cell.make("engine-test", x=x) for x in (1, 2, 13, 4)]
+        engine = SweepEngine(failing_cell, jobs=1, checkpoint=store)
+        with pytest.raises(RuntimeError):
+            engine.run(cells)
+        # Cells before the failure were checkpointed.
+        assert store.load_cell(cells[0]) == {"value": 1}
+        assert store.load_cell(cells[1]) == {"value": 4}
+        # A resumed run with a fixed runner completes without
+        # recomputing them (square_cell would give the same values).
+        resumed = SweepEngine(square_cell, checkpoint=store,
+                              resume=True).run(cells)
+        assert [r["value"] for r in resumed] == [1, 4, 169, 16]
+
+    def test_parallel_resume_parity(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cells = plan(10)
+        serial = SweepEngine(square_cell).run(cells)
+        store.save_cell(cells[3], {"value": 9})
+        parallel = SweepEngine(square_cell, jobs=4, checkpoint=store,
+                               resume=True).run(cells)
+        assert parallel == serial

@@ -22,6 +22,48 @@ class TestKeysetRoundTrip:
         io.save_keyset(keyset, path)
         assert io.load_keyset(path).domain == Domain(0, 100)
 
+    def test_extreme_int64_domain_bounds(self, tmp_path):
+        """Keys and bounds at the edge of int64 survive losslessly."""
+        hi = 2**63 - 1
+        keyset = KeySet([0, hi - 1, hi], Domain(0, hi))
+        path = tmp_path / "keys.npz"
+        io.save_keyset(keyset, path)
+        loaded = io.load_keyset(path)
+        assert loaded == keyset
+        assert loaded.domain.hi == hi
+        assert loaded.keys.dtype == np.int64
+        assert loaded.keys.tolist() == [0, hi - 1, hi]
+
+    def test_large_offset_domain(self, tmp_path):
+        lo = 2**62
+        keyset = KeySet([lo, lo + 7], Domain(lo, lo + 100))
+        path = tmp_path / "keys.npz"
+        io.save_keyset(keyset, path)
+        assert io.load_keyset(path) == keyset
+
+
+class TestArraysRoundTrip:
+    def test_named_arrays(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        io.save_arrays(path, poison=np.array([1, 2], dtype=np.int64),
+                       losses=np.array([0.5], dtype=np.float64))
+        loaded = io.load_arrays(path)
+        assert set(loaded) == {"poison", "losses"}
+        assert loaded["poison"].tolist() == [1, 2]
+        assert loaded["losses"].tolist() == [0.5]
+
+    def test_empty_array_round_trips(self, tmp_path):
+        """An exhausted attack ships an empty poison set."""
+        path = tmp_path / "arrays.npz"
+        io.save_arrays(path, poison=np.empty(0, dtype=np.int64))
+        loaded = io.load_arrays(path)
+        assert loaded["poison"].size == 0
+        assert loaded["poison"].dtype == np.int64
+
+    def test_no_arrays_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            io.save_arrays(tmp_path / "arrays.npz")
+
 
 class TestGreedyResultDict:
     def test_fields(self, rng):
@@ -45,6 +87,46 @@ class TestGreedyResultDict:
         path = tmp_path / "attack.json"
         io.save_json(payload, path)
         assert io.load_json(path) == payload
+
+    def test_empty_poison_set(self, rng):
+        """Zero budget: no keys, no trajectory, ratio exactly 1."""
+        keyset = uniform_keyset(50, Domain(0, 999), rng)
+        payload = io.greedy_result_to_dict(greedy_poison(keyset, 0))
+        assert payload["n_injected"] == 0
+        assert payload["poison_keys"] == []
+        assert payload["loss_trajectory"] == []
+        assert payload["ratio_loss"] == 1.0
+
+    def test_exhausted_attack_round_trips(self, tmp_path):
+        """A gap-free keyset exhausts immediately: empty poison set."""
+        keyset = KeySet([7, 8, 9, 10])
+        result = greedy_poison(keyset, 3)
+        payload = io.greedy_result_to_dict(result)
+        assert payload["exhausted"] is True
+        assert payload["poison_keys"] == []
+        path = tmp_path / "exhausted.json"
+        io.save_json(payload, path)
+        assert io.load_json(path) == payload
+
+
+class TestJsonFloat:
+    def test_round_trip_of_sentinels(self):
+        for value in (float("inf"), float("-inf"), 1.5, 0.0):
+            encoded = io.json_float(value)
+            assert io.parse_json_float(encoded) == value
+
+    def test_nan_round_trip(self):
+        encoded = io.json_float(float("nan"))
+        assert encoded == "nan"
+        decoded = io.parse_json_float(encoded)
+        assert decoded != decoded
+
+    def test_save_json_atomic_no_temp_left(self, tmp_path):
+        path = tmp_path / "payload.json"
+        io.save_json({"a": 1}, path)
+        io.save_json({"a": 2}, path)  # overwrite also atomic
+        assert io.load_json(path) == {"a": 2}
+        assert list(tmp_path.glob("*.tmp")) == []
 
 
 class TestRmiResultDict:
