@@ -9,20 +9,60 @@ Targets mirror the paper's figures and the ablations:
 ``--profile quick`` (default) runs the scaled-down configurations;
 ``--profile full`` runs the larger grids recorded in EXPERIMENTS.md.
 
-Runtime flags (engine-backed targets: fig5, fig6, fig8, a6, a11):
+Runtime flags (engine-backed targets: fig5, fig6, fig7, fig8 and the
+ablations a1-a6, a11):
 
 ``--jobs N``
-    Fan the sweep's cells out over N worker processes.  Results are
-    bit-identical to ``--jobs 1``.
+    Fan the sweep's cells out over N workers.  Results are
+    bit-identical to ``--jobs 1``.  (Sole exception:
+    ``a1-bruteforce`` is a timing benchmark, so its wall-clock
+    columns — and only those — differ between any two runs, and at
+    ``--jobs`` > 1 they additionally measure worker contention; its
+    equivalence verdicts are deterministic.)
+``--executor {process,thread}``
+    Pool backend for ``--jobs`` > 1.  ``process`` (default) isolates
+    cells in worker processes; ``thread`` skips pickling and suits the
+    numpy-heavy cell runners, whose kernels release the GIL.  Both
+    backends produce identical results.
 ``--out DIR``
     Checkpoint completed cells under ``DIR/<target>/`` and write the
-    aggregated summary to ``DIR/<target>/result.json``.
+    aggregated summary to ``DIR/<target>/result.json``.  Cells that
+    emit array artifacts (fig7 poison sets, a2 poison sets) store them
+    as sibling ``.npz`` files, indexed by the result's artifact
+    manifest.
 ``--resume``
     With ``--out``, reuse completed cells from a previous (possibly
     interrupted) run instead of recomputing them.
 
-Targets that are not sweeps ignore ``--jobs``/``--resume`` and simply
-skip the ``result.json`` payload.
+Targets that are not sweeps ignore ``--jobs``/``--executor``/
+``--resume`` and simply skip the ``result.json`` payload.
+
+Result schema (``repro.experiments.result/v2``)
+-----------------------------------------------
+``result.json`` carries::
+
+    {
+      "schema":    "repro.experiments.result/v2",
+      "target":    "<target name>",
+      "profile":   "quick" | "full",
+      "jobs":      <int>,
+      "executor":  "process" | "thread",
+      "result":    { ... target-specific summary ... },
+      "artifacts": [{"file": "cells/<name>.npz",
+                     "arrays": ["<array name>", ...]}, ...]
+    }
+
+v1 -> v2 compatibility: v2 adds the ``executor`` and ``artifacts``
+keys and changes nothing else — the ``result`` payload of every
+pre-existing target is byte-compatible with v1, so readers that only
+consume ``result`` keep working unchanged.  Readers that dispatch on
+``schema`` should accept both ids and treat a missing ``artifacts``
+list (v1) as empty.  Each artifact entry names a ``.npz`` relative to
+the target's output directory, loadable with
+:func:`repro.io.load_arrays`.  The manifest covers exactly the cells
+of the run that wrote the result — stale artifacts of other grids
+sharing the (content-addressed) checkpoint directory are never
+listed.
 """
 
 from __future__ import annotations
@@ -34,6 +74,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from .. import io
+from ..runtime import EXECUTORS, CheckpointStore
 from . import (
     ablations,
     fig2_compound_effect,
@@ -43,8 +84,9 @@ from . import (
     fig7_rmi_realworld,
 )
 from .regression_sweep import fig5_config, fig8_config, run_sweep
+from .regression_sweep import plan_cells as plan_regression
 
-RESULT_SCHEMA = "repro.experiments.result/v1"
+RESULT_SCHEMA = "repro.experiments.result/v2"
 
 
 @dataclass(frozen=True)
@@ -55,74 +97,148 @@ class RunOptions:
     jobs: int = 1
     out: Path | None = None
     resume: bool = False
+    executor: str = "process"
 
     def checkpoint_dir(self, target: str) -> Path | None:
         """Per-target checkpoint directory under ``--out`` (if any)."""
         return self.out / target if self.out is not None else None
 
-
-# Each target returns (formatted text, JSON payload or None).
-Target = Callable[[RunOptions], tuple[str, dict[str, Any] | None]]
-
-
-def _run_fig5(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
-    result = run_sweep(fig5_config(opts.profile), jobs=opts.jobs,
-                       checkpoint_dir=opts.checkpoint_dir("fig5"),
-                       resume=opts.resume)
-    return result.format(), result.to_dict()
+    def engine_kwargs(self, target: str) -> dict[str, Any]:
+        """The runtime keywords every engine-backed target forwards."""
+        return {
+            "jobs": self.jobs,
+            "checkpoint_dir": self.checkpoint_dir(target),
+            "resume": self.resume,
+            "executor": self.executor,
+        }
 
 
-def _run_fig8(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
-    result = run_sweep(fig8_config(opts.profile), jobs=opts.jobs,
-                       checkpoint_dir=opts.checkpoint_dir("fig8"),
-                       resume=opts.resume)
-    return result.format(), result.to_dict()
+# Each target returns (formatted text, JSON payload or None, plan).
+# The plan — this run's cells — scopes the artifact manifest: the
+# checkpoint directory is content-addressed and shared across runs, so
+# only the current plan's artifacts belong in this run's result.json.
+TargetOutput = tuple[str, "dict[str, Any] | None", "list[Any]"]
+Target = Callable[[RunOptions], TargetOutput]
 
 
-def _run_fig6(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
+def _run_fig5(opts: RunOptions) -> TargetOutput:
+    config = fig5_config(opts.profile)
+    result = run_sweep(config, **opts.engine_kwargs("fig5"))
+    return result.format(), result.to_dict(), plan_regression(config)
+
+
+def _run_fig8(opts: RunOptions) -> TargetOutput:
+    config = fig8_config(opts.profile)
+    result = run_sweep(config, **opts.engine_kwargs("fig8"))
+    return result.format(), result.to_dict(), plan_regression(config)
+
+
+def _run_fig6(opts: RunOptions) -> TargetOutput:
     config = (fig6_rmi_synthetic.full_config() if opts.profile == "full"
               else fig6_rmi_synthetic.quick_config())
-    result = fig6_rmi_synthetic.run(
-        config, jobs=opts.jobs,
-        checkpoint_dir=opts.checkpoint_dir("fig6"), resume=opts.resume)
-    return result.format(), result.to_dict()
+    result = fig6_rmi_synthetic.run(config, **opts.engine_kwargs("fig6"))
+    return (result.format(), result.to_dict(),
+            fig6_rmi_synthetic.plan_cells(config))
 
 
-def _run_fig7(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
+def _run_fig7(opts: RunOptions) -> TargetOutput:
     config = (fig7_rmi_realworld.full_config() if opts.profile == "full"
               else fig7_rmi_realworld.quick_config())
-    return fig7_rmi_realworld.run(config).format(), None
+    result = fig7_rmi_realworld.run(config, **opts.engine_kwargs("fig7"))
+    return (result.format(), result.to_dict(),
+            fig7_rmi_realworld.plan_cells(config))
 
 
-def _run_a6(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
+def _run_a1(opts: RunOptions) -> TargetOutput:
+    rows = ablations.run_bruteforce_equivalence(
+        **opts.engine_kwargs("a1-bruteforce"))
+    payload = {"rows": [
+        {"n_keys": r.n_keys, "domain_size": r.domain_size,
+         "same_key": r.same_key,
+         "fast_seconds": r.fast_seconds,
+         "brute_seconds": r.brute_seconds,
+         "speedup": io.json_float(r.speedup)}
+        for r in rows]}
+    return (ablations.format_bruteforce(rows), payload,
+            ablations.plan_bruteforce_cells())
+
+
+def _run_a2(opts: RunOptions) -> TargetOutput:
+    rows = ablations.run_trim_defense(**opts.engine_kwargs("a2-trim"))
+    payload = {"rows": [
+        {"poisoning_percentage": r.poisoning_percentage,
+         "attack_ratio": io.json_float(r.attack_ratio),
+         "variant": r.variant,
+         "recall": r.recall, "precision": r.precision,
+         "residual_ratio": io.json_float(r.residual_ratio)}
+        for r in rows]}
+    return (ablations.format_trim(rows), payload,
+            ablations.plan_trim_cells())
+
+
+def _run_a3(opts: RunOptions) -> TargetOutput:
+    reports = ablations.run_lookup_cost(**opts.engine_kwargs("a3-cost"))
+    payload = {"reports": [
+        {"structure": r.structure, "mean_cost": r.mean_cost,
+         "max_cost": r.max_cost, "n_queries": r.n_queries}
+        for r in reports]}
+    return (ablations.format_lookup_cost(reports), payload,
+            ablations.plan_lookup_cost_cells())
+
+
+def _run_a4(opts: RunOptions) -> TargetOutput:
+    rows = ablations.run_alpha_sweep(**opts.engine_kwargs("a4-alpha"))
+    payload = {"rows": [
+        {"alpha": r.alpha,
+         "rmi_ratio": io.json_float(r.rmi_ratio),
+         "max_model_ratio": io.json_float(r.max_model_ratio),
+         "exchanges": r.exchanges}
+        for r in rows]}
+    return (ablations.format_alpha(rows), payload,
+            ablations.plan_alpha_cells())
+
+
+def _run_a5(opts: RunOptions) -> TargetOutput:
+    rows = ablations.run_allocation_ablation(
+        **opts.engine_kwargs("a5-allocation"))
+    payload = {"rows": [
+        {"distribution": r.distribution,
+         "uniform_ratio": io.json_float(r.uniform_ratio),
+         "greedy_ratio": io.json_float(r.greedy_ratio),
+         "improvement": io.json_float(r.improvement)}
+        for r in rows]}
+    return (ablations.format_allocation(rows), payload,
+            ablations.plan_allocation_cells())
+
+
+def _run_a6(opts: RunOptions) -> TargetOutput:
     rows = ablations.run_deletion_ablation(
-        jobs=opts.jobs, checkpoint_dir=opts.checkpoint_dir("a6-deletion"),
-        resume=opts.resume)
+        **opts.engine_kwargs("a6-deletion"))
     payload = {"rows": [
         {"budget_percentage": r.budget_percentage,
          "insertion_ratio": io.json_float(r.insertion_ratio),
          "deletion_ratio": io.json_float(r.deletion_ratio)}
         for r in rows]}
-    return ablations.format_deletion(rows), payload
+    return (ablations.format_deletion(rows), payload,
+            ablations.plan_deletion_cells())
 
 
-def _run_a11(opts: RunOptions) -> tuple[str, dict[str, Any] | None]:
+def _run_a11(opts: RunOptions) -> TargetOutput:
     rows = ablations.run_adversary_comparison(
-        jobs=opts.jobs,
-        checkpoint_dir=opts.checkpoint_dir("a11-adversaries"),
-        resume=opts.resume)
+        **opts.engine_kwargs("a11-adversaries"))
     payload = {"rows": [
         {"budget_percentage": r.budget_percentage,
          "insertion_ratio": io.json_float(r.insertion_ratio),
          "deletion_ratio": io.json_float(r.deletion_ratio),
          "modification_ratio": io.json_float(r.modification_ratio)}
         for r in rows]}
-    return ablations.format_adversaries(rows), payload
+    return (ablations.format_adversaries(rows), payload,
+            ablations.plan_adversary_cells())
 
 
 def _plain(render: Callable[[RunOptions], str]) -> Target:
     """Wrap a non-sweep target: formatted text only, no payload."""
-    return lambda opts: (render(opts), None)
+    return lambda opts: (render(opts), None, [])
 
 
 _TARGETS: dict[str, Target] = {
@@ -133,16 +249,11 @@ _TARGETS: dict[str, Target] = {
     "fig6": _run_fig6,
     "fig7": _run_fig7,
     "fig8": _run_fig8,
-    "a1-bruteforce": _plain(lambda opts: ablations.format_bruteforce(
-        ablations.run_bruteforce_equivalence())),
-    "a2-trim": _plain(lambda opts: ablations.format_trim(
-        ablations.run_trim_defense())),
-    "a3-cost": _plain(lambda opts: ablations.format_lookup_cost(
-        ablations.run_lookup_cost())),
-    "a4-alpha": _plain(lambda opts: ablations.format_alpha(
-        ablations.run_alpha_sweep())),
-    "a5-allocation": _plain(lambda opts: ablations.format_allocation(
-        ablations.run_allocation_ablation())),
+    "a1-bruteforce": _run_a1,
+    "a2-trim": _run_a2,
+    "a3-cost": _run_a3,
+    "a4-alpha": _run_a4,
+    "a5-allocation": _run_a5,
     "a6-deletion": _run_a6,
     "a7-polynomial": _plain(lambda opts: ablations.format_polynomial(
         ablations.run_polynomial_ablation())),
@@ -156,8 +267,39 @@ _TARGETS: dict[str, Target] = {
 }
 
 
+def _collect_artifacts(out_dir: Path,
+                       plan: list[Any]) -> list[dict[str, Any]]:
+    """Manifest of this run's ``.npz`` artifacts.
+
+    Scoped to the plan's cells — the checkpoint directory is shared
+    across runs (content addressing keeps stale cells of other grids
+    around on purpose), but this run's result must only index its own
+    artifacts.  Defensive like the checkpoint store: an unreadable
+    archive is skipped rather than fatal.
+    """
+    store = CheckpointStore(out_dir)
+    entries = []
+    seen: set[str] = set()
+    for cell in plan:
+        if cell.digest in seen:
+            continue
+        seen.add(cell.digest)
+        path = store.arrays_path(cell)
+        if not path.exists():
+            continue
+        try:
+            names = io.npz_array_names(path)
+        except Exception:
+            continue
+        # as_posix keeps the manifest portable: a result written on
+        # Windows must still resolve on POSIX readers.
+        entries.append({"file": path.relative_to(out_dir).as_posix(),
+                        "arrays": names})
+    return entries
+
+
 def _write_result(target: str, opts: RunOptions,
-                  payload: dict[str, Any]) -> None:
+                  payload: dict[str, Any], plan: list[Any]) -> None:
     """Emit ``<out>/<target>/result.json`` with the stable schema."""
     out_dir = opts.checkpoint_dir(target)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -166,7 +308,9 @@ def _write_result(target: str, opts: RunOptions,
         "target": target,
         "profile": opts.profile,
         "jobs": opts.jobs,
+        "executor": opts.executor,
         "result": payload,
+        "artifacts": _collect_artifacts(out_dir, plan),
     }, out_dir / "result.json")
 
 
@@ -182,11 +326,18 @@ def main(argv: list[str] | None = None) -> int:
                         default="quick",
                         help="quick (scaled, default) or full grids")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes for sweep targets "
+                        help="workers for sweep targets "
                              "(default 1; results are identical)")
+    parser.add_argument("--executor", choices=sorted(EXECUTORS),
+                        default="process",
+                        help="pool backend for --jobs > 1: isolated "
+                             "processes (default) or threads for the "
+                             "GIL-releasing numpy runners; results "
+                             "are identical")
     parser.add_argument("--out", type=Path, default=None, metavar="DIR",
-                        help="checkpoint cells and write result.json "
-                             "under DIR/<target>/")
+                        help="checkpoint cells (and .npz artifacts) "
+                             "and write result.json under "
+                             "DIR/<target>/")
     parser.add_argument("--resume", action="store_true",
                         help="with --out: reuse completed cells from a "
                              "previous run")
@@ -198,15 +349,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None and args.out.exists() and not args.out.is_dir():
         parser.error(f"--out {args.out} exists and is not a directory")
     opts = RunOptions(profile=args.profile, jobs=args.jobs, out=args.out,
-                      resume=args.resume)
+                      resume=args.resume, executor=args.executor)
 
     targets = sorted(_TARGETS) if args.target == "all" else [args.target]
     for name in targets:
-        text, payload = _TARGETS[name](opts)
+        text, payload, plan = _TARGETS[name](opts)
         print(text)
         print()
         if opts.out is not None and payload is not None:
-            _write_result(name, opts, payload)
+            _write_result(name, opts, payload, plan)
     return 0
 
 

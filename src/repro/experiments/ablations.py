@@ -41,22 +41,39 @@ from ..data.keyset import Domain
 from ..data.synthetic import lognormal_keyset, uniform_keyset
 from ..defense.trim import TrimResult, trim_cdf, trim_regression
 from ..index.cost import CostReport, compare_costs
-from ..runtime import Cell, CheckpointStore, SweepEngine
+from ..io import json_float, parse_json_float
+from ..runtime import (
+    Cell,
+    CellOutput,
+    CheckpointStore,
+    SweepEngine,
+    stable_seed_words,
+)
 from .report import format_ratio, render_table, section
 
 __all__ = [
-    "BruteForceRow", "run_bruteforce_equivalence",
-    "TrimRow", "run_trim_defense",
-    "run_lookup_cost",
-    "AlphaRow", "run_alpha_sweep",
-    "AllocationRow", "run_allocation_ablation",
-    "DeletionRow", "run_deletion_ablation",
+    "BruteForceRow", "plan_bruteforce_cells",
+    "run_bruteforce_equivalence",
+    "TrimRow", "plan_trim_cells", "run_trim_defense",
+    "plan_lookup_cost_cells", "run_lookup_cost",
+    "AlphaRow", "plan_alpha_cells", "run_alpha_sweep",
+    "AllocationRow", "plan_allocation_cells",
+    "run_allocation_ablation",
+    "DeletionRow", "plan_deletion_cells", "run_deletion_ablation",
     "PolynomialRow", "run_polynomial_ablation",
     "BlackboxReport", "run_blackbox_ablation",
     "UpdateChannelReport", "run_update_ablation",
     "RidgeRow", "run_ridge_ablation",
-    "AdversaryRow", "run_adversary_comparison",
+    "AdversaryRow", "plan_adversary_cells", "run_adversary_comparison",
 ]
+
+
+def _engine(runner, jobs: int, checkpoint_dir: str | Path | None,
+            resume: bool, executor: str) -> SweepEngine:
+    """The sweep engine every A-series ablation shares."""
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    return SweepEngine(runner, jobs=jobs, checkpoint=store,
+                       resume=resume, executor=executor)
 
 
 # ----------------------------------------------------------------------
@@ -75,30 +92,66 @@ class BruteForceRow:
     speedup: float
 
 
+def plan_bruteforce_cells(key_counts: tuple[int, ...] = (50, 100, 200),
+                          density: float = 0.05,
+                          seed: int = 5) -> list[Cell]:
+    """A1's plan: one cell per key count (defaults mirror the run)."""
+    return [Cell.make("a1-bruteforce", n_keys=n, density=density,
+                      seed=seed)
+            for n in key_counts]
+
+
+def run_bruteforce_cell(cell: Cell) -> dict[str, Any]:
+    """One A1 key count: equivalence check plus wall-clock timing."""
+    p = cell.params_dict
+    n = p["n_keys"]
+    rng = np.random.default_rng([p["seed"], n])
+    keyset = uniform_keyset(n, Domain.of_size(int(n / p["density"])), rng)
+    t0 = time.perf_counter()
+    fast = optimal_single_point(keyset)
+    fast_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    brute = brute_force_single_point(keyset)
+    brute_s = time.perf_counter() - t0
+    return {
+        "domain_size": keyset.m,
+        "same_key": bool(fast.key == brute.key
+                         and abs(fast.loss_after - brute.loss_after)
+                         <= 1e-7 * max(1.0, brute.loss_after)),
+        "fast_seconds": fast_s,
+        "brute_seconds": brute_s,
+        "speedup": json_float(brute_s / fast_s if fast_s > 0
+                              else float("inf")),
+    }
+
+
 def run_bruteforce_equivalence(
         key_counts: tuple[int, ...] = (50, 100, 200),
-        density: float = 0.05, seed: int = 5) -> list[BruteForceRow]:
-    """A1: the O(n) attack must match the O(m n) oracle, faster."""
-    rows = []
-    for n in key_counts:
-        rng = np.random.default_rng([seed, n])
-        keyset = uniform_keyset(n, Domain.of_size(int(n / density)), rng)
-        t0 = time.perf_counter()
-        fast = optimal_single_point(keyset)
-        fast_s = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        brute = brute_force_single_point(keyset)
-        brute_s = time.perf_counter() - t0
-        rows.append(BruteForceRow(
+        density: float = 0.05, seed: int = 5, jobs: int = 1,
+        checkpoint_dir: str | Path | None = None, resume: bool = False,
+        executor: str = "process") -> list[BruteForceRow]:
+    """A1: the O(n) attack must match the O(m n) oracle, faster.
+
+    The equivalence verdict is deterministic; the timings are not, so
+    resumed runs keep the wall-clock numbers of the run that computed
+    each cell (which is what a benchmark log should do).  With
+    ``jobs > 1`` the cells time each other's contention as well —
+    run at ``jobs=1`` when the milliseconds themselves matter; the
+    asymptotic gap dwarfs contention either way.
+    """
+    cells = plan_bruteforce_cells(key_counts, density, seed)
+    engine = _engine(run_bruteforce_cell, jobs, checkpoint_dir, resume,
+                     executor)
+    return [
+        BruteForceRow(
             n_keys=n,
-            domain_size=keyset.m,
-            same_key=(fast.key == brute.key
-                      and abs(fast.loss_after - brute.loss_after)
-                      <= 1e-7 * max(1.0, brute.loss_after)),
-            fast_seconds=fast_s,
-            brute_seconds=brute_s,
-            speedup=brute_s / fast_s if fast_s > 0 else float("inf")))
-    return rows
+            domain_size=outcome["domain_size"],
+            same_key=outcome["same_key"],
+            fast_seconds=outcome["fast_seconds"],
+            brute_seconds=outcome["brute_seconds"],
+            speedup=parse_json_float(outcome["speedup"]))
+        for n, outcome in zip(key_counts, engine.run(cells))
+    ]
 
 
 def format_bruteforce(rows: list[BruteForceRow]) -> str:
@@ -133,37 +186,81 @@ def _residual_ratio(defended: TrimResult, clean_loss: float) -> float:
     return defended.final_loss / clean_loss
 
 
+def plan_trim_cells(n_keys: int = 1000, density: float = 0.1,
+                    percentages: tuple[float, ...] = (5.0, 10.0, 20.0),
+                    seed: int = 13) -> list[Cell]:
+    """A2's plan: one cell per poisoning percentage."""
+    return [Cell.make("a2-trim", n_keys=n_keys, density=density,
+                      percentage=pct, seed=seed)
+            for pct in percentages]
+
+
+def run_trim_cell(cell: Cell) -> CellOutput:
+    """One A2 percentage: poison the shared keyset, run both TRIMs.
+
+    Every cell regenerates the identical keyset from the shared seed
+    (the legacy loop built it once), so per-percentage comparisons
+    stay exact across workers.  The poisoning set rides along as an
+    ``.npz`` artifact for offline defense analysis.
+    """
+    p = cell.params_dict
+    n_keys = p["n_keys"]
+    rng = np.random.default_rng(p["seed"])
+    keyset = uniform_keyset(
+        n_keys, Domain.of_size(int(n_keys / p["density"])), rng)
+    budget = int(n_keys * p["percentage"] / 100.0)
+    attack = greedy_poison(keyset, budget)
+    poisoned = keyset.insert(attack.poison_keys)
+    clean_loss = attack.loss_before
+
+    classic = trim_regression(
+        poisoned.keys.astype(np.float64),
+        poisoned.ranks.astype(np.float64), n_keep=n_keys, seed=p["seed"])
+    aware = trim_cdf(poisoned.keys, n_keep=n_keys, seed=p["seed"])
+    variants = {}
+    for variant, res in (("classic", classic), ("rank-aware", aware)):
+        variants[variant] = {
+            "recall": res.recall_against(attack.poison_keys),
+            "precision": res.precision_against(attack.poison_keys),
+            "residual_ratio": json_float(
+                _residual_ratio(res, clean_loss)),
+        }
+    return CellOutput(
+        result={
+            "attack_ratio": json_float(attack.ratio_loss),
+            "variants": variants,
+        },
+        arrays={"poison_keys": np.asarray(attack.poison_keys,
+                                          dtype=np.int64)})
+
+
 def run_trim_defense(n_keys: int = 1000, density: float = 0.1,
                      percentages: tuple[float, ...] = (5.0, 10.0, 20.0),
-                     seed: int = 13) -> list[TrimRow]:
+                     seed: int = 13, jobs: int = 1,
+                     checkpoint_dir: str | Path | None = None,
+                     resume: bool = False,
+                     executor: str = "process") -> list[TrimRow]:
     """A2: can TRIM undo the CDF attack?
 
     For each percentage: poison, then hand the defense the poisoned
     keyset and the true clean count ``n`` (the most charitable
     setting), and measure how much loss survives after trimming.
     """
-    rng = np.random.default_rng(seed)
-    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
-                            rng)
+    cells = plan_trim_cells(n_keys, density, percentages, seed)
+    engine = _engine(run_trim_cell, jobs, checkpoint_dir, resume,
+                     executor)
     rows = []
-    for pct in percentages:
-        budget = int(n_keys * pct / 100.0)
-        attack = greedy_poison(keyset, budget)
-        poisoned = keyset.insert(attack.poison_keys)
-        clean_loss = attack.loss_before
-
-        classic = trim_regression(
-            poisoned.keys.astype(np.float64),
-            poisoned.ranks.astype(np.float64), n_keep=n_keys, seed=seed)
-        aware = trim_cdf(poisoned.keys, n_keep=n_keys, seed=seed)
-        for variant, res in (("classic", classic), ("rank-aware", aware)):
+    for pct, outcome in zip(percentages, engine.run(cells)):
+        for variant in ("classic", "rank-aware"):
+            scores = outcome["variants"][variant]
             rows.append(TrimRow(
                 poisoning_percentage=pct,
-                attack_ratio=attack.ratio_loss,
+                attack_ratio=parse_json_float(outcome["attack_ratio"]),
                 variant=variant,
-                recall=res.recall_against(attack.poison_keys),
-                precision=res.precision_against(attack.poison_keys),
-                residual_ratio=_residual_ratio(res, clean_loss)))
+                recall=scores["recall"],
+                precision=scores["precision"],
+                residual_ratio=parse_json_float(
+                    scores["residual_ratio"])))
     return rows
 
 
@@ -181,20 +278,60 @@ def format_trim(rows: list[TrimRow]) -> str:
 # A3: end-to-end lookup cost
 # ----------------------------------------------------------------------
 
-def run_lookup_cost(n_keys: int = 20_000, density: float = 0.1,
-                    model_size: int = 200, poisoning_percentage: float = 10.0,
-                    seed: int = 17) -> list[CostReport]:
-    """A3: clean RMI vs poisoned RMI vs B-Tree probe counts."""
-    rng = np.random.default_rng(seed)
-    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
-                            rng)
-    n_models = max(n_keys // model_size, 1)
+def plan_lookup_cost_cells(n_keys: int = 20_000, density: float = 0.1,
+                           model_size: int = 200,
+                           poisoning_percentage: float = 10.0,
+                           seed: int = 17) -> list[Cell]:
+    """A3's plan: a single cell."""
+    return [Cell.make("a3-cost", n_keys=n_keys, density=density,
+                      model_size=model_size,
+                      poisoning_percentage=poisoning_percentage,
+                      seed=seed)]
+
+
+def run_lookup_cost_cell(cell: Cell) -> dict[str, Any]:
+    """The single A3 cell: attack once, probe all three structures."""
+    p = cell.params_dict
+    n_keys = p["n_keys"]
+    rng = np.random.default_rng(p["seed"])
+    keyset = uniform_keyset(
+        n_keys, Domain.of_size(int(n_keys / p["density"])), rng)
+    n_models = max(n_keys // p["model_size"], 1)
     capability = RMIAttackerCapability(
-        poisoning_percentage=poisoning_percentage, alpha=3.0)
+        poisoning_percentage=p["poisoning_percentage"], alpha=3.0)
     attack = poison_rmi(keyset, n_models, capability,
                         max_exchanges=n_models)
     poisoned = keyset.insert(attack.poison_keys)
-    return compare_costs(keyset.keys, poisoned.keys, n_models, seed=seed)
+    reports = compare_costs(keyset.keys, poisoned.keys, n_models,
+                            seed=p["seed"])
+    return {"reports": [
+        {"structure": r.structure, "mean_cost": r.mean_cost,
+         "max_cost": r.max_cost, "n_queries": r.n_queries}
+        for r in reports]}
+
+
+def run_lookup_cost(n_keys: int = 20_000, density: float = 0.1,
+                    model_size: int = 200, poisoning_percentage: float = 10.0,
+                    seed: int = 17, jobs: int = 1,
+                    checkpoint_dir: str | Path | None = None,
+                    resume: bool = False,
+                    executor: str = "process") -> list[CostReport]:
+    """A3: clean RMI vs poisoned RMI vs B-Tree probe counts.
+
+    A single (but expensive at full size) unit of work, so it runs as
+    one cell — parallelism buys nothing here, but checkpoint/resume
+    still lets an interrupted ``all`` run skip it the second time.
+    """
+    cells = plan_lookup_cost_cells(n_keys, density, model_size,
+                                   poisoning_percentage, seed)
+    engine = _engine(run_lookup_cost_cell, jobs, checkpoint_dir, resume,
+                     executor)
+    (outcome,) = engine.run(cells)
+    return [CostReport(structure=r["structure"],
+                       mean_cost=r["mean_cost"],
+                       max_cost=r["max_cost"],
+                       n_queries=r["n_queries"])
+            for r in outcome["reports"]]
 
 
 def format_lookup_cost(reports: list[CostReport]) -> str:
@@ -217,28 +354,58 @@ class AlphaRow:
     exchanges: int
 
 
+def plan_alpha_cells(n_keys: int = 10_000, model_size: int = 500,
+                     poisoning_percentage: float = 10.0,
+                     alphas: tuple[float, ...] = (1.0, 1.5, 2.0, 3.0,
+                                                  5.0),
+                     seed: int = 19) -> list[Cell]:
+    """A4's plan: one cell per threshold multiplier."""
+    return [Cell.make("a4-alpha", n_keys=n_keys, model_size=model_size,
+                      poisoning_percentage=poisoning_percentage,
+                      alpha=alpha, seed=seed)
+            for alpha in alphas]
+
+
+def run_alpha_cell(cell: Cell) -> dict[str, Any]:
+    """One A4 threshold multiplier on the shared log-normal keyset."""
+    p = cell.params_dict
+    n_keys = p["n_keys"]
+    rng = np.random.default_rng(p["seed"])
+    keyset = lognormal_keyset(n_keys, Domain.of_size(100 * n_keys), rng)
+    n_models = max(n_keys // p["model_size"], 1)
+    capability = RMIAttackerCapability(
+        poisoning_percentage=p["poisoning_percentage"], alpha=p["alpha"])
+    result = poison_rmi(keyset, n_models, capability,
+                        max_exchanges=2 * n_models)
+    ratios = result.per_model_ratios
+    finite = ratios[np.isfinite(ratios)]
+    return {
+        "rmi_ratio": json_float(result.rmi_ratio_loss),
+        "max_model_ratio": json_float(float(finite.max())),
+        "exchanges": result.exchanges,
+    }
+
+
 def run_alpha_sweep(n_keys: int = 10_000, model_size: int = 500,
                     poisoning_percentage: float = 10.0,
                     alphas: tuple[float, ...] = (1.0, 1.5, 2.0, 3.0, 5.0),
-                    seed: int = 19) -> list[AlphaRow]:
+                    seed: int = 19, jobs: int = 1,
+                    checkpoint_dir: str | Path | None = None,
+                    resume: bool = False,
+                    executor: str = "process") -> list[AlphaRow]:
     """A4: how much threshold slack helps the volume allocation."""
-    rng = np.random.default_rng(seed)
-    keyset = lognormal_keyset(n_keys, Domain.of_size(100 * n_keys), rng)
-    n_models = max(n_keys // model_size, 1)
-    rows = []
-    for alpha in alphas:
-        capability = RMIAttackerCapability(
-            poisoning_percentage=poisoning_percentage, alpha=alpha)
-        result = poison_rmi(keyset, n_models, capability,
-                            max_exchanges=2 * n_models)
-        ratios = result.per_model_ratios
-        finite = ratios[np.isfinite(ratios)]
-        rows.append(AlphaRow(
-            alpha=alpha,
-            rmi_ratio=result.rmi_ratio_loss,
-            max_model_ratio=float(finite.max()),
-            exchanges=result.exchanges))
-    return rows
+    cells = plan_alpha_cells(n_keys, model_size, poisoning_percentage,
+                             alphas, seed)
+    engine = _engine(run_alpha_cell, jobs, checkpoint_dir, resume,
+                     executor)
+    return [
+        AlphaRow(alpha=alpha,
+                 rmi_ratio=parse_json_float(outcome["rmi_ratio"]),
+                 max_model_ratio=parse_json_float(
+                     outcome["max_model_ratio"]),
+                 exchanges=outcome["exchanges"])
+        for alpha, outcome in zip(alphas, engine.run(cells))
+    ]
 
 
 def format_alpha(rows: list[AlphaRow]) -> str:
@@ -264,32 +431,74 @@ class AllocationRow:
     improvement: float
 
 
+ALLOCATION_DISTRIBUTIONS = ("uniform", "lognormal")
+
+
+def plan_allocation_cells(n_keys: int = 10_000, model_size: int = 500,
+                          poisoning_percentage: float = 10.0,
+                          seed: int = 29) -> list[Cell]:
+    """A5's plan: one cell per distribution."""
+    return [Cell.make("a5-allocation", n_keys=n_keys,
+                      model_size=model_size,
+                      poisoning_percentage=poisoning_percentage,
+                      distribution=distribution, seed=seed)
+            for distribution in ALLOCATION_DISTRIBUTIONS]
+
+
+def run_allocation_cell(cell: Cell) -> dict[str, Any]:
+    """One A5 distribution: uniform vs greedy budget allocation.
+
+    The keyset stream hashes the distribution name with CRC-32 (via
+    :func:`repro.runtime.stable_seed_words`); the legacy loop used the
+    salted builtin ``hash``, which silently drew different keysets in
+    every interpreter.
+    """
+    p = cell.params_dict
+    n_keys = p["n_keys"]
+    rng = np.random.default_rng(
+        stable_seed_words(p["seed"], p["distribution"]))
+    domain = Domain.of_size(100 * n_keys)
+    if p["distribution"] == "uniform":
+        keyset = uniform_keyset(n_keys, domain, rng)
+    else:
+        keyset = lognormal_keyset(n_keys, domain, rng)
+    n_models = max(n_keys // p["model_size"], 1)
+    capability = RMIAttackerCapability(
+        poisoning_percentage=p["poisoning_percentage"], alpha=3.0)
+    flat = poison_rmi(keyset, n_models, capability, max_exchanges=0)
+    greedy = poison_rmi(keyset, n_models, capability,
+                        max_exchanges=2 * n_models)
+    improvement = (greedy.rmi_ratio_loss / flat.rmi_ratio_loss
+                   if flat.rmi_ratio_loss > 0 else float("inf"))
+    return {
+        "uniform_ratio": json_float(flat.rmi_ratio_loss),
+        "greedy_ratio": json_float(greedy.rmi_ratio_loss),
+        "improvement": json_float(improvement),
+    }
+
+
 def run_allocation_ablation(n_keys: int = 10_000, model_size: int = 500,
                             poisoning_percentage: float = 10.0,
-                            seed: int = 29) -> list[AllocationRow]:
+                            seed: int = 29, jobs: int = 1,
+                            checkpoint_dir: str | Path | None = None,
+                            resume: bool = False,
+                            executor: str = "process",
+                            ) -> list[AllocationRow]:
     """A5: value of the exchange loop over uniform initial budgets."""
-    n_models = max(n_keys // model_size, 1)
-    capability = RMIAttackerCapability(
-        poisoning_percentage=poisoning_percentage, alpha=3.0)
-    rows = []
-    for distribution in ("uniform", "lognormal"):
-        rng = np.random.default_rng([seed, hash(distribution) % 2**31])
-        domain = Domain.of_size(100 * n_keys)
-        if distribution == "uniform":
-            keyset = uniform_keyset(n_keys, domain, rng)
-        else:
-            keyset = lognormal_keyset(n_keys, domain, rng)
-        flat = poison_rmi(keyset, n_models, capability, max_exchanges=0)
-        greedy = poison_rmi(keyset, n_models, capability,
-                            max_exchanges=2 * n_models)
-        improvement = (greedy.rmi_ratio_loss / flat.rmi_ratio_loss
-                       if flat.rmi_ratio_loss > 0 else float("inf"))
-        rows.append(AllocationRow(
+    distributions = ALLOCATION_DISTRIBUTIONS
+    cells = plan_allocation_cells(n_keys, model_size,
+                                  poisoning_percentage, seed)
+    engine = _engine(run_allocation_cell, jobs, checkpoint_dir, resume,
+                     executor)
+    return [
+        AllocationRow(
             distribution=distribution,
-            uniform_ratio=flat.rmi_ratio_loss,
-            greedy_ratio=greedy.rmi_ratio_loss,
-            improvement=improvement))
-    return rows
+            uniform_ratio=parse_json_float(outcome["uniform_ratio"]),
+            greedy_ratio=parse_json_float(outcome["greedy_ratio"]),
+            improvement=parse_json_float(outcome["improvement"]))
+        for distribution, outcome in zip(distributions,
+                                         engine.run(cells))
+    ]
 
 
 def format_allocation(rows: list[AllocationRow]) -> str:
@@ -329,6 +538,16 @@ def _ablation_keyset_and_budget(params: dict[str, Any]):
     return keyset, budget
 
 
+def plan_deletion_cells(n_keys: int = 1000, density: float = 0.1,
+                        percentages: tuple[float, ...] = (5.0, 10.0,
+                                                          20.0),
+                        seed: int = 37) -> list[Cell]:
+    """A6's plan: one cell per budget percentage."""
+    return [Cell.make("a6-deletion", n_keys=n_keys, density=density,
+                      percentage=pct, seed=seed)
+            for pct in percentages]
+
+
 def run_deletion_cell(cell: Cell) -> dict[str, Any]:
     """One A6 budget: insertion vs deletion on the shared keyset."""
     from ..core.deletion import greedy_delete
@@ -344,19 +563,17 @@ def run_deletion_ablation(n_keys: int = 1000, density: float = 0.1,
                           percentages: tuple[float, ...] = (5.0, 10.0, 20.0),
                           seed: int = 37, jobs: int = 1,
                           checkpoint_dir: str | Path | None = None,
-                          resume: bool = False) -> list[DeletionRow]:
+                          resume: bool = False,
+                          executor: str = "process") -> list[DeletionRow]:
     """A6: how does removing keys compare to injecting them?
 
     Both adversaries get the same budget (p keys inserted vs p keys
     deleted) against the same uniform keyset; every worker regenerates
     that keyset from the shared seed, so the comparison stays exact.
     """
-    cells = [Cell.make("a6-deletion", n_keys=n_keys, density=density,
-                       percentage=pct, seed=seed)
-             for pct in percentages]
-    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
-    engine = SweepEngine(run_deletion_cell, jobs=jobs, checkpoint=store,
-                         resume=resume)
+    cells = plan_deletion_cells(n_keys, density, percentages, seed)
+    engine = _engine(run_deletion_cell, jobs, checkpoint_dir, resume,
+                     executor)
     return [
         DeletionRow(budget_percentage=pct,
                     insertion_ratio=outcome["insertion_ratio"],
@@ -654,6 +871,16 @@ class AdversaryRow:
     modification_ratio: float
 
 
+def plan_adversary_cells(n_keys: int = 1000, density: float = 0.1,
+                         percentages: tuple[float, ...] = (5.0, 10.0,
+                                                           20.0),
+                         seed: int = 59) -> list[Cell]:
+    """A11's plan: one cell per budget percentage."""
+    return [Cell.make("a11-adversaries", n_keys=n_keys,
+                      density=density, percentage=pct, seed=seed)
+            for pct in percentages]
+
+
 def run_adversary_cell(cell: Cell) -> dict[str, Any]:
     """One A11 budget: all three adversaries on the shared keyset."""
     from ..core.deletion import greedy_delete
@@ -672,19 +899,18 @@ def run_adversary_comparison(n_keys: int = 1000, density: float = 0.1,
                                  5.0, 10.0, 20.0),
                              seed: int = 59, jobs: int = 1,
                              checkpoint_dir: str | Path | None = None,
-                             resume: bool = False) -> list[AdversaryRow]:
+                             resume: bool = False,
+                             executor: str = "process",
+                             ) -> list[AdversaryRow]:
     """A11: insert vs delete vs modify at equal budget.
 
     A modification spends one budget unit on a delete + insert pair,
     so it matches or beats pure insertion while leaving the key count
     untouched — the stealthiest and often strongest adversary.
     """
-    cells = [Cell.make("a11-adversaries", n_keys=n_keys, density=density,
-                       percentage=pct, seed=seed)
-             for pct in percentages]
-    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
-    engine = SweepEngine(run_adversary_cell, jobs=jobs, checkpoint=store,
-                         resume=resume)
+    cells = plan_adversary_cells(n_keys, density, percentages, seed)
+    engine = _engine(run_adversary_cell, jobs, checkpoint_dir, resume,
+                     executor)
     return [
         AdversaryRow(budget_percentage=pct,
                      insertion_ratio=outcome["insertion_ratio"],

@@ -12,11 +12,22 @@ The datasets are the simulated stand-ins of
 :mod:`repro.data.realworld` (DESIGN.md section 2).  The quick profile
 scales the OSM dataset to 30,000 keys; the full profile uses the
 published 302,973.
+
+Runtime: the grid runs on :class:`repro.runtime.SweepEngine`, one cell
+per (dataset, model size, poisoning percentage) — coarse enough that a
+cell regenerates its keyset once, fine enough that the full-profile
+OSM cells (302,973 keys each) spread across every worker.  Each cell
+derives its keyset stream from a CRC-32 of the dataset name (the
+scheme fig6 uses), so workers and resumed runs draw identical keys,
+and each cell emits its poisoning set and per-model ratio vector as
+``.npz`` artifacts through the checkpoint store.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -24,11 +35,27 @@ from ..core.metrics import BoxplotSummary, summarize
 from ..core.rmi_attack import poison_rmi
 from ..core.threat_model import RMIAttackerCapability
 from ..data.keyset import KeySet
-from ..data.realworld import OSM_N, miami_salaries, osm_school_latitudes
+from ..data.realworld import (
+    OSM_N,
+    SALARY_N,
+    miami_salaries,
+    osm_school_latitudes,
+)
+from ..io import json_float, parse_json_float
+from ..runtime import (
+    Cell,
+    CellOutput,
+    CheckpointStore,
+    SweepEngine,
+    stable_seed_words,
+)
 from .report import format_ratio, render_table, section
 
 __all__ = ["Fig7Config", "Fig7Cell", "Fig7Result", "DatasetProfile",
-           "profile_dataset", "run", "quick_config", "full_config"]
+           "profile_dataset", "plan_cells", "run_realworld_cell", "run",
+           "quick_config", "full_config"]
+
+MIAMI, OSM = "miami-salaries", "osm-latitudes"
 
 
 @dataclass(frozen=True)
@@ -42,6 +69,14 @@ class Fig7Config:
     max_exchanges_per_model: int = 2
     seed: int = 31
     include_osm: bool = True
+    salary_keys: int = SALARY_N
+
+    def datasets(self) -> tuple[tuple[str, int], ...]:
+        """(name, key count) per dataset in the grid."""
+        pairs = [(MIAMI, self.salary_keys)]
+        if self.include_osm:
+            pairs.append((OSM, self.osm_keys))
+        return tuple(pairs)
 
 
 @dataclass(frozen=True)
@@ -131,6 +166,34 @@ class Fig7Result:
             blocks.append(f"{section(title)}\n{table}")
         return "\n\n".join(blocks)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe summary (the CLI's ``--out`` payload)."""
+        return {
+            "seed": self.config.seed,
+            "profiles": [
+                {
+                    "dataset": p.dataset,
+                    "n_keys": p.n_keys,
+                    "domain_size": p.domain_size,
+                    "density": p.density,
+                    "percentile_keys": list(p.percentile_keys),
+                }
+                for p in self.profiles
+            ],
+            "cells": [
+                {
+                    "dataset": cell.dataset,
+                    "n_keys": cell.n_keys,
+                    "model_size": cell.model_size,
+                    "n_models": cell.n_models,
+                    "poisoning_percentage": cell.poisoning_percentage,
+                    "per_model": asdict(cell.per_model),
+                    "rmi_ratio": json_float(cell.rmi_ratio),
+                }
+                for cell in self.cells
+            ],
+        }
+
 
 def quick_config() -> Fig7Config:
     """Scaled OSM dataset (30k keys); salaries at full published size."""
@@ -142,40 +205,132 @@ def full_config() -> Fig7Config:
     return Fig7Config(osm_keys=OSM_N)
 
 
-def _attack_dataset(name: str, keyset: KeySet,
-                    config: Fig7Config) -> list[Fig7Cell]:
-    cells = []
-    for model_size in config.model_sizes:
-        n_models = max(keyset.n // model_size, 1)
-        for pct in config.poisoning_percentages:
-            capability = RMIAttackerCapability(
-                poisoning_percentage=pct, alpha=config.alpha)
-            result = poison_rmi(
-                keyset, n_models, capability,
-                max_exchanges=config.max_exchanges_per_model * n_models)
-            ratios = result.per_model_ratios
-            finite = ratios[np.isfinite(ratios)]
-            cells.append(Fig7Cell(
-                dataset=name,
-                n_keys=keyset.n,
-                model_size=model_size,
-                n_models=n_models,
-                poisoning_percentage=pct,
-                per_model=summarize(finite),
-                rmi_ratio=result.rmi_ratio_loss))
-    return cells
+def _make_keyset(dataset: str, n_keys: int, seed: int) -> KeySet:
+    """The cell's keyset, regenerated deterministically per cell.
+
+    Each dataset derives an independent stream from a CRC-32 of its
+    name (via :func:`repro.runtime.stable_seed_words`); the legacy
+    serial path instead threaded one generator through both datasets,
+    which coupled the OSM draw to the salary draw and could never be
+    split across workers.  The golden grid under
+    ``tests/experiments/golden_fig7_grid.json`` pins this derivation.
+    """
+    rng = np.random.default_rng(stable_seed_words(seed, n_keys, dataset))
+    if dataset == MIAMI:
+        return miami_salaries(rng, n=n_keys)
+    if dataset == OSM:
+        return osm_school_latitudes(rng, n=n_keys)
+    raise ValueError(f"unknown fig7 dataset: {dataset!r}")
 
 
-def run(config: Fig7Config | None = None) -> Fig7Result:
-    """Attack both (simulated) real-world datasets."""
+def plan_cells(config: Fig7Config) -> list[Cell]:
+    """One cell per (dataset, model size, poisoning percentage)."""
+    return [
+        Cell.make("fig7-rmi",
+                  dataset=dataset,
+                  n_keys=n_keys,
+                  model_size=model_size,
+                  poisoning_percentage=pct,
+                  alpha=config.alpha,
+                  max_exchanges_per_model=config.max_exchanges_per_model,
+                  seed=config.seed)
+        for dataset, n_keys in config.datasets()
+        for model_size in config.model_sizes
+        for pct in config.poisoning_percentages
+    ]
+
+
+def run_realworld_cell(cell: Cell) -> CellOutput:
+    """Mount Algorithm 2 on one (dataset, model size, percentage).
+
+    The JSON summary carries the scalars; the poisoning set and the
+    full per-model ratio vector travel as array artifacts so the
+    aggregation (and any external analysis) reads the exact arrays
+    whether the cell was computed or resumed.
+    """
+    p = cell.params_dict
+    keyset = _make_keyset(p["dataset"], p["n_keys"], p["seed"])
+    n_models = max(p["n_keys"] // p["model_size"], 1)
+    capability = RMIAttackerCapability(
+        poisoning_percentage=p["poisoning_percentage"], alpha=p["alpha"])
+    result = poison_rmi(
+        keyset, n_models, capability,
+        max_exchanges=p["max_exchanges_per_model"] * n_models)
+    profile = profile_dataset(p["dataset"], keyset)
+    return CellOutput(
+        result={
+            "n_models": n_models,
+            "rmi_ratio": json_float(result.rmi_ratio_loss),
+            # Identical for every cell of a dataset (profile depends
+            # only on dataset/n_keys/seed); carried per cell so a
+            # fully resumed run never regenerates a keyset.
+            "profile": {
+                "domain_size": profile.domain_size,
+                "density": profile.density,
+                "percentile_keys": list(profile.percentile_keys),
+            },
+        },
+        arrays={
+            "poison_keys": np.asarray(result.poison_keys,
+                                      dtype=np.int64),
+            "per_model_ratios": np.asarray(result.per_model_ratios,
+                                           dtype=np.float64),
+        })
+
+
+def run(config: Fig7Config | None = None, jobs: int = 1,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False, executor: str = "process") -> Fig7Result:
+    """Attack both (simulated) real-world datasets.
+
+    ``jobs`` fans the grid out over workers (``executor`` picks the
+    pool backend); ``checkpoint_dir``/``resume`` persist and reuse
+    completed cells including their ``.npz`` artifacts.  Results are
+    identical for every combination of those options.
+    """
     config = config or quick_config()
-    rng = np.random.default_rng(config.seed)
-    salaries = miami_salaries(rng)
-    cells = _attack_dataset("miami-salaries", salaries, config)
-    profiles = [profile_dataset("miami-salaries", salaries)]
-    if config.include_osm:
-        latitudes = osm_school_latitudes(rng, n=config.osm_keys)
-        cells += _attack_dataset("osm-latitudes", latitudes, config)
-        profiles.append(profile_dataset("osm-latitudes", latitudes))
+    store = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        store.write_manifest({
+            "experiment": "fig7-rmi",
+            "config": {
+                "datasets": [list(pair) for pair in config.datasets()],
+                "model_sizes": list(config.model_sizes),
+                "poisoning_percentages": list(
+                    config.poisoning_percentages),
+                "alpha": config.alpha,
+                "seed": config.seed,
+            },
+        })
+    engine = SweepEngine(run_realworld_cell, jobs=jobs, checkpoint=store,
+                         resume=resume, executor=executor)
+    plan = plan_cells(config)
+    outputs = engine.run_outputs(plan)
+    cells = []
+    profile_by_dataset: dict[str, DatasetProfile] = {}
+    for cell, output in zip(plan, outputs):
+        p = cell.params_dict
+        ratios = np.asarray(output.arrays["per_model_ratios"],
+                            dtype=np.float64)
+        finite = ratios[np.isfinite(ratios)]
+        cells.append(Fig7Cell(
+            dataset=p["dataset"],
+            n_keys=p["n_keys"],
+            model_size=p["model_size"],
+            n_models=output.result["n_models"],
+            poisoning_percentage=p["poisoning_percentage"],
+            per_model=summarize(finite),
+            rmi_ratio=parse_json_float(output.result["rmi_ratio"])))
+        if p["dataset"] not in profile_by_dataset:
+            stats = output.result["profile"]
+            profile_by_dataset[p["dataset"]] = DatasetProfile(
+                dataset=p["dataset"],
+                n_keys=p["n_keys"],
+                domain_size=stats["domain_size"],
+                density=stats["density"],
+                percentile_keys=tuple(stats["percentile_keys"]))
+    profiles = tuple(profile_by_dataset[dataset]
+                     for dataset, _ in config.datasets())
     return Fig7Result(config=config, cells=tuple(cells),
-                      profiles=tuple(profiles))
+                      profiles=profiles)

@@ -222,13 +222,15 @@ def _aggregate(config: SweepConfig,
 
 def run_sweep(config: SweepConfig, jobs: int = 1,
               checkpoint_dir: str | Path | None = None,
-              resume: bool = False) -> SweepResult:
+              resume: bool = False,
+              executor: str = "process") -> SweepResult:
     """Run the full grid and summarise ratio losses per cell.
 
-    ``jobs`` fans trials out over worker processes; ``checkpoint_dir``
-    persists each completed trial so an interrupted sweep restarted
-    with ``resume=True`` only computes what is missing.  Results are
-    identical for every combination of those options.
+    ``jobs`` fans trials out over workers (``executor`` picks process
+    or thread pools); ``checkpoint_dir`` persists each completed trial
+    so an interrupted sweep restarted with ``resume=True`` only
+    computes what is missing.  Results are identical for every
+    combination of those options.
     """
     store = None
     if checkpoint_dir is not None:
@@ -246,7 +248,7 @@ def run_sweep(config: SweepConfig, jobs: int = 1,
             },
         })
     engine = SweepEngine(run_trial_cell, jobs=jobs, checkpoint=store,
-                         resume=resume)
+                         resume=resume, executor=executor)
     return _aggregate(config, engine.run(plan_cells(config)))
 
 

@@ -27,6 +27,7 @@ __all__ = [
     "load_keyset",
     "save_arrays",
     "load_arrays",
+    "npz_array_names",
     "greedy_result_to_dict",
     "rmi_result_to_dict",
     "json_float",
@@ -81,6 +82,17 @@ def load_arrays(path: str | Path) -> dict[str, np.ndarray]:
     """Read every array written by :func:`save_arrays`."""
     with np.load(Path(path)) as archive:
         return {name: archive[name] for name in archive.files}
+
+
+def npz_array_names(path: str | Path) -> list[str]:
+    """Names of the arrays in a ``.npz``, without loading their data.
+
+    Used to build artifact manifests over whole checkpoint
+    directories, where decompressing every poison set just to list it
+    would be wasteful.
+    """
+    with np.load(Path(path)) as archive:
+        return sorted(archive.files)
 
 
 def greedy_result_to_dict(result: GreedyResult) -> dict[str, Any]:

@@ -19,14 +19,17 @@ they gain ``jobs`` / ``checkpoint_dir`` / ``resume`` keywords that are
 forwarded here.
 """
 
-from .cell import Cell, stable_text_hash
+from .cell import Cell, stable_seed_words, stable_text_hash
 from .checkpoint import CheckpointStore
-from .engine import SweepEngine, SweepStats
+from .engine import EXECUTORS, CellOutput, SweepEngine, SweepStats
 
 __all__ = [
     "Cell",
     "stable_text_hash",
+    "stable_seed_words",
     "CheckpointStore",
+    "CellOutput",
+    "EXECUTORS",
     "SweepEngine",
     "SweepStats",
 ]

@@ -29,7 +29,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["Cell", "stable_text_hash"]
+__all__ = ["Cell", "stable_text_hash", "stable_seed_words"]
 
 _DIGEST_HEX = 16  # 64-bit prefix; ample for any realistic grid size
 
@@ -42,6 +42,20 @@ def stable_text_hash(text: str) -> int:
     one process (workers, resumed runs).  CRC-32 is stable everywhere.
     """
     return zlib.crc32(text.encode("utf-8"))
+
+
+def stable_seed_words(*parts: int | str) -> list[int]:
+    """Mixed int/str seed parts as a numpy seed list, process-stable.
+
+    Strings go through :func:`stable_text_hash` folded into the
+    non-negative 31-bit range ``SeedSequence`` expects of its entropy
+    words, so a seed such as ``(seed, n_keys, "osm-latitudes")``
+    derives the same stream in every worker process and every resumed
+    run.
+    """
+    return [stable_text_hash(part) % 2**31 if isinstance(part, str)
+            else int(part)
+            for part in parts]
 
 
 def _canonical_scalar(key: str, value: Any) -> Any:

@@ -60,7 +60,14 @@ class CheckpointStore:
     # ------------------------------------------------------------------
     def save_cell(self, cell: Cell, result: Mapping[str, Any],
                   arrays: Mapping[str, np.ndarray] | None = None) -> None:
-        """Persist one completed cell (JSON summary + optional arrays)."""
+        """Persist one completed cell (JSON summary + optional arrays).
+
+        When artifacts are attached, the ``.npz`` is written *before*
+        the JSON summary and the summary records which array names it
+        promised (the artifact manifest).  A crash between the two
+        writes therefore leaves at most an orphaned ``.npz``, never a
+        summary that points at missing arrays.
+        """
         payload = {
             "schema": CELL_SCHEMA,
             "cell": cell.spec(),
@@ -68,6 +75,7 @@ class CheckpointStore:
         }
         if arrays:
             io.save_arrays(self.arrays_path(cell), **arrays)
+            payload["arrays"] = sorted(arrays)
         io.save_json(payload, self.cell_path(cell))
 
     def load_cell(self, cell: Cell) -> dict[str, Any] | None:
@@ -75,7 +83,17 @@ class CheckpointStore:
 
         Unreadable or mismatching files are treated as absent; resume
         then recomputes the cell rather than trusting a stale record.
+        A cell whose summary promises array artifacts that cannot be
+        read back (missing, truncated, or renamed entries in the
+        ``.npz``) counts as not done for the same reason.
         """
+        output = self.load_cell_output(cell)
+        return None if output is None else output[0]
+
+    def load_cell_output(
+            self, cell: Cell,
+    ) -> tuple[dict[str, Any], dict[str, np.ndarray]] | None:
+        """Result *and* verified artifacts, or ``None`` if incomplete."""
         path = self.cell_path(cell)
         if not path.exists():
             return None
@@ -91,7 +109,17 @@ class CheckpointStore:
         if not cell.matches(payload.get("cell", {})):
             return None
         result = payload.get("result")
-        return result if isinstance(result, dict) else None
+        if not isinstance(result, dict):
+            return None
+        declared = payload.get("arrays", [])
+        if not isinstance(declared, list):
+            return None
+        arrays = self.load_arrays(cell) if declared else {}
+        if not set(declared) <= set(arrays):
+            # The summary promised artifacts the .npz cannot deliver —
+            # treat the whole cell as missing so resume recomputes it.
+            return None
+        return result, arrays
 
     def load_arrays(self, cell: Cell) -> dict[str, np.ndarray]:
         """Array artifacts saved next to the cell (empty dict if none).
@@ -109,11 +137,19 @@ class CheckpointStore:
 
     def completed(self, cells: Iterable[Cell]) -> dict[Cell, dict[str, Any]]:
         """Subset of ``cells`` already checkpointed, with their results."""
+        return {cell: result
+                for cell, (result, _) in
+                self.completed_outputs(cells).items()}
+
+    def completed_outputs(
+            self, cells: Iterable[Cell],
+    ) -> dict[Cell, tuple[dict[str, Any], dict[str, np.ndarray]]]:
+        """Like :meth:`completed`, but carrying each cell's artifacts."""
         done = {}
         for cell in cells:
-            result = self.load_cell(cell)
-            if result is not None:
-                done[cell] = result
+            output = self.load_cell_output(cell)
+            if output is not None:
+                done[cell] = output
         return done
 
     # ------------------------------------------------------------------

@@ -6,19 +6,35 @@ Determinism contract
 plan order**, regardless of how many workers computed them or which
 finished first.  Cell runners derive all randomness from the cell's
 parameters alone.  Together those two rules make ``jobs=1``,
-``jobs=N``, and any resumed combination produce identical aggregates.
+``jobs=N``, either executor backend, and any resumed combination
+produce identical aggregates.
 
 Execution model
 ---------------
 * ``jobs=1`` runs cells inline — no pool, no pickling, the exact code
   path a debugger wants.
-* ``jobs>1`` submits cells to a ``ProcessPoolExecutor``.  The runner
+* ``jobs>1`` submits cells to a pool chosen by ``executor``:
+  ``"process"`` (default) uses a ``ProcessPoolExecutor`` — the runner
   must be a module-level callable (picklable) and cells carry only
   plain scalars, so both ``fork`` and ``spawn`` start methods work.
+  ``"thread"`` uses a ``ThreadPoolExecutor``, which skips pickling
+  entirely and suits runners that spend their time in numpy (the GIL
+  is released inside BLAS/ufunc kernels); the runner must then be
+  thread-safe, which every cell runner in this repository is because
+  cells share no mutable state.
 * Checkpoints are written by the parent as results arrive — a single
   writer, so no file races — and a run killed between cells loses at
   most the cells in flight.  ``resume=True`` reloads every completed
   cell from the store before any work is scheduled.
+
+Artifact capture
+----------------
+A runner may return a :class:`CellOutput` instead of a plain dict to
+attach named numpy arrays (poison sets, per-model ratio vectors) to
+the cell.  The engine persists them as a sibling ``.npz`` through the
+checkpoint store and re-exposes them on resume, so aggregation code
+can treat freshly computed and reloaded cells identically via
+:meth:`SweepEngine.run_outputs`.
 
 A worker exception cancels the remaining queue and re-raises in the
 parent; cells that completed before the failure keep their
@@ -27,16 +43,50 @@ checkpoints, so the fix-and-resume loop is cheap.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
 
 from .cell import Cell
 from .checkpoint import CheckpointStore
 
-__all__ = ["SweepEngine", "SweepStats", "CellRunner"]
+__all__ = ["CellOutput", "SweepEngine", "SweepStats", "CellRunner",
+           "EXECUTORS"]
 
-CellRunner = Callable[[Cell], dict[str, Any]]
+#: Pool backends selectable per engine (and per CLI ``--executor``).
+EXECUTORS = {
+    "process": ProcessPoolExecutor,
+    "thread": ThreadPoolExecutor,
+}
+
+
+@dataclass(frozen=True)
+class CellOutput:
+    """What one cell produced: a JSON-safe summary plus array artifacts.
+
+    ``result`` must hold JSON-safe values only (it is checkpointed as
+    JSON and compared across executors); ``arrays`` may hold arbitrary
+    named numpy arrays, persisted losslessly as ``.npz``.
+    """
+
+    result: dict[str, Any]
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+CellRunner = Callable[[Cell], "dict[str, Any] | CellOutput"]
+
+
+def _coerce(value: Mapping[str, Any] | CellOutput) -> CellOutput:
+    """Accept the legacy plain-dict runner return value."""
+    if isinstance(value, CellOutput):
+        return value
+    return CellOutput(result=dict(value))
 
 
 @dataclass(frozen=True)
@@ -46,7 +96,11 @@ class SweepStats:
     total: int      # cells in the plan
     reused: int     # satisfied from the checkpoint store
     computed: int   # actually executed this run
-    jobs: int       # worker processes used (1 = inline)
+    jobs: int       # workers used (1 = inline)
+    # Backend that actually ran the cells: "process"/"thread" when a
+    # pool was constructed, "inline" when the jobs==1 (or <=1 cell)
+    # path executed without one.
+    executor: str = "inline"
 
 
 class SweepEngine:
@@ -55,36 +109,54 @@ class SweepEngine:
     Parameters
     ----------
     runner:
-        Module-level callable ``Cell -> dict`` (JSON-safe values only,
-        so results checkpoint and aggregate identically either way).
+        Module-level callable ``Cell -> dict | CellOutput`` (JSON-safe
+        result values only, so results checkpoint and aggregate
+        identically either way).
     jobs:
-        Worker processes; ``1`` (default) runs inline.
+        Workers; ``1`` (default) runs inline.
     checkpoint:
-        Optional store; completed cells are written to it as they
-        finish.
+        Optional store; completed cells (and their array artifacts)
+        are written to it as they finish.
     resume:
         Reuse completed cells from ``checkpoint`` instead of
         recomputing them.  Safe even across edited grids: cells are
         content-addressed, so only exact parameter matches are reused.
+    executor:
+        ``"process"`` (default) or ``"thread"``; ignored at ``jobs=1``.
+        Results are identical for both backends by construction.
     """
 
     def __init__(self, runner: CellRunner, jobs: int = 1,
                  checkpoint: CheckpointStore | None = None,
-                 resume: bool = False):
+                 resume: bool = False, executor: str = "process"):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint store")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {sorted(EXECUTORS)}, "
+                f"got {executor!r}")
         self._runner = runner
         self._jobs = jobs
         self._checkpoint = checkpoint
         self._resume = resume
+        self._executor = executor
         self.last_stats: SweepStats | None = None
 
     # ------------------------------------------------------------------
     def run(self, cells: Sequence[Cell]) -> list[dict[str, Any]]:
         """Execute the plan; results align index-for-index with ``cells``."""
-        results: dict[int, dict[str, Any]] = {}
+        return [output.result for output in self.run_outputs(cells)]
+
+    def run_outputs(self, cells: Sequence[Cell]) -> list[CellOutput]:
+        """Like :meth:`run`, but keep each cell's array artifacts.
+
+        Reused cells get their arrays back from the checkpoint store,
+        so callers see the same :class:`CellOutput` shape whether the
+        cell was computed this run or resumed from disk.
+        """
+        outputs: dict[int, CellOutput] = {}
 
         # Identical cells (same digest) are computed once and shared.
         first_index: dict[str, int] = {}
@@ -99,11 +171,14 @@ class SweepEngine:
 
         reused = 0
         if self._resume and self._checkpoint is not None:
-            done = self._checkpoint.completed(cells[i] for i in todo)
+            done = self._checkpoint.completed_outputs(
+                cells[i] for i in todo)
             remaining = []
             for index in todo:
                 if cells[index] in done:
-                    results[index] = done[cells[index]]
+                    result, arrays = done[cells[index]]
+                    outputs[index] = CellOutput(result=result,
+                                                arrays=arrays)
                     reused += 1
                 else:
                     remaining.append(index)
@@ -111,12 +186,15 @@ class SweepEngine:
 
         if self._jobs == 1 or len(todo) <= 1:
             for index in todo:
-                results[index] = self._finish(cells[index],
-                                              self._runner(cells[index]))
+                outputs[index] = self._finish(
+                    cells[index], _coerce(self._runner(cells[index])))
             used_jobs = 1
+            used_executor = "inline"
         else:
             used_jobs = min(self._jobs, len(todo))
-            with ProcessPoolExecutor(max_workers=used_jobs) as pool:
+            used_executor = self._executor
+            pool_cls = EXECUTORS[self._executor]
+            with pool_cls(max_workers=used_jobs) as pool:
                 futures = {pool.submit(self._runner, cells[index]): index
                            for index in todo}
                 try:
@@ -124,24 +202,26 @@ class SweepEngine:
                     # a run killed mid-sweep keeps everything finished.
                     for future in as_completed(futures):
                         index = futures[future]
-                        results[index] = self._finish(cells[index],
-                                                      future.result())
+                        outputs[index] = self._finish(
+                            cells[index], _coerce(future.result()))
                 except BaseException:
                     for f in futures:
                         f.cancel()
                     raise
 
         for index, source in duplicates.items():
-            results[index] = results[source]
+            outputs[index] = outputs[source]
 
         self.last_stats = SweepStats(
             total=len(cells), reused=reused,
-            computed=len(cells) - reused - len(duplicates), jobs=used_jobs)
-        return [results[index] for index in range(len(cells))]
+            computed=len(cells) - reused - len(duplicates),
+            jobs=used_jobs, executor=used_executor)
+        return [outputs[index] for index in range(len(cells))]
 
     # ------------------------------------------------------------------
-    def _finish(self, cell: Cell, result: dict[str, Any]) -> dict[str, Any]:
-        """Checkpoint one freshly computed cell."""
+    def _finish(self, cell: Cell, output: CellOutput) -> CellOutput:
+        """Checkpoint one freshly computed cell (summary + artifacts)."""
         if self._checkpoint is not None:
-            self._checkpoint.save_cell(cell, result)
-        return result
+            self._checkpoint.save_cell(cell, output.result,
+                                       arrays=output.arrays or None)
+        return output

@@ -1,0 +1,198 @@
+"""Hypothesis property tests for the ``defense`` package.
+
+The other attack-side packages got property coverage in PR 1; these
+pin the defenses' algebraic contracts:
+
+* ``trim_regression`` / ``trim_cdf`` — the kept/removed sets partition
+  the input; on clean data the fitted result never loses to an
+  unfitted baseline line (OLS optimality on the kept subset), and
+  keeping everything degenerates to the plain full fit exactly.
+* ``filter_out_of_range`` — idempotent, partitioning, and trusted-
+  domain-respecting.
+* ``density_anomaly_scores`` — permutation-invariant (the detector
+  sees a key *multiset*), exactly one for evenly spaced keys, and
+  saturating to one once the window covers the whole array.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cdf_regression import fit_cdf_regression
+from repro.data.keyset import Domain
+from repro.defense.density import (
+    density_anomaly_scores,
+    flag_densest_keys,
+)
+from repro.defense.sanitize import filter_out_of_range
+from repro.defense.trim import trim_cdf, trim_regression
+
+clean_keys = st.lists(
+    st.integers(min_value=0, max_value=10**6),
+    min_size=3, max_size=60, unique=True,
+).map(lambda xs: np.sort(np.asarray(xs, dtype=np.int64)))
+
+key_arrays = st.lists(
+    st.integers(min_value=-10**6, max_value=10**6),
+    min_size=0, max_size=60,
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+def ranks_of(keys: np.ndarray) -> np.ndarray:
+    return np.arange(1, keys.size + 1, dtype=np.float64)
+
+
+def line_mse(slope, intercept, x, y):
+    r = slope * x + intercept - y
+    return float(np.mean(r * r))
+
+
+class TestTrimRegressionClean:
+    @given(keys=clean_keys)
+    @settings(max_examples=60)
+    def test_keeping_everything_is_the_plain_fit(self, keys):
+        """n_keep = n degenerates to the untrimmed regression."""
+        ranks = ranks_of(keys)
+        res = trim_regression(keys, ranks, n_keep=keys.size)
+        full = fit_cdf_regression(keys.astype(np.float64), ranks)
+        assert res.removed_keys.size == 0
+        assert res.converged
+        assert res.final_loss == pytest.approx(full.mse, rel=1e-12,
+                                               abs=1e-12)
+
+    @given(keys=clean_keys, data=st.data())
+    @settings(max_examples=60)
+    def test_fitted_loss_never_exceeds_unfitted_line(self, keys, data):
+        """The defense *fits* its kept subset, so no unfitted line —
+        here the endpoint-connecting diagonal — can do better on that
+        subset.  (OLS optimality; the clean-data sanity from Sec. VI's
+        discussion that TRIM converges to a low-loss subset.)"""
+        ranks = ranks_of(keys)
+        n_keep = data.draw(
+            st.integers(min_value=2, max_value=keys.size))
+        res = trim_regression(keys, ranks, n_keep=n_keep, seed=0)
+        rank_of = {int(k): r for k, r in zip(keys, ranks)}
+        kept_x = res.kept_keys.astype(np.float64)
+        kept_y = np.asarray([rank_of[int(k)] for k in res.kept_keys])
+        x0, x1 = kept_x[0], kept_x[-1]
+        if x1 == x0:
+            return
+        slope = (kept_y[-1] - kept_y[0]) / (x1 - x0)
+        intercept = kept_y[0] - slope * x0
+        unfitted = line_mse(slope, intercept, kept_x, kept_y)
+        assert res.final_loss <= unfitted + 1e-9
+
+    @given(keys=clean_keys, data=st.data())
+    @settings(max_examples=60)
+    def test_kept_and_removed_partition_the_input(self, keys, data):
+        ranks = ranks_of(keys)
+        n_keep = data.draw(
+            st.integers(min_value=1, max_value=keys.size))
+        res = trim_regression(keys, ranks, n_keep=n_keep, seed=1)
+        assert res.kept_keys.size == n_keep
+        together = np.sort(np.concatenate(
+            [res.kept_keys, res.removed_keys]))
+        assert np.array_equal(together, keys)
+
+
+class TestTrimCdfProperties:
+    @given(keys=clean_keys, data=st.data())
+    @settings(max_examples=60)
+    def test_partition_and_finite_loss(self, keys, data):
+        n_keep = data.draw(
+            st.integers(min_value=1, max_value=keys.size))
+        res = trim_cdf(keys, n_keep=n_keep, seed=2)
+        assert res.kept_keys.size == n_keep
+        together = np.sort(np.concatenate(
+            [res.kept_keys, res.removed_keys]))
+        assert np.array_equal(together, keys)
+        assert np.isfinite(res.final_loss)
+        assert res.final_loss >= 0.0
+
+    @given(keys=clean_keys, poison=key_arrays, data=st.data())
+    @settings(max_examples=60)
+    def test_scores_are_probabilities(self, keys, poison, data):
+        n_keep = data.draw(
+            st.integers(min_value=1, max_value=keys.size))
+        res = trim_cdf(keys, n_keep=n_keep, seed=3)
+        assert 0.0 <= res.recall_against(poison) <= 1.0
+        assert 0.0 <= res.precision_against(poison) <= 1.0
+
+
+class TestFilterOutOfRangeProperties:
+    domains = st.tuples(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    ).map(lambda pair: Domain(pair[0], pair[0] + pair[1]))
+
+    @given(keys=key_arrays, domain=domains)
+    @settings(max_examples=100)
+    def test_idempotent(self, keys, domain):
+        once = filter_out_of_range(keys, domain)
+        twice = filter_out_of_range(once.kept, domain)
+        assert np.array_equal(twice.kept, once.kept)
+        assert twice.n_dropped == 0
+
+    @given(keys=key_arrays, domain=domains)
+    @settings(max_examples=100)
+    def test_partitions_and_respects_domain(self, keys, domain):
+        report = filter_out_of_range(keys, domain)
+        assert report.kept.size + report.dropped.size == keys.size
+        assert np.array_equal(
+            np.sort(np.concatenate([report.kept, report.dropped])),
+            np.sort(keys))
+        assert np.all((report.kept >= domain.lo)
+                      & (report.kept <= domain.hi))
+        outside = (report.dropped < domain.lo) | (report.dropped
+                                                  > domain.hi)
+        assert np.all(outside)
+
+
+class TestDensityScoreProperties:
+    windows = st.integers(min_value=1, max_value=80)
+
+    @given(keys=key_arrays, window=windows, seed=st.integers(0, 2**16))
+    @settings(max_examples=100)
+    def test_permutation_invariant(self, keys, window, seed):
+        """The detector scores a key *multiset*; input order is noise."""
+        shuffled = np.random.default_rng(seed).permutation(keys)
+        assert np.array_equal(
+            density_anomaly_scores(shuffled, window=window),
+            density_anomaly_scores(keys, window=window))
+
+    @given(keys=key_arrays, window=windows)
+    @settings(max_examples=100)
+    def test_shape_and_positivity(self, keys, window):
+        scores = density_anomaly_scores(keys, window=window)
+        assert scores.size == keys.size
+        assert np.all(scores > 0)
+
+    @given(start=st.integers(-10**6, 10**6),
+           gap=st.integers(1, 10**4),
+           n=st.integers(2, 60),
+           window=windows)
+    @settings(max_examples=100)
+    def test_evenly_spaced_keys_score_one(self, start, gap, n, window):
+        """Constant spacing means no neighbourhood is denser than the
+        dataset average — every score is exactly 1."""
+        keys = start + gap * np.arange(n, dtype=np.int64)
+        scores = density_anomaly_scores(keys, window=window)
+        assert np.allclose(scores, 1.0)
+
+    @given(keys=clean_keys)
+    @settings(max_examples=100)
+    def test_window_covering_everything_scores_one(self, keys):
+        """Once the window clamps to the whole array, local density
+        equals global density by construction."""
+        scores = density_anomaly_scores(keys, window=keys.size)
+        assert np.allclose(scores, 1.0)
+
+    @given(keys=key_arrays, data=st.data())
+    @settings(max_examples=100)
+    def test_flagged_keys_are_a_subset(self, keys, data):
+        n_flags = data.draw(
+            st.integers(min_value=0, max_value=keys.size))
+        flagged = flag_densest_keys(keys, n_flags)
+        assert flagged.size == n_flags
+        assert np.all(np.isin(flagged, keys))

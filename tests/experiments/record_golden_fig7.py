@@ -1,0 +1,92 @@
+"""Record the fig7 golden grid from a plain serial reference loop.
+
+Run once (and only re-run deliberately, when the attack or dataset
+code intentionally changes)::
+
+    PYTHONPATH=src python tests/experiments/record_golden_fig7.py
+
+The loop below is the pre-runtime serial shape — direct nested
+iteration calling :func:`poison_rmi`, no ``SweepEngine``, no
+checkpointing — with fig7's CRC-32 per-dataset seeding applied.  The
+determinism tests assert the engine-backed port reproduces this file
+at every jobs/executor combination, which pins three things at once:
+the seeding scheme, the cell decomposition, and the plan-order
+aggregation.
+
+The grid is a scaled-down fig7 (small keysets, two model sizes) so the
+pyramid stays fast; the quick/full profiles share every code path
+with it.
+"""
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.metrics import summarize
+from repro.core.rmi_attack import poison_rmi
+from repro.core.threat_model import RMIAttackerCapability
+from repro.data.realworld import miami_salaries, osm_school_latitudes
+from repro.io import json_float
+from repro.runtime import stable_seed_words
+
+GOLDEN_PATH = Path(__file__).parent / "golden_fig7_grid.json"
+
+#: Mirrors GOLDEN_CONFIG in test_determinism.py (asserted to match).
+CONFIG = {
+    "salary_keys": 700,
+    "osm_keys": 1000,
+    "model_sizes": [50, 100],
+    "poisoning_percentages": [5.0, 15.0],
+    "alpha": 3.0,
+    "max_exchanges_per_model": 1,
+    "seed": 31,
+}
+
+
+def reference_keyset(dataset: str, n_keys: int, seed: int):
+    """Fig7's per-dataset stream, spelled out independently."""
+    rng = np.random.default_rng(stable_seed_words(seed, n_keys, dataset))
+    if dataset == "miami-salaries":
+        return miami_salaries(rng, n=n_keys)
+    return osm_school_latitudes(rng, n=n_keys)
+
+
+def main() -> int:
+    cells = []
+    datasets = [("miami-salaries", CONFIG["salary_keys"]),
+                ("osm-latitudes", CONFIG["osm_keys"])]
+    for dataset, n_keys in datasets:
+        for model_size in CONFIG["model_sizes"]:
+            keyset = reference_keyset(dataset, n_keys, CONFIG["seed"])
+            n_models = max(n_keys // model_size, 1)
+            for pct in CONFIG["poisoning_percentages"]:
+                capability = RMIAttackerCapability(
+                    poisoning_percentage=pct, alpha=CONFIG["alpha"])
+                result = poison_rmi(
+                    keyset, n_models, capability,
+                    max_exchanges=(CONFIG["max_exchanges_per_model"]
+                                   * n_models))
+                ratios = result.per_model_ratios
+                finite = ratios[np.isfinite(ratios)]
+                cells.append({
+                    "dataset": dataset,
+                    "n_keys": n_keys,
+                    "model_size": model_size,
+                    "n_models": n_models,
+                    "poisoning_percentage": pct,
+                    "n_poison_keys": int(result.poison_keys.size),
+                    "per_model": dataclasses.asdict(summarize(finite)),
+                    "rmi_ratio": json_float(result.rmi_ratio_loss),
+                })
+    GOLDEN_PATH.write_text(json.dumps(
+        {"config": CONFIG, "cells": cells}, indent=2, sort_keys=True)
+        + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(cells)} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,64 @@
 import pytest
 
 from repro.experiments import ablations
+from repro.runtime import CheckpointStore
+
+
+class TestEngineParity:
+    """The ported A-series ablations are invisible to parallelism.
+
+    Timings (A1) are excluded: wall-clock is the one legitimately
+    non-deterministic output.
+    """
+
+    def test_a1_verdicts_stable_across_jobs(self):
+        kwargs = dict(key_counts=(40, 80), density=0.1)
+        serial = ablations.run_bruteforce_equivalence(**kwargs)
+        threaded = ablations.run_bruteforce_equivalence(
+            **kwargs, jobs=2, executor="thread")
+        for a, b in zip(serial, threaded):
+            assert (a.n_keys, a.domain_size, a.same_key) == (
+                b.n_keys, b.domain_size, b.same_key)
+
+    def test_a2_jobs_and_executor_parity(self):
+        kwargs = dict(n_keys=300, percentages=(10.0, 20.0))
+        serial = ablations.run_trim_defense(**kwargs)
+        for executor in ("process", "thread"):
+            parallel = ablations.run_trim_defense(
+                **kwargs, jobs=2, executor=executor)
+            assert parallel == serial
+
+    def test_a2_checkpoint_persists_poison_artifacts(self, tmp_path):
+        kwargs = dict(n_keys=300, percentages=(10.0, 20.0))
+        first = ablations.run_trim_defense(
+            **kwargs, checkpoint_dir=tmp_path)
+        resumed = ablations.run_trim_defense(
+            **kwargs, checkpoint_dir=tmp_path, resume=True, jobs=2)
+        assert resumed == first
+        store = CheckpointStore(tmp_path)
+        npz_files = list(store.cells_dir.glob("*.npz"))
+        assert len(npz_files) == 2  # one poison set per percentage
+
+    def test_a3_single_cell_resume(self, tmp_path):
+        kwargs = dict(n_keys=2000, model_size=200)
+        first = ablations.run_lookup_cost(
+            **kwargs, checkpoint_dir=tmp_path)
+        resumed = ablations.run_lookup_cost(
+            **kwargs, checkpoint_dir=tmp_path, resume=True)
+        assert resumed == first
+
+    def test_a4_jobs_parity(self):
+        kwargs = dict(n_keys=1000, model_size=100, alphas=(1.0, 3.0))
+        serial = ablations.run_alpha_sweep(**kwargs)
+        parallel = ablations.run_alpha_sweep(**kwargs, jobs=2)
+        assert parallel == serial
+
+    def test_a5_jobs_parity(self):
+        kwargs = dict(n_keys=1000, model_size=100)
+        serial = ablations.run_allocation_ablation(**kwargs)
+        parallel = ablations.run_allocation_ablation(
+            **kwargs, jobs=2, executor="thread")
+        assert parallel == serial
 
 
 class TestA1BruteForce:

@@ -2,6 +2,7 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.experiments.__main__ import RESULT_SCHEMA, _TARGETS, main
@@ -51,14 +52,24 @@ class TestMain:
         with pytest.raises(SystemExit):
             main(["fig5", "--resume"])
 
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--executor", "fiber"])
+
 
 def _validate_summary_schema(payload: dict) -> None:
-    """The contract external plotting tools rely on."""
+    """The contract external plotting tools rely on (result/v2)."""
     assert payload["schema"] == RESULT_SCHEMA
     assert isinstance(payload["target"], str)
     assert payload["profile"] in ("quick", "full")
     assert isinstance(payload["jobs"], int) and payload["jobs"] >= 1
+    assert payload["executor"] in ("process", "thread")
     assert isinstance(payload["result"], dict)
+    assert isinstance(payload["artifacts"], list)
+    for entry in payload["artifacts"]:
+        assert set(entry) == {"file", "arrays"}
+        assert entry["file"].endswith(".npz")
+        assert all(isinstance(name, str) for name in entry["arrays"])
 
 
 class TestCliSmoke:
@@ -129,3 +140,115 @@ class TestCliSmoke:
             (tmp_path / "a6-deletion" / "result.json").read_text())
         _validate_summary_schema(payload)
         assert len(payload["result"]["rows"]) == 3
+
+    def test_thread_executor_matches_process(self, out_dir, tmp_path,
+                                             capsys):
+        """fig5 quick through threads reproduces the process-pool
+        result summary value for value."""
+        assert main(["fig5", "--profile", "quick", "--jobs", "2",
+                     "--executor", "thread",
+                     "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        thread = json.loads(
+            (tmp_path / "fig5" / "result.json").read_text())
+        process = json.loads(
+            (out_dir / "fig5" / "result.json").read_text())
+        _validate_summary_schema(thread)
+        assert thread["executor"] == "thread"
+        assert thread["result"] == process["result"]
+
+
+class TestFig7Cli:
+    """fig7 end to end through the CLI, on a tiny grid.
+
+    The quick profile (30k OSM keys) is CI-smoke material; here the
+    config is shrunk so the full artifact story — capture, manifest,
+    resume, round-trip — runs inside the tier-1 budget.
+    """
+
+    TINY = dict(osm_keys=400, salary_keys=300, model_sizes=(50,),
+                poisoning_percentages=(5.0, 10.0),
+                max_exchanges_per_model=1)
+
+    @pytest.fixture(scope="class")
+    def out_dir(self, tmp_path_factory):
+        from repro.experiments import fig7_rmi_realworld
+
+        config = fig7_rmi_realworld.Fig7Config(**self.TINY)
+        original = fig7_rmi_realworld.quick_config
+        fig7_rmi_realworld.quick_config = lambda: config
+        try:
+            out = tmp_path_factory.mktemp("fig7-out")
+            assert main(["fig7", "--jobs", "2", "--executor", "thread",
+                         "--out", str(out)]) == 0
+            assert main(["fig7", "--jobs", "2", "--out", str(out),
+                         "--resume"]) == 0
+            yield out
+        finally:
+            fig7_rmi_realworld.quick_config = original
+
+    def test_result_schema_and_cells(self, out_dir):
+        payload = json.loads(
+            (out_dir / "fig7" / "result.json").read_text())
+        _validate_summary_schema(payload)
+        assert payload["target"] == "fig7"
+        cells = payload["result"]["cells"]
+        assert len(cells) == 4  # 2 datasets x 1 size x 2 pcts
+        assert {c["dataset"] for c in cells} == {"miami-salaries",
+                                                 "osm-latitudes"}
+        assert len(payload["result"]["profiles"]) == 2
+
+    def test_artifact_manifest_round_trips(self, out_dir):
+        """Every manifest entry loads via io.load_arrays and carries
+        the promised arrays — the acceptance criterion."""
+        from repro import io
+
+        payload = json.loads(
+            (out_dir / "fig7" / "result.json").read_text())
+        manifest = payload["artifacts"]
+        assert len(manifest) == 4  # one .npz per cell
+        for entry in manifest:
+            arrays = io.load_arrays(out_dir / "fig7" / entry["file"])
+            assert sorted(arrays) == entry["arrays"]
+            assert entry["arrays"] == ["per_model_ratios",
+                                       "poison_keys"]
+            assert arrays["poison_keys"].dtype == np.int64
+            assert arrays["poison_keys"].size > 0
+
+    def test_manifest_scoped_to_current_run(self, out_dir, capsys):
+        """A different grid sharing the checkpoint dir must not leak
+        its (content-addressed, intentionally retained) artifacts
+        into this run's manifest."""
+        from repro.experiments import fig7_rmi_realworld
+
+        other = fig7_rmi_realworld.Fig7Config(
+            **{**self.TINY, "osm_keys": 500})
+        original = fig7_rmi_realworld.quick_config
+        fig7_rmi_realworld.quick_config = lambda: other
+        try:
+            assert main(["fig7", "--jobs", "2",
+                         "--out", str(out_dir)]) == 0
+        finally:
+            fig7_rmi_realworld.quick_config = original
+        capsys.readouterr()
+        payload = json.loads(
+            (out_dir / "fig7" / "result.json").read_text())
+        # Both grids' cells live on disk, but only the second grid's
+        # 4 cells are indexed.
+        on_disk = len(list((out_dir / "fig7" / "cells").glob("*.npz")))
+        assert on_disk > 4
+        assert len(payload["artifacts"]) == 4
+        plan = fig7_rmi_realworld.plan_cells(other)
+        expected = {f"cells/{c.experiment}-{c.digest}.npz"
+                    for c in plan}
+        assert {e["file"] for e in payload["artifacts"]} == expected
+
+    def test_resume_rewrote_nothing(self, out_dir, capsys):
+        before = {p.name: p.stat().st_mtime_ns
+                  for p in (out_dir / "fig7" / "cells").iterdir()}
+        assert main(["fig7", "--jobs", "2", "--out", str(out_dir),
+                     "--resume"]) == 0
+        capsys.readouterr()
+        after = {p.name: p.stat().st_mtime_ns
+                 for p in (out_dir / "fig7" / "cells").iterdir()}
+        assert after == before

@@ -82,14 +82,76 @@ class TestDefensiveLoads:
              "result": {"v": 4}}))
         assert store.load_cell(cell) is None
 
-    def test_truncated_npz_treated_as_no_artifacts(self, tmp_path):
+    def test_truncated_npz_marks_cell_missing(self, tmp_path):
+        """A summary that promises artifacts it cannot deliver is not
+        a completed cell — resume must recompute, not trust it."""
         store = CheckpointStore(tmp_path)
         cell = make_cell(n=3)
         store.save_cell(cell, {"v": 1},
                         arrays={"poison": np.array([1], dtype=np.int64)})
         store.arrays_path(cell).write_bytes(b"PK\x03\x04trunc")
         assert store.load_arrays(cell) == {}
-        # The JSON summary is unaffected.
+        assert store.load_cell(cell) is None
+        assert store.load_cell_output(cell) is None
+
+    def test_garbage_npz_marks_cell_missing(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        store.save_cell(cell, {"v": 1},
+                        arrays={"poison": np.array([1], dtype=np.int64)})
+        store.arrays_path(cell).write_bytes(
+            bytes(range(256)) * 16)  # not a zip at all
+        assert store.load_cell(cell) is None
+
+    def test_deleted_npz_marks_cell_missing(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        store.save_cell(cell, {"v": 1},
+                        arrays={"poison": np.array([1], dtype=np.int64)})
+        store.arrays_path(cell).unlink()
+        assert store.load_cell(cell) is None
+
+    def test_npz_missing_promised_array_marks_cell_missing(
+            self, tmp_path):
+        """A *valid* archive that lost a declared name is still not a
+        completed cell — partial artifacts must not be trusted."""
+        from repro import io as repro_io
+
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        store.save_cell(cell, {"v": 1},
+                        arrays={"poison": np.array([1], dtype=np.int64),
+                                "ratios": np.array([2.0])})
+        repro_io.save_arrays(store.arrays_path(cell),
+                             poison=np.array([1], dtype=np.int64))
+        assert store.load_cell(cell) is None
+        # Restoring the full set of promised arrays heals the cell.
+        repro_io.save_arrays(store.arrays_path(cell),
+                             poison=np.array([1], dtype=np.int64),
+                             ratios=np.array([2.0]))
+        assert store.load_cell(cell) == {"v": 1}
+
+    def test_half_written_cell_json_treated_as_absent(self, tmp_path):
+        """A torn JSON write (no atomic replace) must read as not
+        done, with and without a sibling artifact file."""
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        store.save_cell(cell, {"v": 1},
+                        arrays={"poison": np.array([1], dtype=np.int64)})
+        full = store.cell_path(cell).read_text()
+        store.cell_path(cell).write_text(full[:len(full) // 2])
+        assert store.load_cell(cell) is None
+        assert store.load_cell_output(cell) is None
+        assert store.completed([cell]) == {}
+
+    def test_cells_without_artifacts_unaffected_by_stray_npz(
+            self, tmp_path):
+        """An orphaned .npz (crash between array and JSON writes of a
+        *different* run) never blocks a cell that promised nothing."""
+        store = CheckpointStore(tmp_path)
+        cell = make_cell(n=3)
+        store.save_cell(cell, {"v": 1})
+        store.arrays_path(cell).write_bytes(b"PK\x03\x04trunc")
         assert store.load_cell(cell) == {"v": 1}
 
     def test_no_temp_files_left_behind(self, tmp_path):

@@ -1,16 +1,26 @@
-"""Tests for the sweep engine: parity, checkpoints, resume, failures.
+"""Tests for the sweep engine: parity, checkpoints, resume, failures,
+executor backends, and artifact capture.
 
 Cell runners live at module level so worker processes can unpickle
 them by name.
 """
 
+import numpy as np
 import pytest
 
-from repro.runtime import Cell, CheckpointStore, SweepEngine
+from repro.runtime import Cell, CellOutput, CheckpointStore, SweepEngine
 
 
 def square_cell(cell: Cell) -> dict:
     return {"value": cell.params_dict["x"] ** 2}
+
+
+def artifact_cell(cell: Cell) -> CellOutput:
+    """Returns a summary plus a derived array artifact."""
+    x = cell.params_dict["x"]
+    return CellOutput(
+        result={"value": x ** 2},
+        arrays={"trace": np.arange(x + 1, dtype=np.int64)})
 
 
 def marker_cell(cell: Cell) -> dict:
@@ -145,3 +155,128 @@ class TestCheckpointing:
         parallel = SweepEngine(square_cell, jobs=4, checkpoint=store,
                                resume=True).run(cells)
         assert parallel == serial
+
+
+class TestThreadExecutor:
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            SweepEngine(square_cell, executor="fiber")
+
+    def test_matches_process_and_serial_results(self):
+        cells = plan(12)
+        serial = SweepEngine(square_cell, jobs=1).run(cells)
+        process = SweepEngine(square_cell, jobs=4,
+                              executor="process").run(cells)
+        thread = SweepEngine(square_cell, jobs=4,
+                             executor="thread").run(cells)
+        assert thread == serial == process
+
+    def test_stats_record_backend(self):
+        engine = SweepEngine(square_cell, jobs=4, executor="thread")
+        engine.run(plan(8))
+        assert engine.last_stats.executor == "thread"
+        assert engine.last_stats.jobs == 4
+
+    def test_stats_report_inline_when_no_pool_ran(self):
+        """A single-cell plan short-circuits past the pool; the stats
+        must say so instead of naming a backend that never existed."""
+        engine = SweepEngine(square_cell, jobs=4, executor="thread")
+        engine.run(plan(1))
+        assert engine.last_stats.executor == "inline"
+        assert engine.last_stats.jobs == 1
+        serial = SweepEngine(square_cell, jobs=1)
+        serial.run(plan(5))
+        assert serial.last_stats.executor == "inline"
+
+    def test_checkpointed_resume_across_backends(self, tmp_path):
+        """Cells checkpointed by a thread run resume under a process
+        run (and vice versa) — the store is backend-agnostic."""
+        store = CheckpointStore(tmp_path)
+        cells = plan(8)
+        first = SweepEngine(square_cell, jobs=2, executor="thread",
+                            checkpoint=store).run(cells)
+        engine = SweepEngine(square_cell, jobs=2, executor="process",
+                             checkpoint=store, resume=True)
+        assert engine.run(cells) == first
+        assert engine.last_stats.reused == 8
+
+    def test_worker_exception_propagates(self):
+        engine = SweepEngine(failing_cell, jobs=2, executor="thread")
+        with pytest.raises(RuntimeError, match="unlucky"):
+            engine.run(plan(20))
+
+
+class TestArtifacts:
+    def test_run_outputs_carries_arrays_inline(self):
+        outputs = SweepEngine(artifact_cell).run_outputs(plan(3))
+        assert [o.result["value"] for o in outputs] == [0, 1, 4]
+        for x, output in enumerate(outputs):
+            assert np.array_equal(output.arrays["trace"],
+                                  np.arange(x + 1))
+
+    def test_plain_dict_runners_have_empty_arrays(self):
+        outputs = SweepEngine(square_cell).run_outputs(plan(3))
+        assert all(o.arrays == {} for o in outputs)
+
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_arrays_checkpoint_and_cross_pool(self, tmp_path, executor):
+        store = CheckpointStore(tmp_path)
+        cells = plan(6)
+        outputs = SweepEngine(artifact_cell, jobs=3, executor=executor,
+                              checkpoint=store).run_outputs(cells)
+        for cell, output in zip(cells, outputs):
+            stored = store.load_arrays(cell)
+            assert np.array_equal(stored["trace"],
+                                  output.arrays["trace"])
+
+    def test_resume_re_exposes_arrays(self, tmp_path):
+        """A resumed run sees the same CellOutput shape as the run
+        that computed the cells — arrays come back from disk."""
+        store = CheckpointStore(tmp_path)
+        cells = plan(5)
+        first = SweepEngine(artifact_cell,
+                            checkpoint=store).run_outputs(cells)
+        engine = SweepEngine(artifact_cell, checkpoint=store,
+                             resume=True)
+        resumed = engine.run_outputs(cells)
+        assert engine.last_stats.reused == 5
+        for a, b in zip(first, resumed):
+            assert a.result == b.result
+            assert np.array_equal(a.arrays["trace"], b.arrays["trace"])
+
+    def test_duplicate_cells_share_arrays(self):
+        cells = plan(3) + plan(3)
+        engine = SweepEngine(artifact_cell)
+        outputs = engine.run_outputs(cells)
+        assert engine.last_stats.computed == 3
+        for x in range(3):
+            assert outputs[x].arrays is outputs[x + 3].arrays
+
+    def test_corrupt_artifact_recomputed_on_resume(self, tmp_path):
+        """The defensive-load contract end to end: a truncated .npz
+        makes only that cell recompute; the run still succeeds."""
+        store = CheckpointStore(tmp_path)
+        cells = plan(6)
+        SweepEngine(artifact_cell, checkpoint=store).run(cells)
+        store.arrays_path(cells[2]).write_bytes(b"PK\x03\x04trunc")
+        engine = SweepEngine(artifact_cell, checkpoint=store,
+                             resume=True)
+        outputs = engine.run_outputs(cells)
+        assert engine.last_stats.reused == 5
+        assert engine.last_stats.computed == 1
+        assert np.array_equal(outputs[2].arrays["trace"], np.arange(3))
+        # The recompute healed the store.
+        assert store.load_cell(cells[2]) == {"value": 4}
+
+    def test_half_written_cell_json_recomputed_on_resume(
+            self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cells = plan(4)
+        SweepEngine(artifact_cell, checkpoint=store).run(cells)
+        path = store.cell_path(cells[1])
+        path.write_text(path.read_text()[:20])
+        engine = SweepEngine(artifact_cell, checkpoint=store,
+                             resume=True)
+        results = engine.run(cells)
+        assert [r["value"] for r in results] == [0, 1, 4, 9]
+        assert engine.last_stats.computed == 1

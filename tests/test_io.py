@@ -64,6 +64,20 @@ class TestArraysRoundTrip:
         with pytest.raises(ValueError):
             io.save_arrays(tmp_path / "arrays.npz")
 
+    def test_array_names_listed_without_loading(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        io.save_arrays(path, poison=np.array([1, 2], dtype=np.int64),
+                       losses=np.array([0.5], dtype=np.float64))
+        assert io.npz_array_names(path) == ["losses", "poison"]
+
+    def test_array_names_of_garbage_raises(self, tmp_path):
+        """Callers (the artifact manifest collector) are expected to
+        catch this; the io layer itself stays strict."""
+        path = tmp_path / "arrays.npz"
+        path.write_bytes(b"PK\x03\x04trunc")
+        with pytest.raises(Exception):
+            io.npz_array_names(path)
+
 
 class TestGreedyResultDict:
     def test_fields(self, rng):
