@@ -1,0 +1,136 @@
+"""Bench the batched lookup hot path against the scalar loop.
+
+The serving simulator lives or dies by ``lookup_batch``: one
+vectorized windowed binary search replaces a Python loop of scalar
+lookups, with bit-identical probe counts.  This benchmark measures the
+speedup on the RMI and the dynamic index across batch sizes, replays
+one quick workload scenario end to end, and writes the numbers as
+``BENCH_workload.json`` (schema ``repro.bench.workload/v1``) — the
+seed of the perf trajectory the ROADMAP asks for.
+
+Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_workload_serving.py [out.json]
+
+or through the bench harness (``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import io
+from repro.data.keyset import Domain
+from repro.data.synthetic import uniform_keyset
+from repro.experiments.report import render_table, section
+from repro.index import DynamicLearnedIndex, RecursiveModelIndex
+from repro.workload import (
+    ServingSimulator,
+    TraceSpec,
+    generate_trace,
+    make_backend,
+)
+
+BENCH_SCHEMA = "repro.bench.workload/v1"
+BATCH_SIZES = (100, 1_000, 10_000)
+N_KEYS = 50_000
+N_MODELS = 500
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def bench_batched_lookup() -> tuple[str, dict]:
+    """Scalar-vs-vectorized lookup over growing batch sizes."""
+    rng = np.random.default_rng(97)
+    keyset = uniform_keyset(N_KEYS, Domain.of_size(10 * N_KEYS), rng)
+    structures = {
+        "rmi": RecursiveModelIndex.build_equal_size(keyset, N_MODELS),
+        "dynamic": DynamicLearnedIndex(keyset, n_models=N_MODELS),
+    }
+    rows = []
+    record: dict = {}
+    for name, index in structures.items():
+        for size in BATCH_SIZES:
+            queries = rng.choice(keyset.keys, size=size)
+            scalar_s = _time(
+                lambda: [index.lookup(int(q)) for q in queries])
+            batch_s = _time(lambda: index.lookup_batch(queries))
+            # The whole point: same probes, less interpreter.
+            scalar_probes = sum(index.lookup(int(q)).probes
+                                for q in queries)
+            batch_probes = int(index.lookup_batch(queries).probes.sum())
+            assert scalar_probes == batch_probes
+            speedup = scalar_s / batch_s if batch_s > 0 else float("inf")
+            rows.append([name, size, f"{scalar_s * 1e3:.1f}ms",
+                         f"{batch_s * 1e3:.1f}ms", f"{speedup:.1f}x"])
+            record[f"{name}/{size}"] = {
+                "scalar_seconds": scalar_s,
+                "batch_seconds": batch_s,
+                "speedup": io.json_float(speedup),
+            }
+    table = (section(f"batched vs scalar lookup — {N_KEYS} keys, "
+                     f"{N_MODELS} models") + "\n"
+             + render_table(["index", "batch", "scalar", "batched",
+                             "speedup"], rows))
+    return table, record
+
+
+def bench_serving_replay() -> tuple[str, dict]:
+    """One quick streaming scenario end to end, per backend."""
+    spec = TraceSpec(n_base_keys=5_000, n_ops=20_000,
+                     query_mix="zipfian", insert_fraction=0.05,
+                     delete_fraction=0.02, modify_fraction=0.02,
+                     range_fraction=0.03, poison_schedule="drip",
+                     poison_percentage=10.0, seed=101)
+    trace = generate_trace(spec)
+    rows = []
+    record: dict = {}
+    for name in ("binary", "rmi", "dynamic"):
+        backend = make_backend(name, trace.base_keys)
+        report = ServingSimulator(backend, trace, tick_ops=1000).run()
+        ops_per_s = trace.n_ops / report.wall_seconds
+        rows.append([name, f"{report.wall_seconds * 1e3:.0f}ms",
+                     f"{ops_per_s:,.0f}", f"{report.p99:.1f}",
+                     f"{report.final_amplification:.2f}x"])
+        record[name] = {
+            "wall_seconds": report.wall_seconds,
+            "ops_per_second": ops_per_s,
+            "p99_probes": io.json_float(report.p99),
+            "amplification": io.json_float(
+                report.final_amplification),
+        }
+    table = (section(f"serving replay — {spec.n_ops} ops, "
+                     f"{spec.n_base_keys} base keys, drip poison")
+             + "\n" + render_table(
+                 ["backend", "wall", "ops/s", "p99 probes",
+                  "amplif."], rows))
+    return table, record
+
+
+def run_bench(out_path: str = "BENCH_workload.json") -> str:
+    """Run both sections; persist the JSON record; return the tables."""
+    lookup_table, lookup_record = bench_batched_lookup()
+    replay_table, replay_record = bench_serving_replay()
+    io.save_json({
+        "schema": BENCH_SCHEMA,
+        "batched_lookup": lookup_record,
+        "serving_replay": replay_record,
+    }, out_path)
+    return f"{lookup_table}\n\n{replay_table}"
+
+
+def test_workload_serving_bench(once, tmp_path):
+    table = once(lambda: run_bench(str(tmp_path / "BENCH.json")))
+    print()
+    print(table)
+
+
+if __name__ == "__main__":
+    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH_workload.json"
+    print(run_bench(out))
+    print(f"\nwrote {out}")

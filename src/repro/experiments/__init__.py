@@ -15,6 +15,7 @@ from . import (
     fig6_rmi_synthetic,
     fig7_rmi_realworld,
     regression_sweep,
+    workload_serving,
 )
 from .regression_sweep import fig5_config, fig8_config, run_sweep
 from .report import ascii_boxplot, format_ratio, render_table, section
@@ -29,6 +30,7 @@ __all__ = [
     "run_sweep",
     "fig6_rmi_synthetic",
     "fig7_rmi_realworld",
+    "workload_serving",
     "ablations",
     "section",
     "render_table",

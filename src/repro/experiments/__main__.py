@@ -1,16 +1,26 @@
 """Command-line entry point: ``python -m repro.experiments <target>``.
 
-Targets mirror the paper's figures and the ablations:
+Targets mirror the paper's figures and the ablations, plus the
+streaming serving grid:
 
     fig2 fig3 fig4 fig5 fig6 fig7 fig8
+    workload
     a1-bruteforce a2-trim a3-cost a4-alpha a5-allocation
     all
 
-``--profile quick`` (default) runs the scaled-down configurations;
-``--profile full`` runs the larger grids recorded in EXPERIMENTS.md.
+``--profile quick`` (default, ``--quick`` is an alias) runs the
+scaled-down configurations; ``--profile full`` runs the larger grids
+recorded in EXPERIMENTS.md.
 
-Runtime flags (engine-backed targets: fig5, fig6, fig7, fig8 and the
-ablations a1-a6, a11):
+``workload`` replays streaming scenarios (query mixes × poison
+schedules × index backends) through the serving simulator; with
+``--out`` it also writes ``BENCH_workload.json``
+(``repro.bench.workload/v1``) next to its ``result.json`` — the
+wall-clock perf-trajectory record, deliberately separate from the
+deterministic result payload.
+
+Runtime flags (engine-backed targets: fig5, fig6, fig7, fig8,
+workload, and every ablation a1-a11):
 
 ``--jobs N``
     Fan the sweep's cells out over N workers.  Results are
@@ -69,6 +79,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
@@ -82,11 +93,13 @@ from . import (
     fig4_greedy_showcase,
     fig6_rmi_synthetic,
     fig7_rmi_realworld,
+    workload_serving,
 )
 from .regression_sweep import fig5_config, fig8_config, run_sweep
 from .regression_sweep import plan_cells as plan_regression
 
 RESULT_SCHEMA = "repro.experiments.result/v2"
+BENCH_SCHEMA = "repro.bench.workload/v1"
 
 
 @dataclass(frozen=True)
@@ -98,6 +111,7 @@ class RunOptions:
     out: Path | None = None
     resume: bool = False
     executor: str = "process"
+    progress: bool = False
 
     def checkpoint_dir(self, target: str) -> Path | None:
         """Per-target checkpoint directory under ``--out`` (if any)."""
@@ -110,7 +124,22 @@ class RunOptions:
             "checkpoint_dir": self.checkpoint_dir(target),
             "resume": self.resume,
             "executor": self.executor,
+            "progress": (_stderr_progress(target) if self.progress
+                         else None),
         }
+
+
+def _stderr_progress(target: str) -> Callable[[Any], None]:
+    """A ``SweepProgress`` printer for long sweeps (stderr, one line
+    per completed cell, so piped stdout tables stay clean)."""
+    def report(event: Any) -> None:
+        eta = (f", eta {event.eta_seconds:.0f}s"
+               if event.eta_seconds is not None else "")
+        print(f"[{target}] {event.done}/{event.total} cells "
+              f"({event.reused} reused) "
+              f"{event.seconds_elapsed:.1f}s elapsed{eta}",
+              file=sys.stderr, flush=True)
+    return report
 
 
 # Each target returns (formatted text, JSON payload or None, plan).
@@ -147,6 +176,55 @@ def _run_fig7(opts: RunOptions) -> TargetOutput:
     result = fig7_rmi_realworld.run(config, **opts.engine_kwargs("fig7"))
     return (result.format(), result.to_dict(),
             fig7_rmi_realworld.plan_cells(config))
+
+
+def _run_workload(opts: RunOptions) -> TargetOutput:
+    """The streaming serving grid, plus the perf-trajectory record.
+
+    When ``--out`` is given, a ``BENCH_workload.json`` lands next to
+    ``result.json``: the only place wall-clock enters the pipeline.
+    The result payload itself stays deterministic (probe-count
+    metrics), which is what the jobs-parity CI check compares.
+    """
+    config = (workload_serving.full_config() if opts.profile == "full"
+              else workload_serving.quick_config())
+    started = time.perf_counter()
+    result = workload_serving.run(config,
+                                  **opts.engine_kwargs("workload"))
+    wall = time.perf_counter() - started
+    if opts.out is not None:
+        out_dir = opts.checkpoint_dir("workload")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        by_backend: dict[str, list[Any]] = {}
+        for row in result.rows:
+            by_backend.setdefault(row.backend, []).append(row)
+        io.save_json({
+            "schema": BENCH_SCHEMA,
+            "profile": opts.profile,
+            "jobs": opts.jobs,
+            "executor": opts.executor,
+            "serving": {
+                "cells": len(result.rows),
+                "ops_per_cell": config.n_ops,
+                "wall_seconds": wall,
+                "cells_per_second": (len(result.rows) / wall
+                                     if wall > 0 else 0.0),
+                "backends": {
+                    name: {
+                        "mean_probes": io.json_float(
+                            sum(r.mean_probes for r in rows)
+                            / len(rows)),
+                        "worst_p99": io.json_float(
+                            max(r.p99 for r in rows)),
+                        "worst_amplification": io.json_float(
+                            max(r.amplification for r in rows)),
+                    }
+                    for name, rows in by_backend.items()
+                },
+            },
+        }, out_dir / "BENCH_workload.json")
+    return (result.format(), result.to_dict(),
+            workload_serving.plan_cells(config))
 
 
 def _run_a1(opts: RunOptions) -> TargetOutput:
@@ -236,6 +314,59 @@ def _run_a11(opts: RunOptions) -> TargetOutput:
             ablations.plan_adversary_cells())
 
 
+def _run_a7(opts: RunOptions) -> TargetOutput:
+    rows = ablations.run_polynomial_ablation(
+        **opts.engine_kwargs("a7-polynomial"))
+    payload = {"rows": [
+        {"degree": r.degree, "n_parameters": r.n_parameters,
+         "multiply_adds": r.multiply_adds,
+         "poisoned_ratio": io.json_float(r.poisoned_ratio)}
+        for r in rows]}
+    return (ablations.format_polynomial(rows), payload,
+            ablations.plan_polynomial_cells())
+
+
+def _run_a8(opts: RunOptions) -> TargetOutput:
+    report = ablations.run_blackbox_ablation(
+        **opts.engine_kwargs("a8-blackbox"))
+    payload = {
+        "n_probes": report.n_probes,
+        "models_recovered": report.models_recovered,
+        "n_models": report.n_models,
+        "max_slope_error": io.json_float(report.max_slope_error),
+        "whitebox_ratio": io.json_float(report.whitebox_ratio),
+        "blackbox_ratio": io.json_float(report.blackbox_ratio),
+    }
+    return (ablations.format_blackbox(report), payload,
+            ablations.plan_blackbox_cells())
+
+
+def _run_a9(opts: RunOptions) -> TargetOutput:
+    report = ablations.run_update_ablation(
+        **opts.engine_kwargs("a9-updates"))
+    payload = {
+        "static_ratio": io.json_float(report.static_ratio),
+        "update_ratio": io.json_float(report.update_ratio),
+        "retrains_triggered": report.retrains_triggered,
+        "clean_lookup_cost": report.clean_lookup_cost,
+        "poisoned_lookup_cost": report.poisoned_lookup_cost,
+    }
+    return (ablations.format_update(report), payload,
+            ablations.plan_update_cells())
+
+
+def _run_a10(opts: RunOptions) -> TargetOutput:
+    rows = ablations.run_ridge_ablation(
+        **opts.engine_kwargs("a10-ridge"))
+    payload = {"rows": [
+        {"lam_fraction": r.lam_fraction, "clean_mse": r.clean_mse,
+         "poisoned_mse": r.poisoned_mse,
+         "poisoned_ratio": io.json_float(r.poisoned_ratio)}
+        for r in rows]}
+    return (ablations.format_ridge(rows), payload,
+            ablations.plan_ridge_cells())
+
+
 def _plain(render: Callable[[RunOptions], str]) -> Target:
     """Wrap a non-sweep target: formatted text only, no payload."""
     return lambda opts: (render(opts), None, [])
@@ -249,20 +380,17 @@ _TARGETS: dict[str, Target] = {
     "fig6": _run_fig6,
     "fig7": _run_fig7,
     "fig8": _run_fig8,
+    "workload": _run_workload,
     "a1-bruteforce": _run_a1,
     "a2-trim": _run_a2,
     "a3-cost": _run_a3,
     "a4-alpha": _run_a4,
     "a5-allocation": _run_a5,
     "a6-deletion": _run_a6,
-    "a7-polynomial": _plain(lambda opts: ablations.format_polynomial(
-        ablations.run_polynomial_ablation())),
-    "a8-blackbox": _plain(lambda opts: ablations.format_blackbox(
-        ablations.run_blackbox_ablation())),
-    "a9-updates": _plain(lambda opts: ablations.format_update(
-        ablations.run_update_ablation())),
-    "a10-ridge": _plain(lambda opts: ablations.format_ridge(
-        ablations.run_ridge_ablation())),
+    "a7-polynomial": _run_a7,
+    "a8-blackbox": _run_a8,
+    "a9-updates": _run_a9,
+    "a10-ridge": _run_a10,
     "a11-adversaries": _run_a11,
 }
 
@@ -325,6 +453,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", choices=("quick", "full"),
                         default="quick",
                         help="quick (scaled, default) or full grids")
+    parser.add_argument("--quick", action="store_true",
+                        help="alias for --profile quick")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="workers for sweep targets "
                              "(default 1; results are identical)")
@@ -341,7 +471,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--resume", action="store_true",
                         help="with --out: reuse completed cells from a "
                              "previous run")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-cell progress and an ETA to "
+                             "stderr (engine-backed targets)")
     args = parser.parse_args(argv)
+    if args.quick and args.profile == "full":
+        parser.error("--quick contradicts --profile full")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.resume and args.out is None:
@@ -349,7 +484,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None and args.out.exists() and not args.out.is_dir():
         parser.error(f"--out {args.out} exists and is not a directory")
     opts = RunOptions(profile=args.profile, jobs=args.jobs, out=args.out,
-                      resume=args.resume, executor=args.executor)
+                      resume=args.resume, executor=args.executor,
+                      progress=args.progress)
 
     targets = sorted(_TARGETS) if args.target == "all" else [args.target]
     for name in targets:

@@ -60,20 +60,23 @@ __all__ = [
     "AllocationRow", "plan_allocation_cells",
     "run_allocation_ablation",
     "DeletionRow", "plan_deletion_cells", "run_deletion_ablation",
-    "PolynomialRow", "run_polynomial_ablation",
-    "BlackboxReport", "run_blackbox_ablation",
-    "UpdateChannelReport", "run_update_ablation",
-    "RidgeRow", "run_ridge_ablation",
+    "PolynomialRow", "plan_polynomial_cells",
+    "run_polynomial_ablation",
+    "BlackboxReport", "plan_blackbox_cells", "run_blackbox_ablation",
+    "UpdateChannelReport", "plan_update_cells", "run_update_ablation",
+    "RidgeRow", "plan_ridge_cells", "run_ridge_ablation",
     "AdversaryRow", "plan_adversary_cells", "run_adversary_comparison",
 ]
 
 
 def _engine(runner, jobs: int, checkpoint_dir: str | Path | None,
-            resume: bool, executor: str) -> SweepEngine:
+            resume: bool, executor: str,
+            progress=None) -> SweepEngine:
     """The sweep engine every A-series ablation shares."""
     store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
     return SweepEngine(runner, jobs=jobs, checkpoint=store,
-                       resume=resume, executor=executor)
+                       resume=resume, executor=executor,
+                       progress=progress)
 
 
 # ----------------------------------------------------------------------
@@ -129,7 +132,7 @@ def run_bruteforce_equivalence(
         key_counts: tuple[int, ...] = (50, 100, 200),
         density: float = 0.05, seed: int = 5, jobs: int = 1,
         checkpoint_dir: str | Path | None = None, resume: bool = False,
-        executor: str = "process") -> list[BruteForceRow]:
+        executor: str = "process", progress=None) -> list[BruteForceRow]:
     """A1: the O(n) attack must match the O(m n) oracle, faster.
 
     The equivalence verdict is deterministic; the timings are not, so
@@ -141,7 +144,7 @@ def run_bruteforce_equivalence(
     """
     cells = plan_bruteforce_cells(key_counts, density, seed)
     engine = _engine(run_bruteforce_cell, jobs, checkpoint_dir, resume,
-                     executor)
+                     executor, progress)
     return [
         BruteForceRow(
             n_keys=n,
@@ -239,7 +242,8 @@ def run_trim_defense(n_keys: int = 1000, density: float = 0.1,
                      seed: int = 13, jobs: int = 1,
                      checkpoint_dir: str | Path | None = None,
                      resume: bool = False,
-                     executor: str = "process") -> list[TrimRow]:
+                     executor: str = "process",
+                     progress=None) -> list[TrimRow]:
     """A2: can TRIM undo the CDF attack?
 
     For each percentage: poison, then hand the defense the poisoned
@@ -248,7 +252,7 @@ def run_trim_defense(n_keys: int = 1000, density: float = 0.1,
     """
     cells = plan_trim_cells(n_keys, density, percentages, seed)
     engine = _engine(run_trim_cell, jobs, checkpoint_dir, resume,
-                     executor)
+                     executor, progress)
     rows = []
     for pct, outcome in zip(percentages, engine.run(cells)):
         for variant in ("classic", "rank-aware"):
@@ -315,7 +319,8 @@ def run_lookup_cost(n_keys: int = 20_000, density: float = 0.1,
                     seed: int = 17, jobs: int = 1,
                     checkpoint_dir: str | Path | None = None,
                     resume: bool = False,
-                    executor: str = "process") -> list[CostReport]:
+                    executor: str = "process",
+                    progress=None) -> list[CostReport]:
     """A3: clean RMI vs poisoned RMI vs B-Tree probe counts.
 
     A single (but expensive at full size) unit of work, so it runs as
@@ -325,7 +330,7 @@ def run_lookup_cost(n_keys: int = 20_000, density: float = 0.1,
     cells = plan_lookup_cost_cells(n_keys, density, model_size,
                                    poisoning_percentage, seed)
     engine = _engine(run_lookup_cost_cell, jobs, checkpoint_dir, resume,
-                     executor)
+                     executor, progress)
     (outcome,) = engine.run(cells)
     return [CostReport(structure=r["structure"],
                        mean_cost=r["mean_cost"],
@@ -392,12 +397,13 @@ def run_alpha_sweep(n_keys: int = 10_000, model_size: int = 500,
                     seed: int = 19, jobs: int = 1,
                     checkpoint_dir: str | Path | None = None,
                     resume: bool = False,
-                    executor: str = "process") -> list[AlphaRow]:
+                    executor: str = "process",
+                    progress=None) -> list[AlphaRow]:
     """A4: how much threshold slack helps the volume allocation."""
     cells = plan_alpha_cells(n_keys, model_size, poisoning_percentage,
                              alphas, seed)
     engine = _engine(run_alpha_cell, jobs, checkpoint_dir, resume,
-                     executor)
+                     executor, progress)
     return [
         AlphaRow(alpha=alpha,
                  rmi_ratio=parse_json_float(outcome["rmi_ratio"]),
@@ -483,13 +489,13 @@ def run_allocation_ablation(n_keys: int = 10_000, model_size: int = 500,
                             checkpoint_dir: str | Path | None = None,
                             resume: bool = False,
                             executor: str = "process",
-                            ) -> list[AllocationRow]:
+                            progress=None) -> list[AllocationRow]:
     """A5: value of the exchange loop over uniform initial budgets."""
     distributions = ALLOCATION_DISTRIBUTIONS
     cells = plan_allocation_cells(n_keys, model_size,
                                   poisoning_percentage, seed)
     engine = _engine(run_allocation_cell, jobs, checkpoint_dir, resume,
-                     executor)
+                     executor, progress)
     return [
         AllocationRow(
             distribution=distribution,
@@ -564,7 +570,8 @@ def run_deletion_ablation(n_keys: int = 1000, density: float = 0.1,
                           seed: int = 37, jobs: int = 1,
                           checkpoint_dir: str | Path | None = None,
                           resume: bool = False,
-                          executor: str = "process") -> list[DeletionRow]:
+                          executor: str = "process",
+                          progress=None) -> list[DeletionRow]:
     """A6: how does removing keys compare to injecting them?
 
     Both adversaries get the same budget (p keys inserted vs p keys
@@ -573,7 +580,7 @@ def run_deletion_ablation(n_keys: int = 1000, density: float = 0.1,
     """
     cells = plan_deletion_cells(n_keys, density, percentages, seed)
     engine = _engine(run_deletion_cell, jobs, checkpoint_dir, resume,
-                     executor)
+                     executor, progress)
     return [
         DeletionRow(budget_percentage=pct,
                     insertion_ratio=outcome["insertion_ratio"],
@@ -605,10 +612,53 @@ class PolynomialRow:
     poisoned_ratio: float
 
 
+def plan_polynomial_cells(n_keys: int = 1000, density: float = 0.1,
+                          poisoning_percentage: float = 10.0,
+                          degrees: tuple[int, ...] = (1, 2, 3, 5),
+                          seed: int = 41) -> list[Cell]:
+    """A7's plan: one cell per polynomial degree."""
+    return [Cell.make("a7-polynomial", n_keys=n_keys, density=density,
+                      poisoning_percentage=poisoning_percentage,
+                      degree=degree, seed=seed)
+            for degree in degrees]
+
+
+def run_polynomial_cell(cell: Cell) -> dict[str, Any]:
+    """One A7 degree: refit the shared poisoned keyset.
+
+    Every cell regenerates the identical keyset and attack from the
+    shared seed (the legacy loop mounted the attack once), so the
+    per-degree comparison stays exact across workers.
+    """
+    from ..core.polynomial import fit_polynomial_cdf
+
+    p = cell.params_dict
+    n_keys = p["n_keys"]
+    rng = np.random.default_rng(p["seed"])
+    keyset = uniform_keyset(
+        n_keys, Domain.of_size(int(n_keys / p["density"])), rng)
+    budget = int(n_keys * p["poisoning_percentage"] / 100.0)
+    attack = greedy_poison(keyset, budget)
+    poisoned = keyset.insert(attack.poison_keys)
+    clean_fit = fit_polynomial_cdf(keyset, p["degree"])
+    dirty_fit = fit_polynomial_cdf(poisoned, p["degree"])
+    ratio = (dirty_fit.mse / clean_fit.mse if clean_fit.mse > 0
+             else float("inf"))
+    return {
+        "n_parameters": dirty_fit.model.n_parameters,
+        "multiply_adds": dirty_fit.model.multiply_adds_per_lookup,
+        "poisoned_ratio": json_float(ratio),
+    }
+
+
 def run_polynomial_ablation(n_keys: int = 1000, density: float = 0.1,
                             poisoning_percentage: float = 10.0,
                             degrees: tuple[int, ...] = (1, 2, 3, 5),
-                            seed: int = 41) -> list[PolynomialRow]:
+                            seed: int = 41, jobs: int = 1,
+                            checkpoint_dir: str | Path | None = None,
+                            resume: bool = False,
+                            executor: str = "process",
+                            progress=None) -> list[PolynomialRow]:
     """A7: does a more complex final-stage model blunt the attack?
 
     Mount the linear attack, then refit the poisoned keyset with
@@ -617,27 +667,18 @@ def run_polynomial_ablation(n_keys: int = 1000, density: float = 0.1,
     the trade-off Sec. VI says would "negatively affect the storage
     overhead".
     """
-    from ..core.polynomial import fit_polynomial_cdf
-
-    rng = np.random.default_rng(seed)
-    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
-                            rng)
-    budget = int(n_keys * poisoning_percentage / 100.0)
-    attack = greedy_poison(keyset, budget)
-    poisoned = keyset.insert(attack.poison_keys)
-
-    rows = []
-    for degree in degrees:
-        clean_fit = fit_polynomial_cdf(keyset, degree)
-        dirty_fit = fit_polynomial_cdf(poisoned, degree)
-        ratio = (dirty_fit.mse / clean_fit.mse if clean_fit.mse > 0
-                 else float("inf"))
-        rows.append(PolynomialRow(
+    cells = plan_polynomial_cells(n_keys, density,
+                                  poisoning_percentage, degrees, seed)
+    engine = _engine(run_polynomial_cell, jobs, checkpoint_dir, resume,
+                     executor, progress)
+    return [
+        PolynomialRow(
             degree=degree,
-            n_parameters=dirty_fit.model.n_parameters,
-            multiply_adds=dirty_fit.model.multiply_adds_per_lookup,
-            poisoned_ratio=ratio))
-    return rows
+            n_parameters=outcome["n_parameters"],
+            multiply_adds=outcome["multiply_adds"],
+            poisoned_ratio=parse_json_float(outcome["poisoned_ratio"]))
+        for degree, outcome in zip(degrees, engine.run(cells))
+    ]
 
 
 def format_polynomial(rows: list["PolynomialRow"]) -> str:
@@ -665,21 +706,23 @@ class BlackboxReport:
     blackbox_ratio: float
 
 
-def run_blackbox_ablation(n_keys: int = 5000, n_models: int = 25,
-                          poisoning_percentage: float = 10.0,
-                          seed: int = 43) -> BlackboxReport:
-    """A8: infer the second stage by probing, then attack with it.
+def plan_blackbox_cells(n_keys: int = 5000, n_models: int = 25,
+                        poisoning_percentage: float = 10.0,
+                        seed: int = 43) -> list[Cell]:
+    """A8's plan: a single (extraction + two attacks) cell."""
+    return [Cell.make("a8-blackbox", n_keys=n_keys, n_models=n_models,
+                      poisoning_percentage=poisoning_percentage,
+                      seed=seed)]
 
-    Probes every stored key (the attacker contributed/knows the data
-    under the threat model; only the *model parameters* are hidden),
-    recovers each second-stage line, and mounts Algorithm 2 using the
-    recovered partition boundaries.  The paper's conjecture is that
-    the black-box gap is thin; the report quantifies it.
-    """
+
+def run_blackbox_cell(cell: Cell) -> dict[str, Any]:
+    """The single A8 cell: extract, then attack both ways."""
     from ..core.blackbox import extract_second_stage, observe_rmi
     from ..index.rmi import RecursiveModelIndex
 
-    rng = np.random.default_rng(seed)
+    p = cell.params_dict
+    n_keys, n_models = p["n_keys"], p["n_models"]
+    rng = np.random.default_rng(p["seed"])
     keyset = uniform_keyset(n_keys, Domain.of_size(20 * n_keys), rng)
     rmi = RecursiveModelIndex.build_equal_size(keyset, n_models)
 
@@ -688,24 +731,56 @@ def run_blackbox_ablation(n_keys: int = 5000, n_models: int = 25,
     slope_errors = extraction.slope_errors(rmi)
 
     capability = RMIAttackerCapability(
-        poisoning_percentage=poisoning_percentage, alpha=3.0)
+        poisoning_percentage=p["poisoning_percentage"], alpha=3.0)
     whitebox = poison_rmi(keyset, n_models, capability,
                           max_exchanges=n_models)
 
     # Black-box attacker re-derives the partition from the recovered
     # boundaries and runs the same algorithm.
-    boundaries = extraction.boundaries
-    blackbox_models = boundaries.size
+    blackbox_models = extraction.boundaries.size
     blackbox = poison_rmi(keyset, blackbox_models, capability,
                           max_exchanges=blackbox_models)
 
+    return {
+        "n_probes": keyset.n,
+        "models_recovered": len(extraction.models),
+        "max_slope_error": json_float(float(slope_errors.max())),
+        "whitebox_ratio": json_float(whitebox.rmi_ratio_loss),
+        "blackbox_ratio": json_float(blackbox.rmi_ratio_loss),
+    }
+
+
+def run_blackbox_ablation(n_keys: int = 5000, n_models: int = 25,
+                          poisoning_percentage: float = 10.0,
+                          seed: int = 43, jobs: int = 1,
+                          checkpoint_dir: str | Path | None = None,
+                          resume: bool = False,
+                          executor: str = "process",
+                          progress=None) -> BlackboxReport:
+    """A8: infer the second stage by probing, then attack with it.
+
+    Probes every stored key (the attacker contributed/knows the data
+    under the threat model; only the *model parameters* are hidden),
+    recovers each second-stage line, and mounts Algorithm 2 using the
+    recovered partition boundaries.  The paper's conjecture is that
+    the black-box gap is thin; the report quantifies it.
+
+    One (expensive) unit of work, so it runs as a single cell — like
+    A3, parallelism buys nothing but checkpoint/resume still lets an
+    interrupted ``all`` run skip it the second time.
+    """
+    cells = plan_blackbox_cells(n_keys, n_models,
+                                poisoning_percentage, seed)
+    engine = _engine(run_blackbox_cell, jobs, checkpoint_dir, resume,
+                     executor, progress)
+    (outcome,) = engine.run(cells)
     return BlackboxReport(
-        n_probes=keyset.n,
-        models_recovered=len(extraction.models),
+        n_probes=outcome["n_probes"],
+        models_recovered=outcome["models_recovered"],
         n_models=n_models,
-        max_slope_error=float(slope_errors.max()),
-        whitebox_ratio=whitebox.rmi_ratio_loss,
-        blackbox_ratio=blackbox.rmi_ratio_loss)
+        max_slope_error=parse_json_float(outcome["max_slope_error"]),
+        whitebox_ratio=parse_json_float(outcome["whitebox_ratio"]),
+        blackbox_ratio=parse_json_float(outcome["blackbox_ratio"]))
 
 
 def format_blackbox(report: "BlackboxReport") -> str:
@@ -737,25 +812,27 @@ class UpdateChannelReport:
     poisoned_lookup_cost: float
 
 
-def run_update_ablation(n_keys: int = 2000, n_models: int = 20,
-                        poisoning_percentage: float = 10.0,
-                        seed: int = 47) -> UpdateChannelReport:
-    """A9: does the update API reopen the pre-training attack surface?
+def plan_update_cells(n_keys: int = 2000, n_models: int = 20,
+                      poisoning_percentage: float = 10.0,
+                      seed: int = 47) -> list[Cell]:
+    """A9's plan: a single (static attack + live attack) cell."""
+    return [Cell.make("a9-updates", n_keys=n_keys, n_models=n_models,
+                      poisoning_percentage=poisoning_percentage,
+                      seed=seed)]
 
-    Build a dynamic index, poison it purely through ``insert`` calls,
-    and compare the post-retrain damage with the static Algorithm 2
-    attack of equal budget.  Because retraining consumes the merged
-    base + buffer, the update channel stages the identical poisoned
-    training set — the attack surface never closed.
-    """
+
+def run_update_cell(cell: Cell) -> dict[str, Any]:
+    """The single A9 cell: static reference vs insert-API attack."""
     from ..core.update_attack import poison_via_updates
     from ..index.dynamic import DynamicLearnedIndex
 
-    rng = np.random.default_rng(seed)
+    p = cell.params_dict
+    n_keys, n_models = p["n_keys"], p["n_models"]
+    rng = np.random.default_rng(p["seed"])
     keyset = uniform_keyset(n_keys, Domain.of_size(20 * n_keys), rng)
 
     capability = RMIAttackerCapability(
-        poisoning_percentage=poisoning_percentage, alpha=3.0)
+        poisoning_percentage=p["poisoning_percentage"], alpha=3.0)
     static = poison_rmi(keyset, n_models, capability,
                         max_exchanges=n_models)
 
@@ -765,14 +842,43 @@ def run_update_ablation(n_keys: int = 2000, n_models: int = 20,
 
     live = DynamicLearnedIndex(keyset, n_models=n_models,
                                retrain_threshold=0.05)
-    update = poison_via_updates(live, poisoning_percentage)
+    update = poison_via_updates(live, p["poisoning_percentage"])
 
+    return {
+        "static_ratio": json_float(static.rmi_ratio_loss),
+        "update_ratio": json_float(update.ratio_loss),
+        "retrains_triggered": update.retrains_triggered,
+        "clean_lookup_cost": clean_cost,
+        "poisoned_lookup_cost": live.lookup_cost(queries),
+    }
+
+
+def run_update_ablation(n_keys: int = 2000, n_models: int = 20,
+                        poisoning_percentage: float = 10.0,
+                        seed: int = 47, jobs: int = 1,
+                        checkpoint_dir: str | Path | None = None,
+                        resume: bool = False,
+                        executor: str = "process",
+                        progress=None) -> UpdateChannelReport:
+    """A9: does the update API reopen the pre-training attack surface?
+
+    Build a dynamic index, poison it purely through ``insert`` calls,
+    and compare the post-retrain damage with the static Algorithm 2
+    attack of equal budget.  Because retraining consumes the merged
+    base + buffer, the update channel stages the identical poisoned
+    training set — the attack surface never closed.
+    """
+    cells = plan_update_cells(n_keys, n_models, poisoning_percentage,
+                              seed)
+    engine = _engine(run_update_cell, jobs, checkpoint_dir, resume,
+                     executor, progress)
+    (outcome,) = engine.run(cells)
     return UpdateChannelReport(
-        static_ratio=static.rmi_ratio_loss,
-        update_ratio=update.ratio_loss,
-        retrains_triggered=update.retrains_triggered,
-        clean_lookup_cost=clean_cost,
-        poisoned_lookup_cost=live.lookup_cost(queries))
+        static_ratio=parse_json_float(outcome["static_ratio"]),
+        update_ratio=parse_json_float(outcome["update_ratio"]),
+        retrains_triggered=outcome["retrains_triggered"],
+        clean_lookup_cost=outcome["clean_lookup_cost"],
+        poisoned_lookup_cost=outcome["poisoned_lookup_cost"])
 
 
 def format_update(report: "UpdateChannelReport") -> str:
@@ -809,11 +915,47 @@ class RidgeRow:
         return self.poisoned_mse / self.clean_mse
 
 
+def plan_ridge_cells(n_keys: int = 1000, density: float = 0.1,
+                     poisoning_percentage: float = 10.0,
+                     lam_fractions: tuple[float, ...] = (
+                         0.0, 0.01, 0.1, 0.5),
+                     seed: int = 53) -> list[Cell]:
+    """A10's plan: one cell per shrinkage level."""
+    return [Cell.make("a10-ridge", n_keys=n_keys, density=density,
+                      poisoning_percentage=poisoning_percentage,
+                      lam_fraction=fraction, seed=seed)
+            for fraction in lam_fractions]
+
+
+def run_ridge_cell(cell: Cell) -> dict[str, Any]:
+    """One A10 shrinkage level on the shared poisoned keyset."""
+    from ..core.cdf_regression import fit_ridge_cdf
+
+    p = cell.params_dict
+    n_keys = p["n_keys"]
+    rng = np.random.default_rng(p["seed"])
+    keyset = uniform_keyset(
+        n_keys, Domain.of_size(int(n_keys / p["density"])), rng)
+    budget = int(n_keys * p["poisoning_percentage"] / 100.0)
+    attack = greedy_poison(keyset, budget)
+    poisoned = keyset.insert(attack.poison_keys)
+
+    lam = p["lam_fraction"] * float(keyset.keys.astype(np.float64).var())
+    return {
+        "clean_mse": fit_ridge_cdf(keyset, lam).mse,
+        "poisoned_mse": fit_ridge_cdf(poisoned, lam).mse,
+    }
+
+
 def run_ridge_ablation(n_keys: int = 1000, density: float = 0.1,
                        poisoning_percentage: float = 10.0,
                        lam_fractions: tuple[float, ...] = (
                            0.0, 0.01, 0.1, 0.5),
-                       seed: int = 53) -> list[RidgeRow]:
+                       seed: int = 53, jobs: int = 1,
+                       checkpoint_dir: str | Path | None = None,
+                       resume: bool = False,
+                       executor: str = "process",
+                       progress=None) -> list[RidgeRow]:
     """A10: does L2 shrinkage blunt the poisoning?
 
     The paper sets regularisation aside because LIS queries are
@@ -823,27 +965,17 @@ def run_ridge_ablation(n_keys: int = 1000, density: float = 0.1,
     slope mostly *adds* clean error without removing poisoned error —
     the attack manipulates ranks, not leverage points.
     """
-    from ..core.cdf_regression import fit_ridge_cdf
-
-    rng = np.random.default_rng(seed)
-    keyset = uniform_keyset(n_keys, Domain.of_size(int(n_keys / density)),
-                            rng)
-    budget = int(n_keys * poisoning_percentage / 100.0)
-    attack = greedy_poison(keyset, budget)
-    poisoned = keyset.insert(attack.poison_keys)
-
-    keys = keyset.keys.astype(np.float64)
-    var_k = float(keys.var())
-    rows = []
-    for fraction in lam_fractions:
-        lam = fraction * var_k
-        clean = fit_ridge_cdf(keyset, lam)
-        dirty = fit_ridge_cdf(poisoned, lam)
-        rows.append(RidgeRow(
-            lam_fraction=fraction,
-            clean_mse=clean.mse,
-            poisoned_mse=dirty.mse))
-    return rows
+    cells = plan_ridge_cells(n_keys, density, poisoning_percentage,
+                             lam_fractions, seed)
+    engine = _engine(run_ridge_cell, jobs, checkpoint_dir, resume,
+                     executor, progress)
+    return [
+        RidgeRow(lam_fraction=fraction,
+                 clean_mse=outcome["clean_mse"],
+                 poisoned_mse=outcome["poisoned_mse"])
+        for fraction, outcome in zip(lam_fractions,
+                                     engine.run(cells))
+    ]
 
 
 def format_ridge(rows: list["RidgeRow"]) -> str:
@@ -901,7 +1033,7 @@ def run_adversary_comparison(n_keys: int = 1000, density: float = 0.1,
                              checkpoint_dir: str | Path | None = None,
                              resume: bool = False,
                              executor: str = "process",
-                             ) -> list[AdversaryRow]:
+                             progress=None) -> list[AdversaryRow]:
     """A11: insert vs delete vs modify at equal budget.
 
     A modification spends one budget unit on a delete + insert pair,
@@ -910,7 +1042,7 @@ def run_adversary_comparison(n_keys: int = 1000, density: float = 0.1,
     """
     cells = plan_adversary_cells(n_keys, density, percentages, seed)
     engine = _engine(run_adversary_cell, jobs, checkpoint_dir, resume,
-                     executor)
+                     executor, progress)
     return [
         AdversaryRow(budget_percentage=pct,
                      insertion_ratio=outcome["insertion_ratio"],

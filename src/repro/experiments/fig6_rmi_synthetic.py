@@ -201,7 +201,8 @@ def run_rmi_cell(cell: Cell) -> dict[str, Any]:
 
 def run(config: Fig6Config | None = None, jobs: int = 1,
         checkpoint_dir: str | Path | None = None,
-        resume: bool = False, executor: str = "process") -> Fig6Result:
+        resume: bool = False, executor: str = "process",
+        progress=None) -> Fig6Result:
     """Run every cell of the grid, optionally in parallel/resumable."""
     config = config or quick_config()
     store = None
@@ -221,7 +222,8 @@ def run(config: Fig6Config | None = None, jobs: int = 1,
             },
         })
     engine = SweepEngine(run_rmi_cell, jobs=jobs, checkpoint=store,
-                         resume=resume, executor=executor)
+                         resume=resume, executor=executor,
+                         progress=progress)
     plan = plan_cells(config)
     outcomes = engine.run(plan)
     cells = []

@@ -280,7 +280,8 @@ def run_realworld_cell(cell: Cell) -> CellOutput:
 
 def run(config: Fig7Config | None = None, jobs: int = 1,
         checkpoint_dir: str | Path | None = None,
-        resume: bool = False, executor: str = "process") -> Fig7Result:
+        resume: bool = False, executor: str = "process",
+        progress=None) -> Fig7Result:
     """Attack both (simulated) real-world datasets.
 
     ``jobs`` fans the grid out over workers (``executor`` picks the
@@ -304,7 +305,8 @@ def run(config: Fig7Config | None = None, jobs: int = 1,
             },
         })
     engine = SweepEngine(run_realworld_cell, jobs=jobs, checkpoint=store,
-                         resume=resume, executor=executor)
+                         resume=resume, executor=executor,
+                         progress=progress)
     plan = plan_cells(config)
     outputs = engine.run_outputs(plan)
     cells = []

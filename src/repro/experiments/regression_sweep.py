@@ -223,7 +223,8 @@ def _aggregate(config: SweepConfig,
 def run_sweep(config: SweepConfig, jobs: int = 1,
               checkpoint_dir: str | Path | None = None,
               resume: bool = False,
-              executor: str = "process") -> SweepResult:
+              executor: str = "process",
+              progress=None) -> SweepResult:
     """Run the full grid and summarise ratio losses per cell.
 
     ``jobs`` fans trials out over workers (``executor`` picks process
@@ -248,7 +249,8 @@ def run_sweep(config: SweepConfig, jobs: int = 1,
             },
         })
     engine = SweepEngine(run_trial_cell, jobs=jobs, checkpoint=store,
-                         resume=resume, executor=executor)
+                         resume=resume, executor=executor,
+                         progress=progress)
     return _aggregate(config, engine.run(plan_cells(config)))
 
 

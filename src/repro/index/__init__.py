@@ -1,5 +1,6 @@
 """Index substrate: learned indexes and the traditional B-Tree baseline."""
 
+from .batch import BatchLookupResult, BatchProbeResult, windowed_search_batch
 from .btree import BTree, BTreeSearchResult
 from .cost import (
     CostReport,
@@ -22,6 +23,9 @@ from .sorted_store import ProbeResult, SortedStore
 __all__ = [
     "SortedStore",
     "ProbeResult",
+    "BatchProbeResult",
+    "BatchLookupResult",
+    "windowed_search_batch",
     "LinearLearnedIndex",
     "RootModel",
     "LinearRoot",

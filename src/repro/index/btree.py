@@ -155,6 +155,27 @@ class BTree:
                 return BTreeSearchResult(False, comparisons, visits)
             node = node.children[lo if lo <= len(node.children) - 1 else child]
 
+    def search_batch(self, keys: np.ndarray) -> tuple[np.ndarray,
+                                                      np.ndarray,
+                                                      np.ndarray]:
+        """Search many keys; returns (found, comparisons, visits) arrays.
+
+        Pointer-chasing over Python lists cannot be vectorized, so
+        this is a convenience loop that gives the B-Tree the same
+        batched surface as the learned indexes — the serving simulator
+        charges it its honest per-key cost.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        found = np.zeros(keys.shape, dtype=bool)
+        comparisons = np.zeros(keys.shape, dtype=np.int64)
+        visits = np.zeros(keys.shape, dtype=np.int64)
+        for i, key in enumerate(keys):
+            result = self.search(int(key))
+            found[i] = result.found
+            comparisons[i] = result.comparisons
+            visits[i] = result.node_visits
+        return found, comparisons, visits
+
     def __contains__(self, key: int) -> bool:
         return self.search(int(key)).found
 

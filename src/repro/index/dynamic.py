@@ -24,13 +24,23 @@ Design:
 
 :meth:`DynamicLearnedIndex.lookup` reports probes so experiments can
 watch the update-channel attack degrade post-retrain performance.
+
+Defense hook: a ``sanitizer`` (e.g. TRIM) may screen every retrain's
+training set.  Keys it rejects are *quarantined*, not dropped: they
+move to a slow side list that stays binary-searchable, so lookups
+remain correct while the learned models only ever train on keys the
+defense trusts.  Quarantined keys re-enter the candidate pool at each
+retrain, so a once-suspect key can be rehabilitated.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..data.keyset import KeySet
+from .batch import BatchLookupResult, side_table_search
 from .rmi import LookupResult, RecursiveModelIndex
 
 __all__ = ["DynamicLearnedIndex"]
@@ -40,13 +50,16 @@ class DynamicLearnedIndex:
     """RMI + sorted delta buffer + retrain-on-threshold."""
 
     def __init__(self, keyset: KeySet | np.ndarray, n_models: int,
-                 retrain_threshold: float = 0.1):
+                 retrain_threshold: float = 0.1,
+                 sanitizer: "Callable[[np.ndarray], np.ndarray] | None"
+                 = None):
         """Build the base index.
 
         Parameters
         ----------
         keyset:
-            Initial keys.
+            Initial keys (trusted; the sanitizer screens *retrains*,
+            where attacker-influenced updates enter the training set).
         n_models:
             Second-stage model count for every (re)build; the
             keys-per-model ratio therefore grows with the data, like a
@@ -54,6 +67,12 @@ class DynamicLearnedIndex:
         retrain_threshold:
             Fraction of the base size the delta buffer may reach
             before a merge + retrain is triggered.
+        sanitizer:
+            Optional defense at the retrain boundary: receives the
+            merged sorted training candidates and returns the subset
+            to train on.  Rejected keys are quarantined (still
+            served, via binary search) and reconsidered at the next
+            retrain.
         """
         if not 0.0 < retrain_threshold <= 1.0:
             raise ValueError(
@@ -62,8 +81,10 @@ class DynamicLearnedIndex:
             keyset, dtype=np.int64)
         self._n_models = n_models
         self._threshold = retrain_threshold
+        self._sanitizer = sanitizer
         self._base = np.sort(keys)
         self._delta: list[int] = []
+        self._quarantine = np.empty(0, dtype=np.int64)
         self._rmi = RecursiveModelIndex.build_equal_size(self._base,
                                                          n_models)
         self._retrain_count = 0
@@ -73,13 +94,29 @@ class DynamicLearnedIndex:
     # ------------------------------------------------------------------
     @property
     def n_keys(self) -> int:
-        """Total keys currently stored (base + delta)."""
-        return int(self._base.size) + len(self._delta)
+        """Total keys currently stored (base + delta + quarantine)."""
+        return (int(self._base.size) + len(self._delta)
+                + int(self._quarantine.size))
 
     @property
     def delta_size(self) -> int:
         """Keys waiting in the delta buffer."""
         return len(self._delta)
+
+    @property
+    def delta_keys(self) -> np.ndarray:
+        """The buffered keys (sorted copy)."""
+        return np.asarray(self._delta, dtype=np.int64)
+
+    @property
+    def quarantine_size(self) -> int:
+        """Keys the sanitizer rejected from the last retrain."""
+        return int(self._quarantine.size)
+
+    @property
+    def quarantine_keys(self) -> np.ndarray:
+        """The quarantined keys (sorted, read-only view)."""
+        return self._quarantine
 
     @property
     def retrain_count(self) -> int:
@@ -136,9 +173,21 @@ class DynamicLearnedIndex:
 
     def _merge_and_retrain(self) -> None:
         merged = np.sort(np.concatenate(
-            [self._base, np.asarray(self._delta, dtype=np.int64)]))
-        self._base = merged
+            [self._base, np.asarray(self._delta, dtype=np.int64),
+             self._quarantine]))
         self._delta = []
+        if self._sanitizer is not None:
+            kept = np.sort(np.asarray(self._sanitizer(merged),
+                                      dtype=np.int64))
+            if np.setdiff1d(kept, merged).size:
+                raise ValueError(
+                    "sanitizer returned keys outside the training set")
+            self._quarantine = np.setdiff1d(merged, kept)
+            merged = kept
+        else:
+            self._quarantine = np.empty(0, dtype=np.int64)
+        self._quarantine.setflags(write=False)
+        self._base = merged
         self._rmi = RecursiveModelIndex.build_equal_size(
             merged, self._n_models)
         self._retrain_count += 1
@@ -147,45 +196,81 @@ class DynamicLearnedIndex:
     # Queries
     # ------------------------------------------------------------------
     def contains(self, key: int) -> bool:
-        """Membership over base and delta."""
+        """Membership over base, delta, and quarantine."""
         i = int(np.searchsorted(self._base, key))
         if i < self._base.size and int(self._base[i]) == key:
             return True
         import bisect
         j = bisect.bisect_left(self._delta, key)
-        return j < len(self._delta) and self._delta[j] == key
+        if j < len(self._delta) and self._delta[j] == key:
+            return True
+        q = int(np.searchsorted(self._quarantine, key))
+        return (q < self._quarantine.size
+                and int(self._quarantine[q]) == key)
 
     def lookup(self, key: int) -> LookupResult:
-        """Find a key: RMI over the base, binary search on the delta.
+        """Find a key: RMI over the base, then binary search on the
+        delta buffer and (when a sanitizer quarantined keys) on the
+        quarantine list.
 
-        Probes include the delta binary-search steps, so the cost of a
-        swollen buffer (and of a poisoned retrain) is visible.
+        Probes include every side-list binary-search step, so the cost
+        of a swollen buffer — and the slow-path tax a defense pays for
+        quarantining — is visible.
         """
         result = self._rmi.lookup(int(key))
         if result.found:
             return result
-        # Fall through to the delta buffer.
+        # Fall through to the delta buffer, then the quarantine.
         probes = result.probes
-        lo, hi = 0, len(self._delta) - 1
-        while lo <= hi:
-            mid = (lo + hi) // 2
-            probes += 1
-            stored = self._delta[mid]
-            if stored == key:
-                return LookupResult(found=True,
-                                    position=self._base.size + mid,
-                                    probes=probes,
-                                    model_index=result.model_index)
-            if stored < key:
-                lo = mid + 1
-            else:
-                hi = mid - 1
+        for offset, side in (
+                (int(self._base.size), self._delta),
+                (int(self._base.size) + len(self._delta),
+                 self._quarantine)):
+            lo, hi = 0, len(side) - 1
+            while lo <= hi:
+                mid = (lo + hi) // 2
+                probes += 1
+                stored = int(side[mid])
+                if stored == key:
+                    return LookupResult(found=True,
+                                        position=offset + mid,
+                                        probes=probes,
+                                        model_index=result.model_index)
+                if stored < key:
+                    lo = mid + 1
+                else:
+                    hi = mid - 1
         return LookupResult(found=False, position=-1, probes=probes,
                             model_index=result.model_index)
+
+    def lookup_batch(self, keys: np.ndarray) -> BatchLookupResult:
+        """Vectorized :meth:`lookup`: batched RMI probe, then one
+        batched binary search over the delta buffer for the misses.
+
+        Bit-identical to the scalar path per element — the delta
+        search runs the same full-range binary search the scalar loop
+        does, so a swollen (or poison-laden) buffer costs exactly the
+        same probes either way.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        base = self._rmi.lookup_batch(keys)
+        found = base.found.copy()
+        positions = base.positions.copy()
+        probes = base.probes.copy()
+        side_table_search(np.asarray(self._delta, dtype=np.int64),
+                          keys, found, probes, positions=positions,
+                          offset=int(self._base.size))
+        side_table_search(self._quarantine, keys, found, probes,
+                          positions=positions,
+                          offset=int(self._base.size)
+                          + len(self._delta))
+        return BatchLookupResult(found=found, positions=positions,
+                                 probes=probes,
+                                 model_index=base.model_index)
 
     def lookup_cost(self, keys: np.ndarray) -> float:
         """Mean probes over a batch of lookups."""
         keys = np.asarray(keys)
         if keys.size == 0:
             raise ValueError("need at least one key to measure cost")
-        return float(np.mean([self.lookup(int(k)).probes for k in keys]))
+        return float(self.lookup_batch(keys).probes.mean())

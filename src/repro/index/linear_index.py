@@ -12,6 +12,7 @@ import numpy as np
 
 from ..core.cdf_regression import LinearModel, fit_cdf_regression
 from ..data.keyset import KeySet
+from .batch import BatchProbeResult
 from .sorted_store import ProbeResult, SortedStore
 
 __all__ = ["LinearLearnedIndex"]
@@ -28,6 +29,11 @@ class LinearLearnedIndex:
         fit = fit_cdf_regression(keys, np.arange(keys.size, dtype=np.float64))
         self._model = fit.model
         self._mse = fit.mse
+        # Worst observed position error over the training keys (+1 for
+        # rounding slack) — the window the batched lookup searches.
+        errors = (np.arange(keys.size, dtype=np.float64)
+                  - fit.model.predict(keys))
+        self._max_error = int(np.ceil(np.abs(errors).max())) + 1
 
     @property
     def model(self) -> LinearModel:
@@ -50,9 +56,31 @@ class LinearLearnedIndex:
         predicted = int(np.rint(self._model.predict(float(key))))
         return min(max(predicted, 0), n - 1)
 
+    @property
+    def max_error(self) -> int:
+        """Recorded worst-case position error (with rounding slack)."""
+        return self._max_error
+
     def lookup(self, key: int) -> ProbeResult:
         """Locate a key via prediction + exponential last-mile search."""
         return self._store.search_exponential(key, self.predict_position(key))
+
+    def lookup_batch(self, keys: np.ndarray) -> BatchProbeResult:
+        """Vectorized lookup of many keys at once.
+
+        Unlike the scalar :meth:`lookup` (which gallops outward because
+        it assumes no stored bound), the batch path searches the window
+        given by the *recorded* training error bound — every stored key
+        is guaranteed inside it, so found flags and positions agree
+        with the scalar path while the probe counts follow the
+        windowed-search cost model of the RMI.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        n = len(self._store)
+        predicted = np.rint(self._model.predict(keys)).astype(np.int64)
+        predicted = np.clip(predicted, 0, n - 1)
+        return self._store.search_window_batch(keys, predicted,
+                                               self._max_error)
 
     def lookup_cost(self, keys: np.ndarray) -> float:
         """Mean probes over a batch — rises as poisoning inflates MSE."""

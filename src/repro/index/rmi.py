@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.keyset import KeySet
+from .batch import BatchLookupResult
 from .first_stage import RootModel
 from .sorted_store import SortedStore
 
@@ -125,6 +126,15 @@ class RecursiveModelIndex:
         self._root = root
         self._models = models
         self._assignment = assignment  # model index per stored key
+        # Per-model parameters as arrays, gathered once: models are
+        # immutable, and lookup_batch is called per query run in the
+        # serving hot path.
+        self._slopes = np.asarray([m.slope for m in models])
+        self._intercepts = np.asarray([m.intercept for m in models])
+        self._err_lo = np.asarray([m.err_lo for m in models],
+                                  dtype=np.int64)
+        self._err_hi = np.asarray([m.err_hi for m in models],
+                                  dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Builders
@@ -261,12 +271,41 @@ class RecursiveModelIndex:
                             probes=probe.probes,
                             model_index=model_idx)
 
+    def lookup_batch(self, keys: np.ndarray) -> BatchLookupResult:
+        """Vectorized :meth:`lookup` over a batch of keys.
+
+        Routes every key through the root in one pass, gathers each
+        routed expert's line and error window, and resolves the last
+        mile with one batched windowed binary search.  Found flags,
+        positions, probe counts, and model indices are bit-identical
+        to the scalar :meth:`lookup` per element; only the
+        interpreter overhead goes away, which is what makes this the
+        serving simulator's hot path.
+        """
+        n = len(self._store)
+        keys = np.asarray(keys, dtype=np.int64)
+        model_idx = np.asarray(
+            self._root.route(keys, n, self.n_models), dtype=np.int64)
+        predicted = np.rint(self._slopes[model_idx]
+                            * keys.astype(np.float64)
+                            + self._intercepts[model_idx]
+                            ).astype(np.int64)
+        predicted = np.clip(predicted, 0, n - 1)
+        # Same rounding slack as the scalar path.
+        window = np.maximum(np.abs(self._err_lo[model_idx] - 1),
+                            np.abs(self._err_hi[model_idx] + 1))
+        probe = self._store.search_window_batch(keys, predicted, window)
+        return BatchLookupResult(found=probe.found,
+                                 positions=probe.positions,
+                                 probes=probe.probes,
+                                 model_index=model_idx)
+
     def lookup_cost(self, keys: np.ndarray) -> float:
         """Mean probe count over a batch of lookups."""
         keys = np.asarray(keys)
         if keys.size == 0:
             raise ValueError("need at least one key to measure cost")
-        return float(np.mean([self.lookup(int(k)).probes for k in keys]))
+        return float(self.lookup_batch(keys).probes.mean())
 
     # ------------------------------------------------------------------
     # Range scans

@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .batch import BatchProbeResult, windowed_search_batch
+
 __all__ = ["ProbeResult", "RangeResult", "SortedStore"]
 
 
@@ -118,6 +120,27 @@ class SortedStore:
             else:
                 hi = mid - 1
         return ProbeResult(-1, probes)
+
+    def search_window_batch(self, keys: np.ndarray,
+                            predicted: np.ndarray,
+                            max_error: np.ndarray | int,
+                            ) -> BatchProbeResult:
+        """Vectorized :meth:`search_window` over a batch of queries.
+
+        ``predicted`` aligns with ``keys``; ``max_error`` may be a
+        scalar or per-query array.  Positions and probe counts are
+        bit-identical to running :meth:`search_window` per element —
+        the batched form only removes interpreter overhead, never
+        changes the measured cost.
+        """
+        n = self._keys.size
+        keys = np.asarray(keys, dtype=np.int64)
+        predicted = np.asarray(predicted, dtype=np.int64)
+        err = np.broadcast_to(np.asarray(max_error, dtype=np.int64),
+                              keys.shape)
+        lo = np.maximum(0, predicted - err)
+        hi = np.minimum(n - 1, predicted + err)
+        return windowed_search_batch(self._keys, keys, lo, hi)
 
     def search_exponential(self, key: int, predicted: int) -> ProbeResult:
         """Galloping search outward from the predicted position.

@@ -21,7 +21,13 @@ forwarded here.
 
 from .cell import Cell, stable_seed_words, stable_text_hash
 from .checkpoint import CheckpointStore
-from .engine import EXECUTORS, CellOutput, SweepEngine, SweepStats
+from .engine import (
+    EXECUTORS,
+    CellOutput,
+    SweepEngine,
+    SweepProgress,
+    SweepStats,
+)
 
 __all__ = [
     "Cell",
@@ -31,5 +37,6 @@ __all__ = [
     "CellOutput",
     "EXECUTORS",
     "SweepEngine",
+    "SweepProgress",
     "SweepStats",
 ]

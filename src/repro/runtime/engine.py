@@ -43,6 +43,7 @@ checkpoints, so the fix-and-resume loop is cheap.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -56,8 +57,8 @@ import numpy as np
 from .cell import Cell
 from .checkpoint import CheckpointStore
 
-__all__ = ["CellOutput", "SweepEngine", "SweepStats", "CellRunner",
-           "EXECUTORS"]
+__all__ = ["CellOutput", "SweepEngine", "SweepStats", "SweepProgress",
+           "CellRunner", "EXECUTORS"]
 
 #: Pool backends selectable per engine (and per CLI ``--executor``).
 EXECUTORS = {
@@ -87,6 +88,31 @@ def _coerce(value: Mapping[str, Any] | CellOutput) -> CellOutput:
     if isinstance(value, CellOutput):
         return value
     return CellOutput(result=dict(value))
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress tick of a running sweep (opt-in callback payload).
+
+    ``done`` counts plan cells whose results are settled so far
+    (reused + computed; duplicate cells settle with their source, so
+    the final tick's ``done`` equals ``total``).  ``eta_seconds`` is a
+    plain elapsed-per-computed-cell extrapolation over the remaining
+    unique work — ``None`` until the first cell of this run finishes.
+    Wall-clock only ever flows *out* through this hook; nothing it
+    carries feeds back into results, so determinism is untouched.
+    """
+
+    total: int
+    done: int
+    reused: int
+    computed: int
+    cell: Cell | None          # the cell that just finished, if one
+    seconds_elapsed: float
+    eta_seconds: float | None
+
+
+ProgressCallback = Callable[[SweepProgress], None]
 
 
 @dataclass(frozen=True)
@@ -124,11 +150,18 @@ class SweepEngine:
     executor:
         ``"process"`` (default) or ``"thread"``; ignored at ``jobs=1``.
         Results are identical for both backends by construction.
+    progress:
+        Optional callback receiving a :class:`SweepProgress` tick
+        after the resume batch restores and after every computed cell
+        — the hook long full-profile and workload runs use for an
+        ETA readout.  Exceptions it raises propagate (it runs in the
+        parent, never in a worker).
     """
 
     def __init__(self, runner: CellRunner, jobs: int = 1,
                  checkpoint: CheckpointStore | None = None,
-                 resume: bool = False, executor: str = "process"):
+                 resume: bool = False, executor: str = "process",
+                 progress: "ProgressCallback | None" = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if resume and checkpoint is None:
@@ -142,6 +175,7 @@ class SweepEngine:
         self._checkpoint = checkpoint
         self._resume = resume
         self._executor = executor
+        self._progress = progress
         self.last_stats: SweepStats | None = None
 
     # ------------------------------------------------------------------
@@ -157,6 +191,7 @@ class SweepEngine:
         cell was computed this run or resumed from disk.
         """
         outputs: dict[int, CellOutput] = {}
+        started = time.monotonic()
 
         # Identical cells (same digest) are computed once and shared.
         first_index: dict[str, int] = {}
@@ -168,6 +203,23 @@ class SweepEngine:
                 continue
             first_index[cell.digest] = index
             todo.append(index)
+
+        computed_so_far = 0
+
+        def tick(cell: Cell | None, remaining: int) -> None:
+            """Emit one progress event (no-op without a callback)."""
+            if self._progress is None:
+                return
+            settled = len(outputs) + sum(
+                1 for source in duplicates.values() if source in outputs)
+            elapsed = time.monotonic() - started
+            eta = None
+            if computed_so_far > 0 and remaining >= 0:
+                eta = remaining * elapsed / computed_so_far
+            self._progress(SweepProgress(
+                total=len(cells), done=settled, reused=reused,
+                computed=computed_so_far, cell=cell,
+                seconds_elapsed=elapsed, eta_seconds=eta))
 
         reused = 0
         if self._resume and self._checkpoint is not None:
@@ -183,11 +235,15 @@ class SweepEngine:
                 else:
                     remaining.append(index)
             todo = remaining
+            if reused:
+                tick(cell=None, remaining=len(todo))
 
         if self._jobs == 1 or len(todo) <= 1:
-            for index in todo:
+            for position, index in enumerate(todo):
                 outputs[index] = self._finish(
                     cells[index], _coerce(self._runner(cells[index])))
+                computed_so_far += 1
+                tick(cells[index], remaining=len(todo) - position - 1)
             used_jobs = 1
             used_executor = "inline"
         else:
@@ -204,6 +260,9 @@ class SweepEngine:
                         index = futures[future]
                         outputs[index] = self._finish(
                             cells[index], _coerce(future.result()))
+                        computed_so_far += 1
+                        tick(cells[index],
+                             remaining=len(todo) - computed_so_far)
                 except BaseException:
                     for f in futures:
                         f.cancel()

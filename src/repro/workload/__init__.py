@@ -1,0 +1,71 @@
+"""Streaming workloads: trace generation + an online serving simulator.
+
+The paper's attacks are evaluated as static snapshots; this package
+makes the threat model *online*.  Three layers:
+
+* :mod:`repro.workload.trace` — canonical, content-addressable
+  :class:`TraceSpec` scenarios materialised into deterministic
+  operation streams (query mixes, organic update streams, adversarial
+  poison schedules);
+* :mod:`repro.workload.backends` — every index structure behind one
+  batched, updatable serving surface, with rebuild/retrain cycles and
+  an optional TRIM sanitizer at the retrain boundary;
+* :mod:`repro.workload.simulator` — the replay loop recording
+  latency percentiles, throughput proxies, error-bound drift, retrain
+  triggers, and poison amplification over time.
+
+The ``workload`` CLI target (:mod:`repro.experiments.workload_serving`)
+runs scenario×backend×schedule grids of these on the
+:class:`repro.runtime.SweepEngine`.
+"""
+
+from .backends import (
+    BACKENDS,
+    BinarySearchBackend,
+    BTreeBackend,
+    DynamicBackend,
+    LinearBackend,
+    RMIBackend,
+    ServingBackend,
+    make_backend,
+)
+from .simulator import ServingReport, ServingSimulator
+from .trace import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_MODIFY,
+    OP_NAMES,
+    OP_POISON,
+    OP_QUERY,
+    OP_RANGE,
+    POISON_SCHEDULES,
+    QUERY_MIXES,
+    Trace,
+    TraceSpec,
+    generate_trace,
+)
+
+__all__ = [
+    "TraceSpec",
+    "Trace",
+    "generate_trace",
+    "QUERY_MIXES",
+    "POISON_SCHEDULES",
+    "OP_QUERY",
+    "OP_INSERT",
+    "OP_DELETE",
+    "OP_MODIFY",
+    "OP_RANGE",
+    "OP_POISON",
+    "OP_NAMES",
+    "ServingBackend",
+    "BinarySearchBackend",
+    "BTreeBackend",
+    "LinearBackend",
+    "RMIBackend",
+    "DynamicBackend",
+    "BACKENDS",
+    "make_backend",
+    "ServingSimulator",
+    "ServingReport",
+]

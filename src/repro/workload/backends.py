@@ -1,0 +1,448 @@
+"""Serving backends: one batched, updatable surface over every index.
+
+The serving simulator replays a trace against "a live index"; this
+module gives every index structure in :mod:`repro.index` the same
+online surface — batched point lookups, inserts, deletes, range scans
+— so a scenario×backend grid compares like with like:
+
+``binary``   plain binary search over a dense sorted array (the
+             model-free floor: always correct, ``O(log n)`` probes,
+             no retrains, immune to poisoning by construction);
+``btree``    the bulk-loaded :class:`~repro.index.btree.BTree` with
+             native inserts, tombstoned deletes, compaction rebuilds;
+``linear``   the single-line learned index, rebuilt (retrained) when
+             buffered updates exceed a threshold;
+``rmi``      the two-stage RMI, same rebuild discipline;
+``dynamic``  :class:`~repro.index.dynamic.DynamicLearnedIndex` — the
+             delta-buffer design whose retrain-on-threshold *is* the
+             update-channel attack surface.
+
+Update semantics (uniform across backends): inserts buffer into a
+sorted delta side table served by binary search; deletes tombstone
+model-resident keys (membership flips immediately, the model is
+untouched); once pending updates exceed ``rebuild_threshold`` of the
+model's keys, the backend compacts and retrains on the live set.
+``insert_batch``/``delete_batch`` are *batch-atomic*: the whole batch
+lands, then the rebuild check runs once — a bulk load.  Callers that
+need op-exact retrain timing (the serving simulator) feed mutations
+one key at a time.
+Probe counts always reflect the *actual* searches performed —
+model + delta + quarantine — so a swollen side table or a poisoned
+retrain shows up in the latency percentiles honestly.
+
+TRIM defense: the learned backends accept ``trim_keep_fraction``; at
+every rebuild the TRIM sanitizer screens the training set and rejected
+keys are quarantined on a slow (binary-searched) side list, keeping
+lookups correct while the models train only on trusted keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..defense.trim import trim_cdf
+from ..index.batch import side_table_search, windowed_search_batch
+from ..index.btree import BTree
+from ..index.dynamic import DynamicLearnedIndex
+from ..index.linear_index import LinearLearnedIndex
+from ..index.rmi import RecursiveModelIndex
+
+__all__ = ["BACKENDS", "ServingBackend", "make_backend",
+           "BinarySearchBackend", "BTreeBackend", "LinearBackend",
+           "RMIBackend", "DynamicBackend"]
+
+
+def _trim_sanitizer(keep_fraction: float):
+    """A TRIM screen for retrain-time training sets."""
+    def sanitize(merged: np.ndarray) -> np.ndarray:
+        n_keep = max(1, int(round(keep_fraction * merged.size)))
+        if n_keep >= merged.size:
+            return merged
+        return trim_cdf(merged, n_keep=n_keep).kept_keys
+    return sanitize
+
+
+class ServingBackend:
+    """Common machinery: a model over a snapshot plus side tables.
+
+    Subclasses implement ``_build`` (train the model on a sorted key
+    array) and ``_model_lookup`` (batched found/probes over the
+    current model).  This base class owns the delta buffer, tombstone
+    set, quarantine list, and the rebuild/compaction cycle — identical
+    bookkeeping for every backend, so grid cells differ only in the
+    structure under test.
+    """
+
+    name = "abstract"
+    #: Whether a TRIM sanitizer makes sense (models train on keys).
+    supports_trim = True
+
+    def __init__(self, keys: np.ndarray, rebuild_threshold: float = 0.1,
+                 trim_keep_fraction: float | None = None, **build_args):
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise ValueError(
+                f"rebuild threshold must be in (0, 1]: {rebuild_threshold}")
+        if trim_keep_fraction is not None:
+            if not self.supports_trim:
+                raise ValueError(
+                    f"backend {self.name!r} has no trainable model; "
+                    "TRIM does not apply")
+            if not 0.0 < trim_keep_fraction <= 1.0:
+                raise ValueError(
+                    f"trim keep fraction must be in (0, 1]: "
+                    f"{trim_keep_fraction}")
+        self._threshold = rebuild_threshold
+        self._sanitizer = (None if trim_keep_fraction is None
+                           else _trim_sanitizer(trim_keep_fraction))
+        self._build_args = build_args
+        self._snapshot = np.sort(np.asarray(keys, dtype=np.int64))
+        self._delta = np.empty(0, dtype=np.int64)
+        self._tombs = np.empty(0, dtype=np.int64)
+        self._quarantine = np.empty(0, dtype=np.int64)
+        self._retrains = 0
+        self._build(self._snapshot)
+
+    # -- subclass surface ---------------------------------------------
+    def _build(self, keys: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _model_lookup(self, keys: np.ndarray,
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """(found, probes) of the trained structure alone."""
+        raise NotImplementedError
+
+    def _model_error_bound(self) -> float:
+        """Drift proxy: how wide the structure's worst search is."""
+        raise NotImplementedError
+
+    # -- uniform serving surface --------------------------------------
+    @property
+    def n_keys(self) -> int:
+        """Live keys (snapshot − tombstones + delta + quarantine)."""
+        return int(self._snapshot.size - self._tombs.size
+                   + self._delta.size + self._quarantine.size)
+
+    @property
+    def retrain_count(self) -> int:
+        """Rebuild/retrain cycles so far."""
+        return self._retrains
+
+    @property
+    def pending_updates(self) -> int:
+        """Buffered inserts + tombstones awaiting compaction."""
+        return int(self._delta.size + self._tombs.size)
+
+    @property
+    def quarantine_size(self) -> int:
+        """Keys the TRIM sanitizer rejected from the model."""
+        return int(self._quarantine.size)
+
+    def error_bound(self) -> float:
+        """Worst-case search width of the current model, in cells."""
+        return float(self._model_error_bound())
+
+    def lookup_batch(self, keys: np.ndarray,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """(found, probes) per query over model + side tables."""
+        keys = np.asarray(keys, dtype=np.int64)
+        found, probes = self._model_lookup(keys)
+        found = np.asarray(found, dtype=bool).copy()
+        probes = np.asarray(probes, dtype=np.int64).copy()
+        if self._tombs.size:
+            # Tombstoned keys still sit in the model; membership says
+            # no.  The searchsorted check stands in for the O(1)
+            # bitmap a real system would consult, costing one probe.
+            idx = np.searchsorted(self._tombs, keys)
+            idx = np.minimum(idx, self._tombs.size - 1)
+            dead = found & (self._tombs[idx] == keys)
+            probes[found] += 1
+            found[dead] = False
+        side_table_search(self._delta, keys, found, probes)
+        side_table_search(self._quarantine, keys, found, probes)
+        return found, probes
+
+    def range_scan(self, lo: int, hi: int) -> int:
+        """Probe cost of locating ``[lo, hi]`` (scan itself is linear).
+
+        Charged as one endpoint lookup against the model plus a
+        binary search per side table — the last-mile cost poisoning
+        inflates; the sequential scan that follows is the same for
+        every backend and carries no signal.
+        """
+        _, probes = self.lookup_batch(np.asarray([lo], dtype=np.int64))
+        return int(probes[0])
+
+    def insert_batch(self, keys: np.ndarray) -> None:
+        """Buffer fresh keys into the delta side table."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return
+        # A re-inserted tombstoned key simply comes back to life.
+        revived = np.intersect1d(keys, self._tombs)
+        if revived.size:
+            self._tombs = np.setdiff1d(self._tombs, revived)
+            keys = np.setdiff1d(keys, revived)
+        self._delta = np.union1d(self._delta, keys)
+        self._maybe_rebuild()
+
+    def delete_batch(self, keys: np.ndarray) -> None:
+        """Remove keys: drop from side tables, tombstone the model."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return
+        self._delta = np.setdiff1d(self._delta, keys)
+        self._quarantine = np.setdiff1d(self._quarantine, keys)
+        in_model = keys[np.isin(keys, self._snapshot)]
+        self._tombs = np.union1d(self._tombs, in_model)
+        self._maybe_rebuild()
+
+    # -- compaction ----------------------------------------------------
+    def _maybe_rebuild(self) -> None:
+        if (self.pending_updates
+                >= self._threshold * max(self._snapshot.size, 1)):
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Compact and retrain on the live keys (the poisoning window:
+        whatever reached the delta buffer trains the next model)."""
+        live = np.union1d(
+            np.setdiff1d(self._snapshot, self._tombs),
+            np.union1d(self._delta, self._quarantine))
+        if self._sanitizer is not None:
+            kept = np.sort(np.asarray(self._sanitizer(live),
+                                      dtype=np.int64))
+            self._quarantine = np.setdiff1d(live, kept)
+            live = kept
+        else:
+            self._quarantine = np.empty(0, dtype=np.int64)
+        self._snapshot = live
+        self._delta = np.empty(0, dtype=np.int64)
+        self._tombs = np.empty(0, dtype=np.int64)
+        self._build(live)
+        self._retrains += 1
+
+
+class BinarySearchBackend(ServingBackend):
+    """Sorted array + binary search: the model-free baseline.
+
+    Inserts merge directly into the array (no model to stale-out), so
+    there is never a rebuild and poisoning can only grow ``log2 n``.
+    """
+
+    name = "binary"
+    supports_trim = False
+
+    def _build(self, keys: np.ndarray) -> None:
+        pass  # the snapshot array IS the structure
+
+    def insert_batch(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        self._tombs = np.setdiff1d(self._tombs, keys)
+        self._snapshot = np.union1d(self._snapshot, keys)
+
+    def delete_batch(self, keys: np.ndarray) -> None:
+        self._snapshot = np.setdiff1d(
+            self._snapshot, np.asarray(keys, dtype=np.int64))
+
+    def _model_lookup(self, keys: np.ndarray):
+        n = self._snapshot.size
+        lo = np.zeros(keys.size, dtype=np.int64)
+        hi = np.full(keys.size, n - 1, dtype=np.int64)
+        probe = windowed_search_batch(self._snapshot, keys, lo, hi)
+        return probe.found, probe.probes
+
+    def _model_error_bound(self) -> float:
+        return float(np.ceil(np.log2(max(self._snapshot.size, 2))))
+
+
+class BTreeBackend(ServingBackend):
+    """The classic B-Tree with native inserts.
+
+    Probes are node-local comparisons (the B-Tree's honest unit);
+    deletes tombstone and eventually trigger a bulk-load compaction.
+    """
+
+    name = "btree"
+    supports_trim = False
+
+    def __init__(self, keys: np.ndarray, rebuild_threshold: float = 0.1,
+                 trim_keep_fraction: float | None = None,
+                 min_degree: int = 16):
+        super().__init__(keys, rebuild_threshold, trim_keep_fraction,
+                         min_degree=min_degree)
+
+    def _build(self, keys: np.ndarray) -> None:
+        self._tree = BTree.bulk_load(keys, **self._build_args)
+
+    def insert_batch(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        revived = np.intersect1d(keys, self._tombs)
+        self._tombs = np.setdiff1d(self._tombs, revived)
+        for key in np.setdiff1d(keys, revived):
+            self._tree.insert(int(key))
+        # Track membership in the snapshot array as well so the shared
+        # tombstone/compaction bookkeeping keeps working.
+        self._snapshot = np.asarray(list(self._tree.items()),
+                                    dtype=np.int64)
+
+    def _model_lookup(self, keys: np.ndarray):
+        found, comparisons, _ = self._tree.search_batch(keys)
+        return found, comparisons
+
+    def _model_error_bound(self) -> float:
+        # Worst search = height * full-node binary search.
+        t = self._build_args["min_degree"]
+        return float(self._tree.height
+                     * np.ceil(np.log2(max(2 * t - 1, 2))))
+
+
+class LinearBackend(ServingBackend):
+    """The single-line learned index (Section IV's victim), online."""
+
+    name = "linear"
+
+    def _build(self, keys: np.ndarray) -> None:
+        self._index = LinearLearnedIndex(keys)
+
+    def _model_lookup(self, keys: np.ndarray):
+        probe = self._index.lookup_batch(keys)
+        return probe.found, probe.probes
+
+    def _model_error_bound(self) -> float:
+        return float(self._index.max_error)
+
+
+class RMIBackend(ServingBackend):
+    """The two-stage RMI (Section V's victim), online.
+
+    ``model_size`` fixes keys-per-model at build time; the model count
+    adapts at every rebuild like a re-provisioned deployment.
+    """
+
+    name = "rmi"
+
+    def __init__(self, keys: np.ndarray, rebuild_threshold: float = 0.1,
+                 trim_keep_fraction: float | None = None,
+                 model_size: int = 100):
+        super().__init__(keys, rebuild_threshold, trim_keep_fraction,
+                         model_size=model_size)
+
+    def _build(self, keys: np.ndarray) -> None:
+        n_models = max(int(keys.size) // self._build_args["model_size"],
+                       1)
+        self._index = RecursiveModelIndex.build_equal_size(keys,
+                                                           n_models)
+
+    def _model_lookup(self, keys: np.ndarray):
+        probe = self._index.lookup_batch(keys)
+        return probe.found, probe.probes
+
+    def _model_error_bound(self) -> float:
+        return float(self._index.max_search_window())
+
+
+class DynamicBackend(ServingBackend):
+    """:class:`DynamicLearnedIndex` behind the uniform surface.
+
+    Inserts go through the index's own public API — its
+    retrain-on-threshold cycle (the update-channel attack surface of
+    ablation A9) replaces the generic delta bookkeeping, and its
+    sanitizer hook carries the TRIM defense.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, keys: np.ndarray, rebuild_threshold: float = 0.1,
+                 trim_keep_fraction: float | None = None,
+                 model_size: int = 100):
+        super().__init__(keys, rebuild_threshold, trim_keep_fraction,
+                         model_size=model_size)
+
+    def _build(self, keys: np.ndarray) -> None:
+        n_models = max(int(keys.size) // self._build_args["model_size"],
+                       1)
+        self._index = DynamicLearnedIndex(
+            keys, n_models=n_models,
+            retrain_threshold=self._threshold,
+            sanitizer=self._sanitizer)
+
+    @property
+    def n_keys(self) -> int:
+        return int(self._index.n_keys) - int(self._tombs.size)
+
+    @property
+    def retrain_count(self) -> int:
+        return self._retrains + self._index.retrain_count
+
+    @property
+    def quarantine_size(self) -> int:
+        return self._index.quarantine_size
+
+    def insert_batch(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        revived = np.intersect1d(keys, self._tombs)
+        self._tombs = np.setdiff1d(self._tombs, revived)
+        for key in np.setdiff1d(keys, revived):
+            self._index.insert(int(key))
+
+    def delete_batch(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        present = keys[[self._index.contains(int(k)) for k in keys]]
+        self._tombs = np.union1d(self._tombs, present)
+        if (self._tombs.size
+                >= self._threshold * max(self._index.n_keys, 1)):
+            live = np.setdiff1d(
+                np.sort(np.concatenate([
+                    self._index.rmi.store.keys,
+                    self._index.delta_keys,
+                    self._index.quarantine_keys])),
+                self._tombs)
+            self._tombs = np.empty(0, dtype=np.int64)
+            # The replacement index restarts its internal counter;
+            # fold the finished one's cycles in before dropping it.
+            self._retrains += self._index.retrain_count + 1
+            self._build(live)
+
+    def _model_lookup(self, keys: np.ndarray):
+        probe = self._index.lookup_batch(keys)
+        return probe.found, probe.probes
+
+    def _model_error_bound(self) -> float:
+        return float(self._index.rmi.max_search_window())
+
+    def lookup_batch(self, keys: np.ndarray):
+        # The dynamic index owns its own side tables; only the
+        # tombstone check applies on top.
+        keys = np.asarray(keys, dtype=np.int64)
+        found, probes = self._model_lookup(keys)
+        found = found.copy()
+        probes = probes.copy()
+        if self._tombs.size:
+            idx = np.searchsorted(self._tombs, keys)
+            idx = np.minimum(idx, self._tombs.size - 1)
+            dead = found & (self._tombs[idx] == keys)
+            probes[found] += 1
+            found[dead] = False
+        return found, probes
+
+
+BACKENDS: dict[str, type[ServingBackend]] = {
+    cls.name: cls
+    for cls in (BinarySearchBackend, BTreeBackend, LinearBackend,
+                RMIBackend, DynamicBackend)
+}
+
+
+def make_backend(name: str, keys: np.ndarray,
+                 rebuild_threshold: float = 0.1,
+                 trim_keep_fraction: float | None = None,
+                 **build_args) -> ServingBackend:
+    """Instantiate a registered backend over the initial keys."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; known: {sorted(BACKENDS)}"
+        ) from None
+    return cls(keys, rebuild_threshold=rebuild_threshold,
+               trim_keep_fraction=trim_keep_fraction, **build_args)

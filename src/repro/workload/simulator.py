@@ -1,0 +1,260 @@
+"""Replay a trace against a live backend and record its vitals.
+
+The simulator consumes a :class:`~repro.workload.trace.Trace` in
+order, batching runs of consecutive point queries through the
+backend's vectorized ``lookup_batch`` (the hot path).  State
+mutations are applied strictly one operation at a time: a backend's
+rebuild threshold fires at exactly the same op whether the trace is
+replayed batched or op-at-a-time, so the recorded metrics are
+invariant under batching and tick size.
+
+All recorded metrics are **deterministic cost proxies** — probe
+counts, not nanoseconds — which is what lets a workload cell produce
+bit-identical results at ``jobs=1`` and ``jobs=N`` on either executor.
+Wall-clock is measured too (for the benchmark trajectory) but kept
+out of the result payload.
+
+Per tick (a fixed op-count window) the report records:
+
+* ``p50``/``p95``/``p99`` — probe-count percentiles over the tick's
+  read operations (the latency story);
+* ``mean_probes`` — the throughput proxy (ops per probe ~ how many
+  operations a fixed probe budget serves);
+* ``error_bound`` — the backend's worst-case search width (model
+  drift under poisoning);
+* ``retrains`` — cumulative retrain/rebuild cycles;
+* ``amplification`` — lookup cost over a fixed probe sample divided
+  by its pre-replay baseline: how much damage the stream (and the
+  drip-fed poison in it) has done so far;
+* ``n_keys`` — live key count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..io import json_float
+from ..runtime import stable_seed_words
+from .backends import ServingBackend
+from .trace import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_MODIFY,
+    OP_POISON,
+    OP_QUERY,
+    OP_RANGE,
+    Trace,
+)
+
+__all__ = ["ServingReport", "ServingSimulator"]
+
+_READ_OPS = (OP_QUERY, OP_RANGE)
+_SERIES = ("p50", "p95", "p99", "mean_probes", "error_bound",
+           "retrains", "amplification", "n_keys")
+
+
+@dataclass(frozen=True, eq=False)  # array fields: identity equality
+class ServingReport:
+    """Everything one replay measured.
+
+    ``series`` maps each name in ``p50 p95 p99 mean_probes error_bound
+    retrains amplification n_keys`` to a per-tick float64 array (a
+    tick with no read op carries NaN percentiles).  ``wall_seconds``
+    is the only non-deterministic field and is deliberately excluded
+    from :meth:`to_dict`.
+    """
+
+    backend: str
+    spec_digest: str
+    n_ops: int
+    tick_ops: int
+    series: dict[str, np.ndarray]
+    p50: float
+    p95: float
+    p99: float
+    mean_probes: float
+    total_probes: int
+    found_fraction: float
+    retrains: int
+    final_amplification: float
+    max_error_bound: float
+    final_n_keys: int
+    ops_by_kind: dict[str, int]
+    wall_seconds: float = field(compare=False)
+
+    @property
+    def n_ticks(self) -> int:
+        return int(self.series["p50"].size)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe, deterministic summary (no wall-clock)."""
+        return {
+            "backend": self.backend,
+            "spec_digest": self.spec_digest,
+            "n_ops": self.n_ops,
+            "tick_ops": self.tick_ops,
+            "n_ticks": self.n_ticks,
+            "p50": json_float(self.p50),
+            "p95": json_float(self.p95),
+            "p99": json_float(self.p99),
+            "mean_probes": json_float(self.mean_probes),
+            "total_probes": self.total_probes,
+            "found_fraction": json_float(self.found_fraction),
+            "retrains": self.retrains,
+            "final_amplification": json_float(self.final_amplification),
+            "max_error_bound": json_float(self.max_error_bound),
+            "final_n_keys": self.final_n_keys,
+            "ops_by_kind": dict(self.ops_by_kind),
+        }
+
+
+class ServingSimulator:
+    """Drives one backend through one trace.
+
+    Parameters
+    ----------
+    backend:
+        A freshly built :class:`ServingBackend` over the trace's base
+        keys (the simulator asserts nothing about prior state — a
+        pre-warmed backend is a legitimate scenario).
+    trace:
+        The operation stream to replay.
+    tick_ops:
+        Operations per metrics tick.
+    probe_sample_size:
+        Size of the fixed key sample used for the amplification
+        series; drawn deterministically from the trace's base keys
+        and never counted into the op metrics.
+    """
+
+    def __init__(self, backend: ServingBackend, trace: Trace,
+                 tick_ops: int = 200, probe_sample_size: int = 64):
+        if tick_ops < 1:
+            raise ValueError(f"tick_ops must be >= 1: {tick_ops}")
+        self._backend = backend
+        self._trace = trace
+        self._tick_ops = tick_ops
+        rng = np.random.default_rng(stable_seed_words(
+            trace.spec.seed, "probe-sample", trace.spec.digest))
+        size = min(probe_sample_size, trace.base_keys.size)
+        self._probe_sample = rng.choice(trace.base_keys, size=size,
+                                        replace=False)
+
+    # ------------------------------------------------------------------
+    def _sample_cost(self) -> float:
+        """Mean probes over the fixed sample (measurement only)."""
+        _, probes = self._backend.lookup_batch(self._probe_sample)
+        return float(probes.mean())
+
+    def run(self) -> ServingReport:
+        """Replay the whole trace; returns the metrics report."""
+        trace, backend = self._trace, self._backend
+        kinds, keys, aux = trace.kinds, trace.keys, trace.aux
+        n = trace.n_ops
+        started = time.perf_counter()
+        baseline = self._sample_cost()
+
+        series: dict[str, list[float]] = {name: [] for name in _SERIES}
+        all_probes: list[np.ndarray] = []
+        tick_probes: list[np.ndarray] = []
+        found_total = 0
+        query_total = 0
+
+        def close_tick() -> None:
+            merged = (np.concatenate(tick_probes) if tick_probes
+                      else np.empty(0, dtype=np.int64))
+            if merged.size:
+                p50, p95, p99 = np.percentile(merged, (50, 95, 99))
+                mean = float(merged.mean())
+            else:
+                p50 = p95 = p99 = mean = float("nan")
+            series["p50"].append(float(p50))
+            series["p95"].append(float(p95))
+            series["p99"].append(float(p99))
+            series["mean_probes"].append(mean)
+            series["error_bound"].append(backend.error_bound())
+            series["retrains"].append(float(backend.retrain_count))
+            series["amplification"].append(
+                self._sample_cost() / baseline)
+            series["n_keys"].append(float(backend.n_keys))
+            all_probes.extend(tick_probes)
+            tick_probes.clear()
+
+        # Process runs of same-kind ops, never across a tick boundary.
+        # Only *stateless* reads are batched (a query run is one
+        # lookup_batch call); state mutations apply strictly one op at
+        # a time, so the replay is invariant under batching and tick
+        # size by construction — a backend's batch-level rebuild check
+        # must never decide retrain timing here.
+        start = 0
+        while start < n:
+            tick_end = min(n, (start // self._tick_ops + 1)
+                           * self._tick_ops)
+            kind = kinds[start]
+            stop = start + 1
+            while stop < tick_end and kinds[stop] == kind:
+                stop += 1
+            run_keys = keys[start:stop]
+            if kind == OP_QUERY:
+                found, probes = backend.lookup_batch(run_keys)
+                tick_probes.append(probes)
+                found_total += int(found.sum())
+                query_total += int(found.size)
+            elif kind == OP_RANGE:
+                probes = np.asarray(
+                    [backend.range_scan(int(lo), int(hi))
+                     for lo, hi in zip(run_keys, aux[start:stop])],
+                    dtype=np.int64)
+                tick_probes.append(probes)
+            elif kind in (OP_INSERT, OP_POISON):
+                for key in run_keys:
+                    backend.insert_batch(key[np.newaxis])
+            elif kind == OP_DELETE:
+                for key in run_keys:
+                    backend.delete_batch(key[np.newaxis])
+            elif kind == OP_MODIFY:
+                for key, new in zip(run_keys, aux[start:stop]):
+                    backend.delete_batch(key[np.newaxis])
+                    backend.insert_batch(new[np.newaxis])
+            else:  # pragma: no cover - trace generator never emits it
+                raise ValueError(f"unknown op kind: {kind}")
+            start = stop
+            if start == tick_end:
+                close_tick()
+        if tick_probes:  # pragma: no cover - tick math closes exactly
+            close_tick()
+
+        probes_flat = (np.concatenate(all_probes) if all_probes
+                       else np.empty(0, dtype=np.int64))
+        if probes_flat.size:
+            p50, p95, p99 = (float(v) for v in
+                             np.percentile(probes_flat, (50, 95, 99)))
+            mean = float(probes_flat.mean())
+        else:
+            p50 = p95 = p99 = mean = float("nan")
+        amplification = (series["amplification"][-1]
+                         if series["amplification"] else 1.0)
+        error_bounds = np.asarray(series["error_bound"])
+        return ServingReport(
+            backend=backend.name,
+            spec_digest=trace.spec.digest,
+            n_ops=n,
+            tick_ops=self._tick_ops,
+            series={name: np.asarray(values, dtype=np.float64)
+                    for name, values in series.items()},
+            p50=p50, p95=p95, p99=p99,
+            mean_probes=mean,
+            total_probes=int(probes_flat.sum()),
+            found_fraction=(found_total / query_total if query_total
+                            else 0.0),
+            retrains=int(backend.retrain_count),
+            final_amplification=float(amplification),
+            max_error_bound=(float(error_bounds.max())
+                             if error_bounds.size else 0.0),
+            final_n_keys=int(backend.n_keys),
+            ops_by_kind=trace.counts(),
+            wall_seconds=time.perf_counter() - started)

@@ -1,0 +1,371 @@
+"""Streaming workload traces: canonical specs + seeded generators.
+
+The paper evaluates poisoning as a static snapshot (poison, rebuild,
+measure), but its threat model is inherently *online*: queries,
+inserts, deletions, and drip-fed poison arrive interleaved against a
+live index.  A :class:`TraceSpec` names one such time-evolving
+scenario with canonical JSON scalars — like :class:`repro.runtime.Cell`
+it is content-addressable, so a trace can be regenerated bit-for-bit
+from its spec in any worker process of any resumed run.
+
+A generated :class:`Trace` is four aligned numpy arrays (base keys,
+op kinds, op keys, op aux values).  All randomness flows from
+``stable_seed_words`` over the spec — never the salted builtin
+``hash`` — which is what makes replay deterministic across processes
+(pinned by ``tests/workload/test_trace_properties.py``).
+
+Operation kinds
+---------------
+``query``   point lookup of a (possibly since-deleted) key
+``insert``  organic insert of a fresh in-domain key
+``delete``  removal of a stored key
+``modify``  delete ``key`` + insert ``aux`` (one budget unit, the
+            stealthiest adversary of ablation A11 — here an organic op)
+``range``   range scan ``[key, aux]``
+``poison``  adversarial insert of a crafted key (Algorithm 1 output)
+
+Poison schedules
+----------------
+``oneshot`` the whole budget lands as one contiguous block at 25% of
+            the trace — the static attack replayed online;
+``drip``    evenly interleaved single insertions — the low-and-slow
+            attacker a rate limiter would have to catch;
+``burst``   ``burst_count`` contiguous bursts spread across the trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import asdict, dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.greedy import greedy_poison
+from ..data.keyset import Domain, KeySet
+from ..data.synthetic import uniform_keyset
+from ..runtime import stable_seed_words
+
+__all__ = [
+    "OP_QUERY", "OP_INSERT", "OP_DELETE", "OP_MODIFY", "OP_RANGE",
+    "OP_POISON", "OP_NAMES", "QUERY_MIXES", "POISON_SCHEDULES",
+    "TraceSpec", "Trace", "generate_trace",
+]
+
+OP_QUERY, OP_INSERT, OP_DELETE, OP_MODIFY, OP_RANGE, OP_POISON = range(6)
+
+OP_NAMES = {
+    OP_QUERY: "query",
+    OP_INSERT: "insert",
+    OP_DELETE: "delete",
+    OP_MODIFY: "modify",
+    OP_RANGE: "range",
+    OP_POISON: "poison",
+}
+
+QUERY_MIXES = ("uniform", "zipfian", "hotspot")
+POISON_SCHEDULES = ("none", "oneshot", "drip", "burst")
+
+_DIGEST_HEX = 16  # matches Cell's 64-bit content-hash prefix
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Canonical description of one streaming scenario.
+
+    Every field is a JSON scalar; :attr:`digest` hashes the canonical
+    serialisation, so two specs describe the same workload iff their
+    digests match — the property the checkpointed workload sweep and
+    the cross-process determinism tests both rely on.
+    """
+
+    n_base_keys: int = 1_000
+    domain_factor: int = 10          # |domain| = factor * n_base_keys
+    n_ops: int = 2_000
+    query_mix: str = "uniform"
+    zipf_s: float = 1.2              # zipfian popularity exponent
+    hotspot_fraction: float = 0.1    # hot range width / domain size
+    hotspot_weight: float = 0.9      # share of queries hitting it
+    range_fraction: float = 0.0
+    range_span_fraction: float = 0.01  # scan width / domain size
+    insert_fraction: float = 0.0
+    delete_fraction: float = 0.0
+    modify_fraction: float = 0.0
+    poison_schedule: str = "none"
+    poison_percentage: float = 0.0   # budget as % of the base keys
+    burst_count: int = 4
+    seed: int = 101
+
+    def __post_init__(self) -> None:
+        if self.n_base_keys < 1:
+            raise ValueError(f"need base keys, got {self.n_base_keys}")
+        if self.domain_factor < 2:
+            raise ValueError(
+                f"domain factor must leave gaps: {self.domain_factor}")
+        if self.n_ops < 1:
+            raise ValueError(f"need operations, got {self.n_ops}")
+        if self.query_mix not in QUERY_MIXES:
+            raise ValueError(
+                f"query mix must be one of {QUERY_MIXES}, "
+                f"got {self.query_mix!r}")
+        if self.poison_schedule not in POISON_SCHEDULES:
+            raise ValueError(
+                f"poison schedule must be one of {POISON_SCHEDULES}, "
+                f"got {self.poison_schedule!r}")
+        if (self.poison_schedule == "none") != (self.poison_percentage == 0.0):
+            raise ValueError(
+                "poison_percentage must be 0 exactly when the schedule "
+                "is 'none'")
+        if not 0.0 <= self.poison_percentage <= 20.0:
+            raise ValueError(
+                f"poisoning is capped at 20%: {self.poison_percentage}")
+        for name in ("range_fraction", "insert_fraction",
+                     "delete_fraction", "modify_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 0.5:
+                raise ValueError(f"{name} must be in [0, 0.5]: {value}")
+        if self.burst_count < 1:
+            raise ValueError(f"need at least one burst: {self.burst_count}")
+        counts = self.op_counts()
+        if counts["query"] < 1:
+            raise ValueError(
+                "op fractions plus the poison budget leave no queries")
+        if counts["delete"] + counts["modify"] > self.n_base_keys // 2:
+            raise ValueError(
+                "delete + modify stream would consume over half of the "
+                "base keys")
+
+    # ------------------------------------------------------------------
+    def poison_budget(self) -> int:
+        """Crafted keys the adversary may inject."""
+        if self.poison_schedule == "none":
+            return 0
+        return max(1, int(self.n_base_keys * self.poison_percentage
+                          / 100.0))
+
+    def op_counts(self) -> dict[str, int]:
+        """How many operations of each kind the trace will hold."""
+        counts = {
+            "insert": int(self.n_ops * self.insert_fraction),
+            "delete": int(self.n_ops * self.delete_fraction),
+            "modify": int(self.n_ops * self.modify_fraction),
+            "range": int(self.n_ops * self.range_fraction),
+            "poison": self.poison_budget(),
+        }
+        counts["query"] = self.n_ops - sum(counts.values())
+        return counts
+
+    def domain(self) -> Domain:
+        """The key universe of the scenario."""
+        return Domain.of_size(self.domain_factor * self.n_base_keys)
+
+    # ------------------------------------------------------------------
+    def spec(self) -> dict[str, Any]:
+        """JSON-safe canonical description (what the digest covers)."""
+        return dict(sorted(asdict(self).items()))
+
+    def canonical_json(self) -> str:
+        """Canonical serialisation: sorted keys, no whitespace games."""
+        return json.dumps(self.spec(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @property
+    def digest(self) -> str:
+        """Hex content hash naming this scenario."""
+        raw = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return raw.hexdigest()[:_DIGEST_HEX]
+
+
+@dataclass(frozen=True, eq=False)  # array fields: identity equality
+class Trace:
+    """A generated operation stream, ready to replay.
+
+    ``kinds``/``keys``/``aux`` align element-for-element; ``aux``
+    carries the range-scan upper bound or the modify replacement key
+    and is zero elsewhere.
+    """
+
+    spec: TraceSpec
+    base_keys: np.ndarray
+    kinds: np.ndarray
+    keys: np.ndarray
+    aux: np.ndarray
+
+    @property
+    def n_ops(self) -> int:
+        return int(self.kinds.size)
+
+    def counts(self) -> dict[str, int]:
+        """Observed operation counts by kind name."""
+        return {OP_NAMES[kind]: int((self.kinds == kind).sum())
+                for kind in OP_NAMES}
+
+    def poison_keys(self) -> np.ndarray:
+        """The adversarial keys, in injection order."""
+        return self.keys[self.kinds == OP_POISON]
+
+    def checksum(self) -> int:
+        """CRC-32 over every array — the cross-process fingerprint."""
+        crc = 0
+        for arr in (self.base_keys, self.kinds, self.keys, self.aux):
+            crc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+        return crc
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+def _fresh_keys(rng: np.random.Generator, domain: Domain,
+                taken: np.ndarray, count: int) -> np.ndarray:
+    """``count`` unique in-domain keys avoiding ``taken`` (rejection)."""
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    chosen = np.empty(0, dtype=np.int64)
+    for _ in range(64):
+        draw = rng.integers(domain.lo, domain.hi + 1,
+                            size=max(4 * count, 256))
+        draw = np.setdiff1d(draw, taken)
+        draw = np.setdiff1d(draw, chosen)
+        # setdiff1d sorts; permute before taking, or the subset would
+        # collapse to the smallest keys of every oversample.
+        take = rng.permutation(draw)[:count - chosen.size]
+        chosen = np.concatenate([chosen, take])
+        if chosen.size >= count:
+            # Shuffle once more so stream order is also unbiased.
+            return rng.permutation(chosen)
+    raise RuntimeError(
+        f"could not draw {count} fresh keys from a domain of "
+        f"{domain.size} with {taken.size} taken")
+
+
+def _query_stream(rng: np.random.Generator, spec: TraceSpec,
+                  base: KeySet, count: int) -> np.ndarray:
+    """``count`` point-query keys drawn per the spec's mix."""
+    keys = base.keys
+    if spec.query_mix == "uniform":
+        return keys[rng.integers(0, keys.size, size=count)]
+    if spec.query_mix == "zipfian":
+        # Popularity rank is a deterministic permutation of the keys,
+        # so skew is uncorrelated with key order (the hotspot mix
+        # covers the correlated case).
+        ranks = np.arange(1, keys.size + 1, dtype=np.float64)
+        weights = ranks ** -spec.zipf_s
+        weights /= weights.sum()
+        popularity = rng.permutation(keys)
+        return popularity[rng.choice(keys.size, size=count, p=weights)]
+    # hotspot: a contiguous slice of the key range takes most queries.
+    width = max(1, int(spec.hotspot_fraction * base.m))
+    lo = int(rng.integers(base.domain.lo, base.domain.hi - width + 2))
+    hot = keys[(keys >= lo) & (keys < lo + width)]
+    if hot.size == 0:
+        hot = keys  # degenerate hot range; fall back to uniform
+    hot_mask = rng.random(count) < spec.hotspot_weight
+    out = keys[rng.integers(0, keys.size, size=count)]
+    out[hot_mask] = hot[rng.integers(0, hot.size,
+                                     size=int(hot_mask.sum()))]
+    return out
+
+
+def _poison_positions(spec: TraceSpec, count: int) -> np.ndarray:
+    """Trace positions (sorted, unique) for the poison schedule."""
+    n = spec.n_ops
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    if spec.poison_schedule == "oneshot":
+        start = min(n - count, n // 4)
+        return np.arange(start, start + count, dtype=np.int64)
+    if spec.poison_schedule == "drip":
+        return np.floor(np.arange(count) * (n / count)).astype(np.int64)
+    # burst: contiguous runs centred at evenly spaced points.
+    bursts = min(spec.burst_count, count)
+    sizes = np.diff(np.linspace(0, count, bursts + 1).astype(int))
+    positions = []
+    cursor = 0
+    for i, size in enumerate(sizes):
+        centre = int((i + 0.5) / bursts * n)
+        start = max(cursor, min(centre - size // 2, n - (count - cursor)))
+        positions.append(np.arange(start, start + size, dtype=np.int64))
+        cursor = start + size
+    return np.concatenate(positions)
+
+
+def generate_trace(spec: TraceSpec) -> Trace:
+    """Materialise the operation stream a spec describes.
+
+    Deterministic in the spec alone: the generator stream seeds from
+    ``stable_seed_words(seed, digest)``, so every process — worker,
+    resumed run, another machine — regenerates identical arrays.
+    """
+    rng = np.random.default_rng(
+        stable_seed_words(spec.seed, spec.digest))
+    domain = spec.domain()
+    base = uniform_keyset(spec.n_base_keys, domain, rng)
+    counts = spec.op_counts()
+
+    # Adversarial stream: Algorithm 1 against the base keyset.  The
+    # schedule only decides *when* the crafted keys land.
+    poison = np.empty(0, dtype=np.int64)
+    if counts["poison"]:
+        poison = np.asarray(
+            greedy_poison(base, counts["poison"]).poison_keys,
+            dtype=np.int64)
+        counts = dict(counts)
+        counts["poison"] = int(poison.size)  # attack may exhaust early
+        counts["query"] = spec.n_ops - sum(
+            v for k, v in counts.items() if k != "query")
+
+    # Organic mutation streams, all disjoint by construction.
+    victims = rng.choice(base.keys, size=counts["delete"]
+                         + counts["modify"], replace=False)
+    delete_victims = victims[:counts["delete"]]
+    modify_victims = victims[counts["delete"]:]
+    taken = np.union1d(base.keys, poison)
+    organic = _fresh_keys(rng, domain, taken,
+                          counts["insert"] + counts["modify"])
+    insert_keys = organic[:counts["insert"]]
+    modify_new = organic[counts["insert"]:]
+
+    queries = _query_stream(rng, spec, base, counts["query"])
+    range_span = max(1, int(spec.range_span_fraction * domain.size))
+    range_lo = base.keys[rng.integers(0, base.keys.size,
+                                      size=counts["range"])]
+    range_hi = np.minimum(range_lo + range_span, domain.hi)
+
+    # Interleave: poison occupies its scheduled slots; everything else
+    # fills the remaining slots in one global shuffle.
+    kinds = np.full(spec.n_ops, OP_QUERY, dtype=np.int8)
+    keys = np.zeros(spec.n_ops, dtype=np.int64)
+    aux = np.zeros(spec.n_ops, dtype=np.int64)
+
+    poison_at = _poison_positions(spec, int(poison.size))
+    kinds[poison_at] = OP_POISON
+    keys[poison_at] = poison
+
+    other_kinds = np.concatenate([
+        np.full(counts["query"], OP_QUERY, dtype=np.int8),
+        np.full(counts["insert"], OP_INSERT, dtype=np.int8),
+        np.full(counts["delete"], OP_DELETE, dtype=np.int8),
+        np.full(counts["modify"], OP_MODIFY, dtype=np.int8),
+        np.full(counts["range"], OP_RANGE, dtype=np.int8),
+    ])
+    other_keys = np.concatenate([queries, insert_keys, delete_victims,
+                                 modify_victims, range_lo])
+    other_aux = np.concatenate([
+        np.zeros(counts["query"] + counts["insert"] + counts["delete"],
+                 dtype=np.int64),
+        modify_new, range_hi])
+    order = rng.permutation(other_kinds.size)
+
+    slots = np.setdiff1d(np.arange(spec.n_ops, dtype=np.int64),
+                         poison_at)
+    kinds[slots] = other_kinds[order]
+    keys[slots] = other_keys[order]
+    aux[slots] = other_aux[order]
+
+    for arr in (kinds, keys, aux):
+        arr.setflags(write=False)
+    return Trace(spec=spec, base_keys=base.keys, kinds=kinds, keys=keys,
+                 aux=aux)

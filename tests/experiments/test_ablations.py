@@ -273,3 +273,53 @@ class TestA11Adversaries:
     def test_format(self, rows):
         out = ablations.format_adversaries(rows)
         assert "modify" in out
+
+
+class TestEngineBackedA7toA10:
+    """The single-shot ablations now ride the sweep engine too:
+    plan builders, --out checkpointing, resume reuse, jobs parity."""
+
+    def test_plan_builders_cover_the_grids(self):
+        assert len(ablations.plan_polynomial_cells(degrees=(1, 3))) == 2
+        assert len(ablations.plan_blackbox_cells()) == 1
+        assert len(ablations.plan_update_cells()) == 1
+        assert len(ablations.plan_ridge_cells(
+            lam_fractions=(0.0, 0.1))) == 2
+
+    def test_polynomial_checkpoint_resume(self, tmp_path):
+        kwargs = dict(n_keys=300, degrees=(1, 2))
+        first = ablations.run_polynomial_ablation(
+            checkpoint_dir=tmp_path, **kwargs)
+        cells = list((tmp_path / "cells").glob("a7-polynomial-*.json"))
+        assert len(cells) == 2
+        stamps = {p.name: p.stat().st_mtime_ns for p in cells}
+        resumed = ablations.run_polynomial_ablation(
+            checkpoint_dir=tmp_path, resume=True, **kwargs)
+        assert resumed == first
+        after = {p.name: p.stat().st_mtime_ns
+                 for p in (tmp_path / "cells").glob(
+                     "a7-polynomial-*.json")}
+        assert after == stamps  # nothing recomputed
+
+    def test_ridge_jobs_parity(self):
+        kwargs = dict(n_keys=300, lam_fractions=(0.0, 0.1))
+        serial = ablations.run_ridge_ablation(**kwargs)
+        threaded = ablations.run_ridge_ablation(
+            jobs=2, executor="thread", **kwargs)
+        assert serial == threaded
+
+    def test_update_checkpoint_resume(self, tmp_path):
+        kwargs = dict(n_keys=500, n_models=5)
+        first = ablations.run_update_ablation(
+            checkpoint_dir=tmp_path, **kwargs)
+        resumed = ablations.run_update_ablation(
+            checkpoint_dir=tmp_path, resume=True, **kwargs)
+        assert resumed == first
+
+    def test_blackbox_checkpoint_resume(self, tmp_path):
+        kwargs = dict(n_keys=500, n_models=5)
+        first = ablations.run_blackbox_ablation(
+            checkpoint_dir=tmp_path, **kwargs)
+        resumed = ablations.run_blackbox_ablation(
+            checkpoint_dir=tmp_path, resume=True, **kwargs)
+        assert resumed == first

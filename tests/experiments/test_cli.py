@@ -11,7 +11,7 @@ from repro.experiments.__main__ import RESULT_SCHEMA, _TARGETS, main
 class TestTargetRegistry:
     def test_every_figure_present(self):
         for name in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-                     "fig8"):
+                     "fig8", "workload"):
             assert name in _TARGETS
 
     def test_every_ablation_present(self):
@@ -140,6 +140,18 @@ class TestCliSmoke:
             (tmp_path / "a6-deletion" / "result.json").read_text())
         _validate_summary_schema(payload)
         assert len(payload["result"]["rows"]) == 3
+
+    def test_engine_backed_a7_emits_payload(self, tmp_path, capsys):
+        """a7-a10 joined the engine-backed targets (ROADMAP leftover):
+        --out must produce a result.json like any sweep target."""
+        assert main(["a7-polynomial", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(
+            (tmp_path / "a7-polynomial" / "result.json").read_text())
+        _validate_summary_schema(payload)
+        assert len(payload["result"]["rows"]) == 4  # default degrees
+        cells = tmp_path / "a7-polynomial" / "cells"
+        assert len(list(cells.glob("*.json"))) == 4
 
     def test_thread_executor_matches_process(self, out_dir, tmp_path,
                                              capsys):

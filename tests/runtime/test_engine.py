@@ -280,3 +280,61 @@ class TestArtifacts:
         results = engine.run(cells)
         assert [r["value"] for r in results] == [0, 1, 4, 9]
         assert engine.last_stats.computed == 1
+
+
+class TestProgressReporter:
+    def test_tick_per_computed_cell(self):
+        events = []
+        engine = SweepEngine(square_cell, progress=events.append)
+        engine.run(plan(4))
+        assert len(events) == 4
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert [e.computed for e in events] == [1, 2, 3, 4]
+        assert all(e.total == 4 and e.reused == 0 for e in events)
+        assert events[-1].done == events[-1].total
+        assert [e.cell.params_dict["x"] for e in events] == [0, 1, 2, 3]
+
+    def test_eta_appears_and_shrinks_to_zero(self):
+        events = []
+        engine = SweepEngine(square_cell, progress=events.append)
+        engine.run(plan(3))
+        assert all(e.eta_seconds is not None for e in events)
+        assert events[-1].eta_seconds == 0.0
+        assert all(e.seconds_elapsed >= 0.0 for e in events)
+
+    def test_resume_emits_one_restore_tick(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        SweepEngine(square_cell, checkpoint=store).run(plan(2))
+        events = []
+        engine = SweepEngine(square_cell, checkpoint=store, resume=True,
+                             progress=events.append)
+        engine.run(plan(4))
+        # One restore tick (cell=None, 2 reused) + 2 computed ticks.
+        assert len(events) == 3
+        restore = events[0]
+        assert restore.cell is None
+        assert restore.reused == 2 and restore.done == 2
+        assert restore.eta_seconds is None  # nothing computed yet
+        assert [e.done for e in events[1:]] == [3, 4]
+
+    def test_parallel_ticks_cover_every_cell(self):
+        events = []
+        engine = SweepEngine(square_cell, jobs=2, executor="thread",
+                             progress=events.append)
+        engine.run(plan(6))
+        assert len(events) == 6
+        assert [e.done for e in events] == [1, 2, 3, 4, 5, 6]
+        seen = {e.cell.params_dict["x"] for e in events}
+        assert seen == set(range(6))
+
+    def test_duplicates_settle_with_their_source(self):
+        events = []
+        engine = SweepEngine(square_cell, progress=events.append)
+        cells = plan(2) + plan(2)  # each cell duplicated once
+        engine.run(cells)
+        assert len(events) == 2
+        assert [e.done for e in events] == [2, 4]
+
+    def test_no_callback_means_no_overhead_path(self):
+        engine = SweepEngine(square_cell)
+        assert engine.run(plan(2))  # simply must not fail

@@ -1,0 +1,147 @@
+"""Unit tests for the serving backends' uniform online surface."""
+
+import numpy as np
+import pytest
+
+from repro.data.keyset import Domain
+from repro.data.synthetic import uniform_keyset
+from repro.workload.backends import BACKENDS, make_backend
+
+ALL = sorted(BACKENDS)
+LEARNED = ("linear", "rmi", "dynamic")
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(81)
+    return uniform_keyset(800, Domain.of_size(8_000), rng).keys
+
+
+@pytest.fixture(scope="module")
+def fresh(keys):
+    rng = np.random.default_rng(82)
+    return np.setdiff1d(rng.integers(0, 8_000, size=600), keys)[:200]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestUniformSurface:
+    def test_every_base_key_found(self, name, keys):
+        backend = make_backend(name, keys)
+        found, probes = backend.lookup_batch(keys)
+        assert found.all()
+        assert (probes >= 1).all()
+        assert backend.n_keys == keys.size
+
+    def test_absent_keys_not_found(self, name, keys, fresh):
+        backend = make_backend(name, keys)
+        found, _ = backend.lookup_batch(fresh)
+        assert not found.any()
+
+    def test_insert_then_found(self, name, keys, fresh):
+        backend = make_backend(name, keys)
+        backend.insert_batch(fresh[:50])
+        found, _ = backend.lookup_batch(fresh[:50])
+        assert found.all()
+        assert backend.n_keys == keys.size + 50
+
+    def test_delete_then_missing(self, name, keys):
+        backend = make_backend(name, keys)
+        victims = keys[::37]
+        backend.delete_batch(victims)
+        found, _ = backend.lookup_batch(victims)
+        assert not found.any()
+        assert backend.n_keys == keys.size - victims.size
+        # Neighbours survive.
+        survivors = np.setdiff1d(keys, victims)
+        found, _ = backend.lookup_batch(survivors)
+        assert found.all()
+
+    def test_reinsert_after_delete_revives(self, name, keys):
+        backend = make_backend(name, keys)
+        victim = keys[100:101]
+        backend.delete_batch(victim)
+        backend.insert_batch(victim)
+        found, _ = backend.lookup_batch(victim)
+        assert found.all()
+        assert backend.n_keys == keys.size
+
+    def test_range_scan_charges_probes(self, name, keys):
+        backend = make_backend(name, keys)
+        assert backend.range_scan(int(keys[10]), int(keys[20])) >= 1
+
+    def test_error_bound_positive(self, name, keys):
+        assert make_backend(name, keys).error_bound() >= 1.0
+
+
+class TestRebuildCycle:
+    @pytest.mark.parametrize("name", LEARNED)
+    def test_update_pressure_triggers_retrain(self, name, keys, fresh):
+        backend = make_backend(name, keys, rebuild_threshold=0.05)
+        before = backend.retrain_count
+        backend.insert_batch(fresh)  # 200 fresh >> 5% of 800
+        assert backend.retrain_count > before
+        found, _ = backend.lookup_batch(np.concatenate([keys, fresh]))
+        assert found.all()
+
+    def test_btree_inserts_natively_without_rebuild(self, keys, fresh):
+        backend = make_backend("btree", keys)
+        backend.insert_batch(fresh)
+        assert backend.retrain_count == 0
+        found, _ = backend.lookup_batch(fresh)
+        assert found.all()
+
+    @pytest.mark.parametrize("name", LEARNED + ("btree",))
+    def test_delete_pressure_compacts(self, name, keys):
+        backend = make_backend(name, keys, rebuild_threshold=0.05)
+        backend.delete_batch(keys[:100])
+        assert backend.retrain_count >= 1
+        assert backend.pending_updates == 0 or name == "dynamic"
+        found, _ = backend.lookup_batch(keys[100:])
+        assert found.all()
+
+
+class TestBinaryNeverRetrains:
+    def test_no_rebuilds_ever(self, keys, fresh):
+        backend = make_backend("binary", keys)
+        backend.insert_batch(fresh)
+        backend.delete_batch(keys[:300])
+        assert backend.retrain_count == 0
+
+
+@pytest.mark.parametrize("name", LEARNED)
+class TestTrimDefense:
+    def test_quarantine_filled_and_still_served(self, name, keys,
+                                                fresh):
+        backend = make_backend(name, keys, rebuild_threshold=0.1,
+                               trim_keep_fraction=0.9)
+        backend.insert_batch(fresh)  # forces >= 1 sanitized rebuild
+        assert backend.retrain_count >= 1
+        assert backend.quarantine_size > 0
+        # Correctness is untouched: every live key answers.
+        found, _ = backend.lookup_batch(np.concatenate([keys, fresh]))
+        assert found.all()
+
+    def test_invalid_keep_fraction_rejected(self, name, keys):
+        with pytest.raises(ValueError, match="keep fraction"):
+            make_backend(name, keys, trim_keep_fraction=0.0)
+
+
+class TestTrimUnsupported:
+    @pytest.mark.parametrize("name", ("binary", "btree"))
+    def test_model_free_backends_reject_trim(self, name, keys):
+        with pytest.raises(ValueError, match="TRIM"):
+            make_backend(name, keys, trim_keep_fraction=0.9)
+
+
+class TestRegistry:
+    def test_unknown_backend_rejected(self, keys):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("skiplist", keys)
+
+    def test_registry_names_match_classes(self):
+        for name, cls in BACKENDS.items():
+            assert cls.name == name
+
+    def test_invalid_threshold_rejected(self, keys):
+        with pytest.raises(ValueError, match="threshold"):
+            make_backend("rmi", keys, rebuild_threshold=0.0)

@@ -1,0 +1,189 @@
+"""Unit tests for trace specs and generation."""
+
+import numpy as np
+import pytest
+
+from repro.workload.trace import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_MODIFY,
+    OP_POISON,
+    OP_QUERY,
+    OP_RANGE,
+    TraceSpec,
+    generate_trace,
+)
+
+
+class TestTraceSpec:
+    def test_digest_stable_across_constructions(self):
+        a = TraceSpec(n_base_keys=500, n_ops=1000, seed=3)
+        b = TraceSpec(seed=3, n_ops=1000, n_base_keys=500)
+        assert a.digest == b.digest
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_digest_pinned(self):
+        """The canonical serialisation is a contract: checkpointed
+        workload cells reference scenarios by this digest."""
+        assert TraceSpec().digest == TraceSpec().digest
+        assert len(TraceSpec().digest) == 16
+        int(TraceSpec().digest, 16)  # hex
+
+    def test_digest_changes_with_any_field(self):
+        base = TraceSpec()
+        assert TraceSpec(seed=999).digest != base.digest
+        assert TraceSpec(query_mix="zipfian").digest != base.digest
+
+    def test_rejects_unknown_mix(self):
+        with pytest.raises(ValueError, match="query mix"):
+            TraceSpec(query_mix="gaussian")
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(ValueError, match="schedule"):
+            TraceSpec(poison_schedule="tsunami", poison_percentage=5.0)
+
+    def test_schedule_and_percentage_must_agree(self):
+        with pytest.raises(ValueError, match="poison_percentage"):
+            TraceSpec(poison_schedule="drip")  # percentage left at 0
+        with pytest.raises(ValueError, match="poison_percentage"):
+            TraceSpec(poison_percentage=5.0)  # schedule left at none
+
+    def test_rejects_budget_that_crowds_out_queries(self):
+        with pytest.raises(ValueError, match="no queries"):
+            TraceSpec(n_base_keys=10_000, n_ops=100,
+                      poison_schedule="oneshot", poison_percentage=20.0)
+
+    def test_rejects_draining_mutations(self):
+        with pytest.raises(ValueError, match="half"):
+            TraceSpec(n_base_keys=100, n_ops=2_000,
+                      delete_fraction=0.5)
+
+    def test_op_counts_sum_to_n_ops(self):
+        spec = TraceSpec(insert_fraction=0.1, delete_fraction=0.05,
+                         modify_fraction=0.05, range_fraction=0.1,
+                         poison_schedule="burst",
+                         poison_percentage=10.0)
+        assert sum(spec.op_counts().values()) == spec.n_ops
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(TraceSpec(
+            n_base_keys=400, n_ops=800, query_mix="uniform",
+            insert_fraction=0.1, delete_fraction=0.05,
+            modify_fraction=0.05, range_fraction=0.05,
+            poison_schedule="drip", poison_percentage=10.0, seed=11))
+
+    def test_counts_match_spec(self, trace):
+        assert trace.counts() == trace.spec.op_counts()
+        assert trace.n_ops == trace.spec.n_ops
+
+    def test_base_keys_sorted_unique_in_domain(self, trace):
+        keys = trace.base_keys
+        assert (np.diff(keys) > 0).all()
+        assert keys.size == trace.spec.n_base_keys
+        domain = trace.spec.domain()
+        assert keys.min() >= domain.lo and keys.max() <= domain.hi
+
+    def test_poison_keys_are_fresh_and_in_domain(self, trace):
+        poison = trace.poison_keys()
+        domain = trace.spec.domain()
+        assert poison.size == trace.spec.poison_budget()
+        assert np.intersect1d(poison, trace.base_keys).size == 0
+        assert poison.min() >= domain.lo and poison.max() <= domain.hi
+
+    def test_inserted_keys_never_collide(self, trace):
+        """No insert/poison/modify-new key duplicates the base keys or
+        each other — the invariant backends' insert paths rely on."""
+        fresh = np.concatenate([
+            trace.keys[trace.kinds == OP_INSERT],
+            trace.keys[trace.kinds == OP_POISON],
+            trace.aux[trace.kinds == OP_MODIFY],
+        ])
+        assert np.unique(fresh).size == fresh.size
+        assert np.intersect1d(fresh, trace.base_keys).size == 0
+
+    def test_mutation_victims_are_distinct_base_keys(self, trace):
+        victims = np.concatenate([
+            trace.keys[trace.kinds == OP_DELETE],
+            trace.keys[trace.kinds == OP_MODIFY],
+        ])
+        assert np.unique(victims).size == victims.size
+        assert np.isin(victims, trace.base_keys).all()
+
+    def test_queries_drawn_from_base(self, trace):
+        queries = trace.keys[trace.kinds == OP_QUERY]
+        assert np.isin(queries, trace.base_keys).all()
+
+    def test_range_bounds_ordered(self, trace):
+        lo = trace.keys[trace.kinds == OP_RANGE]
+        hi = trace.aux[trace.kinds == OP_RANGE]
+        assert (hi >= lo).all()
+
+    def test_arrays_read_only(self, trace):
+        with pytest.raises(ValueError):
+            trace.kinds[0] = OP_QUERY
+
+
+class TestSchedules:
+    def _positions(self, schedule, **kwargs):
+        spec = TraceSpec(n_base_keys=500, n_ops=1000,
+                         poison_schedule=schedule,
+                         poison_percentage=10.0, **kwargs)
+        trace = generate_trace(spec)
+        return np.nonzero(trace.kinds == OP_POISON)[0], spec
+
+    def test_oneshot_is_one_contiguous_block(self):
+        positions, spec = self._positions("oneshot")
+        assert positions.size == spec.poison_budget()
+        assert (np.diff(positions) == 1).all()
+
+    def test_drip_is_evenly_spread(self):
+        positions, spec = self._positions("drip")
+        gaps = np.diff(positions)
+        # Even spacing: every gap within one slot of the ideal.
+        ideal = spec.n_ops / spec.poison_budget()
+        assert gaps.min() >= int(ideal) - 1
+        assert gaps.max() <= int(ideal) + 1
+
+    def test_burst_makes_the_requested_runs(self):
+        positions, spec = self._positions("burst", burst_count=4)
+        gaps = np.diff(positions)
+        # 4 contiguous runs => exactly 3 gaps larger than 1.
+        assert (gaps > 1).sum() == 3
+        assert positions.size == spec.poison_budget()
+
+
+class TestQueryMixes:
+    def test_zipfian_is_skewed(self):
+        trace = generate_trace(TraceSpec(
+            n_base_keys=500, n_ops=4000, query_mix="zipfian", seed=23))
+        queries = trace.keys[trace.kinds == OP_QUERY]
+        _, counts = np.unique(queries, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # Head dominance: the top key alone far exceeds the uniform
+        # expectation of n_queries / n_base ~ 8.
+        assert counts[0] > 40
+
+    def test_hotspot_hits_its_range(self):
+        spec = TraceSpec(n_base_keys=500, n_ops=4000,
+                         query_mix="hotspot", hotspot_fraction=0.1,
+                         hotspot_weight=0.9, seed=29)
+        trace = generate_trace(spec)
+        queries = trace.keys[trace.kinds == OP_QUERY]
+        width = int(0.1 * spec.domain().size)
+        # Find the densest window of that width among the queries.
+        order = np.sort(queries)
+        best = 0
+        for lo in np.unique(order):
+            best = max(best, int(((order >= lo)
+                                  & (order < lo + width)).sum()))
+        assert best / queries.size > 0.8
+
+    def test_uniform_is_not_skewed(self):
+        trace = generate_trace(TraceSpec(
+            n_base_keys=500, n_ops=4000, query_mix="uniform", seed=31))
+        queries = trace.keys[trace.kinds == OP_QUERY]
+        _, counts = np.unique(queries, return_counts=True)
+        assert counts.max() < 30  # mean 8; generous ceiling
