@@ -4,9 +4,11 @@ The serving simulator lives or dies by ``lookup_batch``: one
 vectorized windowed binary search replaces a Python loop of scalar
 lookups, with bit-identical probe counts.  This benchmark measures the
 speedup on the RMI and the dynamic index across batch sizes, replays
-one quick workload scenario end to end, and writes the numbers as
-``BENCH_workload.json`` (schema ``repro.bench.workload/v1``) — the
-seed of the perf trajectory the ROADMAP asks for.
+one quick workload scenario end to end, runs the closed-loop duel
+(adaptive vs oblivious, fixed vs tuned), and writes the numbers as
+``BENCH_workload.json`` (schema ``repro.bench.workload/v1``; the
+``closed_loop`` section is additive) — the wall-clock perf trajectory
+the ROADMAP asks for, now spanning three PRs of surface.
 
 Run standalone with::
 
@@ -112,16 +114,67 @@ def bench_serving_replay() -> tuple[str, dict]:
     return table, record
 
 
+def bench_closed_loop() -> tuple[str, dict]:
+    """The closed-loop duel on the calibrated quick scenario.
+
+    Times the control-loop grid (the per-cell cost now includes
+    Algorithm 2 pool crafting and the policy/tuner bookkeeping) and
+    records the headline numbers the acceptance regression pins: the
+    adaptive-over-oblivious amplification gap and how much of it the
+    auto-tuner recovers.
+    """
+    from repro.experiments import closedloop_serving
+
+    config = closedloop_serving.ClosedLoopConfig(
+        adversaries=("oblivious", "escalate"))
+    started = time.perf_counter()
+    result = closedloop_serving.run(config)
+    wall = time.perf_counter() - started
+    rows = []
+    record: dict = {
+        "wall_seconds": wall,
+        "cells": len(result.rows),
+        "cells_per_second": (len(result.rows) / wall if wall > 0
+                             else 0.0),
+    }
+    for backend in config.backends:
+        oblivious = result.row(backend=backend,
+                               adversary="oblivious",
+                               defense="fixed").amplification
+        fixed = result.row(backend=backend, adversary="escalate",
+                           defense="fixed").amplification
+        tuned = result.row(backend=backend, adversary="escalate",
+                           defense="tuned").amplification
+        rows.append([backend, f"{oblivious:.3f}", f"{fixed:.3f}",
+                     f"{tuned:.3f}", f"{fixed - oblivious:+.3f}",
+                     f"{fixed - tuned:+.3f}"])
+        record[backend] = {
+            "oblivious_amplification": io.json_float(oblivious),
+            "adaptive_amplification": io.json_float(fixed),
+            "tuned_amplification": io.json_float(tuned),
+            "adaptive_gap": io.json_float(fixed - oblivious),
+            "tuner_recovered": io.json_float(fixed - tuned),
+        }
+    table = (section(f"closed-loop duel — {len(result.rows)} cells, "
+                     f"{wall:.1f}s wall")
+             + "\n" + render_table(
+                 ["backend", "oblivious", "adaptive", "tuned",
+                  "gap", "recovered"], rows))
+    return table, record
+
+
 def run_bench(out_path: str = "BENCH_workload.json") -> str:
-    """Run both sections; persist the JSON record; return the tables."""
+    """Run all sections; persist the JSON record; return the tables."""
     lookup_table, lookup_record = bench_batched_lookup()
     replay_table, replay_record = bench_serving_replay()
+    loop_table, loop_record = bench_closed_loop()
     io.save_json({
         "schema": BENCH_SCHEMA,
         "batched_lookup": lookup_record,
         "serving_replay": replay_record,
+        "closed_loop": loop_record,
     }, out_path)
-    return f"{lookup_table}\n\n{replay_table}"
+    return f"{lookup_table}\n\n{replay_table}\n\n{loop_table}"
 
 
 def test_workload_serving_bench(once, tmp_path):

@@ -4,7 +4,7 @@ Targets mirror the paper's figures and the ablations, plus the
 streaming serving grid:
 
     fig2 fig3 fig4 fig5 fig6 fig7 fig8
-    workload
+    workload closedloop
     a1-bruteforce a2-trim a3-cost a4-alpha a5-allocation
     all
 
@@ -18,6 +18,11 @@ schedules × index backends) through the serving simulator; with
 (``repro.bench.workload/v1``) next to its ``result.json`` — the
 wall-clock perf-trajectory record, deliberately separate from the
 deterministic result payload.
+
+``closedloop`` runs the control-loop grids (arrival models ×
+backends × injection policies × fixed/tuned defense) — the
+adaptive-vs-oblivious duel with per-cell ``.npz`` series including
+the ``injected``/``keep_fraction``/``rebuild_threshold`` channels.
 
 Runtime flags (engine-backed targets: fig5, fig6, fig7, fig8,
 workload, and every ablation a1-a11):
@@ -88,6 +93,7 @@ from .. import io
 from ..runtime import EXECUTORS, CheckpointStore
 from . import (
     ablations,
+    closedloop_serving,
     fig2_compound_effect,
     fig3_loss_landscape,
     fig4_greedy_showcase,
@@ -225,6 +231,15 @@ def _run_workload(opts: RunOptions) -> TargetOutput:
         }, out_dir / "BENCH_workload.json")
     return (result.format(), result.to_dict(),
             workload_serving.plan_cells(config))
+
+
+def _run_closedloop(opts: RunOptions) -> TargetOutput:
+    config = (closedloop_serving.full_config() if opts.profile == "full"
+              else closedloop_serving.quick_config())
+    result = closedloop_serving.run(config,
+                                    **opts.engine_kwargs("closedloop"))
+    return (result.format(), result.to_dict(),
+            closedloop_serving.plan_cells(config))
 
 
 def _run_a1(opts: RunOptions) -> TargetOutput:
@@ -381,6 +396,7 @@ _TARGETS: dict[str, Target] = {
     "fig7": _run_fig7,
     "fig8": _run_fig8,
     "workload": _run_workload,
+    "closedloop": _run_closedloop,
     "a1-bruteforce": _run_a1,
     "a2-trim": _run_a2,
     "a3-cost": _run_a3,

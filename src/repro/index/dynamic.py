@@ -128,6 +128,35 @@ class DynamicLearnedIndex:
         """The currently trained base index (replaced on retrain)."""
         return self._rmi
 
+    @property
+    def retrain_threshold(self) -> float:
+        """Delta-buffer fraction of the base that triggers a retrain."""
+        return self._threshold
+
+    def set_retrain_threshold(self, threshold: float) -> None:
+        """Retarget the retrain trigger on a live index.
+
+        Takes effect at the next :meth:`insert`'s buffer check —
+        changing the threshold never retrains on the spot, so a
+        defense tuner acting between operations cannot reorder retrain
+        timing relative to the operation stream.
+        """
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(
+                f"retrain threshold must be in (0, 1]: {threshold}")
+        self._threshold = threshold
+
+    def set_sanitizer(self, sanitizer:
+                      "Callable[[np.ndarray], np.ndarray] | None",
+                      ) -> None:
+        """Swap the retrain-boundary defense on a live index.
+
+        Applies to the next retrain's training set; the current models
+        and quarantine are untouched until then (``None`` disarms —
+        quarantined keys then rejoin the model at the next merge).
+        """
+        self._sanitizer = sanitizer
+
     def second_stage_mse(self) -> np.ndarray:
         """Per-model training MSE of the current base index."""
         return self._rmi.second_stage_mse()

@@ -43,6 +43,7 @@ checkpoints, so the fix-and-resume loop is cheap.
 
 from __future__ import annotations
 
+import math
 import time
 from concurrent.futures import (
     ProcessPoolExecutor,
@@ -98,9 +99,11 @@ class SweepProgress:
     (reused + computed; duplicate cells settle with their source, so
     the final tick's ``done`` equals ``total``).  ``eta_seconds`` is a
     plain elapsed-per-computed-cell extrapolation over the remaining
-    unique work — ``None`` until the first cell of this run finishes.
-    Wall-clock only ever flows *out* through this hook; nothing it
-    carries feeds back into results, so determinism is untouched.
+    unique work — ``None`` until the first cell of this run finishes,
+    and therefore ``None`` (never ``inf`` or negative) on the restore
+    tick of a resumed run whose remaining cells were all checkpoint
+    hits.  Wall-clock only ever flows *out* through this hook; nothing
+    it carries feeds back into results, so determinism is untouched.
     """
 
     total: int
@@ -213,9 +216,16 @@ class SweepEngine:
             settled = len(outputs) + sum(
                 1 for source in duplicates.values() if source in outputs)
             elapsed = time.monotonic() - started
+            # The ETA contract: a finite non-negative extrapolation or
+            # None, never inf/NaN/negative.  Extrapolation needs at
+            # least one cell computed *this run* — on a resume whose
+            # remaining cells were all checkpoint hits there is
+            # nothing to extrapolate from, so the ETA stays None.
             eta = None
             if computed_so_far > 0 and remaining >= 0:
                 eta = remaining * elapsed / computed_so_far
+                if not (math.isfinite(eta) and eta >= 0.0):
+                    eta = None
             self._progress(SweepProgress(
                 total=len(cells), done=settled, reused=reused,
                 computed=computed_so_far, cell=cell,

@@ -12,11 +12,16 @@ makes the threat model *online*.  Three layers:
   an optional TRIM sanitizer at the retrain boundary;
 * :mod:`repro.workload.simulator` — the replay loop recording
   latency percentiles, throughput proxies, error-bound drift, retrain
-  triggers, and poison amplification over time.
+  triggers, and poison amplification over time, with feedback ports
+  that turn the replay into a control loop;
+* :mod:`repro.workload.closedloop` — the policies on those ports:
+  arrival-rate models (rate-driven streams), adaptive adversaries
+  reacting to observed latency, and the TRIM auto-tuner.
 
-The ``workload`` CLI target (:mod:`repro.experiments.workload_serving`)
-runs scenario×backend×schedule grids of these on the
-:class:`repro.runtime.SweepEngine`.
+The ``workload`` and ``closedloop`` CLI targets
+(:mod:`repro.experiments.workload_serving`,
+:mod:`repro.experiments.closedloop_serving`) run scenario grids of
+these on the :class:`repro.runtime.SweepEngine`.
 """
 
 from .backends import (
@@ -29,7 +34,29 @@ from .backends import (
     ServingBackend,
     make_backend,
 )
-from .simulator import ServingReport, ServingSimulator
+from .closedloop import (
+    ADVERSARIES,
+    ARRIVALS,
+    AdaptiveAdversary,
+    ArrivalModel,
+    ConstantArrival,
+    DiurnalArrival,
+    HillClimbAdversary,
+    LatencyEscalationAdversary,
+    ObliviousDripAdversary,
+    PoissonArrival,
+    RetrainBackoffAdversary,
+    TrimAutoTuner,
+    make_adversary,
+    make_arrival,
+)
+from .simulator import (
+    ServingReport,
+    ServingSimulator,
+    TickObservation,
+    TunerDecision,
+    last_finite,
+)
 from .trace import (
     OP_DELETE,
     OP_INSERT,
@@ -42,6 +69,7 @@ from .trace import (
     QUERY_MIXES,
     Trace,
     TraceSpec,
+    generate_rate_driven_trace,
     generate_trace,
 )
 
@@ -49,6 +77,7 @@ __all__ = [
     "TraceSpec",
     "Trace",
     "generate_trace",
+    "generate_rate_driven_trace",
     "QUERY_MIXES",
     "POISON_SCHEDULES",
     "OP_QUERY",
@@ -68,4 +97,21 @@ __all__ = [
     "make_backend",
     "ServingSimulator",
     "ServingReport",
+    "TickObservation",
+    "TunerDecision",
+    "last_finite",
+    "ArrivalModel",
+    "ConstantArrival",
+    "PoissonArrival",
+    "DiurnalArrival",
+    "ARRIVALS",
+    "make_arrival",
+    "AdaptiveAdversary",
+    "ObliviousDripAdversary",
+    "LatencyEscalationAdversary",
+    "HillClimbAdversary",
+    "RetrainBackoffAdversary",
+    "ADVERSARIES",
+    "make_adversary",
+    "TrimAutoTuner",
 ]

@@ -34,6 +34,13 @@ TRIM defense: the learned backends accept ``trim_keep_fraction``; at
 every rebuild the TRIM sanitizer screens the training set and rejected
 keys are quarantined on a slow (binary-searched) side list, keeping
 lookups correct while the models train only on trusted keys.
+
+Tuner hooks: ``set_trim_keep_fraction`` and ``set_rebuild_threshold``
+reconfigure a *live* backend between operations — the knobs a defense
+auto-tuner (:class:`repro.workload.closedloop.TrimAutoTuner`) turns
+from observed churn and amplification.  Changes take effect at the
+next rebuild check; they never trigger one by themselves, so a tuning
+decision at a tick boundary cannot move retrain timing inside a tick.
 """
 
 from __future__ import annotations
@@ -79,19 +86,10 @@ class ServingBackend:
 
     def __init__(self, keys: np.ndarray, rebuild_threshold: float = 0.1,
                  trim_keep_fraction: float | None = None, **build_args):
-        if not 0.0 < rebuild_threshold <= 1.0:
-            raise ValueError(
-                f"rebuild threshold must be in (0, 1]: {rebuild_threshold}")
-        if trim_keep_fraction is not None:
-            if not self.supports_trim:
-                raise ValueError(
-                    f"backend {self.name!r} has no trainable model; "
-                    "TRIM does not apply")
-            if not 0.0 < trim_keep_fraction <= 1.0:
-                raise ValueError(
-                    f"trim keep fraction must be in (0, 1]: "
-                    f"{trim_keep_fraction}")
+        self._validate_threshold(rebuild_threshold)
+        self._validate_keep_fraction(trim_keep_fraction)
         self._threshold = rebuild_threshold
+        self._keep_fraction = trim_keep_fraction
         self._sanitizer = (None if trim_keep_fraction is None
                            else _trim_sanitizer(trim_keep_fraction))
         self._build_args = build_args
@@ -101,6 +99,24 @@ class ServingBackend:
         self._quarantine = np.empty(0, dtype=np.int64)
         self._retrains = 0
         self._build(self._snapshot)
+
+    # -- validation ----------------------------------------------------
+    @staticmethod
+    def _validate_threshold(threshold: float) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(
+                f"rebuild threshold must be in (0, 1]: {threshold}")
+
+    def _validate_keep_fraction(self, fraction: float | None) -> None:
+        if fraction is None:
+            return
+        if not self.supports_trim:
+            raise ValueError(
+                f"backend {self.name!r} has no trainable model; "
+                "TRIM does not apply")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(
+                f"trim keep fraction must be in (0, 1]: {fraction}")
 
     # -- subclass surface ---------------------------------------------
     def _build(self, keys: np.ndarray) -> None:
@@ -136,6 +152,39 @@ class ServingBackend:
     def quarantine_size(self) -> int:
         """Keys the TRIM sanitizer rejected from the model."""
         return int(self._quarantine.size)
+
+    # -- tuner hooks ---------------------------------------------------
+    @property
+    def rebuild_threshold(self) -> float:
+        """Pending-update fraction that triggers a compaction."""
+        return self._threshold
+
+    def set_rebuild_threshold(self, threshold: float) -> None:
+        """Retarget the rebuild trigger on a live backend.
+
+        Takes effect at the next mutation's rebuild check — lowering
+        the threshold below the current pending level does not retrain
+        on the spot, so a tuner acting at a tick boundary can never
+        move retrain timing inside a tick.
+        """
+        self._validate_threshold(threshold)
+        self._threshold = threshold
+
+    @property
+    def trim_keep_fraction(self) -> float | None:
+        """The TRIM screen's keep fraction (``None`` = defense off)."""
+        return self._keep_fraction
+
+    def set_trim_keep_fraction(self, fraction: float | None) -> None:
+        """Re-arm (or disarm, with ``None``) the TRIM screen.
+
+        Applies to the *next* rebuild's training set; the current
+        model and quarantine are untouched until then.
+        """
+        self._validate_keep_fraction(fraction)
+        self._keep_fraction = fraction
+        self._sanitizer = (None if fraction is None
+                           else _trim_sanitizer(fraction))
 
     def error_bound(self) -> float:
         """Worst-case search width of the current model, in cells."""
@@ -173,7 +222,15 @@ class ServingBackend:
         return int(probes[0])
 
     def insert_batch(self, keys: np.ndarray) -> None:
-        """Buffer fresh keys into the delta side table."""
+        """Buffer fresh keys into the delta side table.
+
+        Upsert semantics: a key that is already live — still in the
+        model, waiting in the delta buffer, or quarantined — is a
+        no-op, so it can neither inflate ``n_keys`` nor count twice
+        against the rebuild threshold.  (A closed-loop adversary whose
+        crafted key collides with a live one simply wastes that budget
+        unit.)
+        """
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size == 0:
             return
@@ -182,6 +239,9 @@ class ServingBackend:
         if revived.size:
             self._tombs = np.setdiff1d(self._tombs, revived)
             keys = np.setdiff1d(keys, revived)
+        keys = keys[~(np.isin(keys, self._snapshot)
+                      | np.isin(keys, self._delta)
+                      | np.isin(keys, self._quarantine))]
         self._delta = np.union1d(self._delta, keys)
         self._maybe_rebuild()
 
@@ -278,7 +338,8 @@ class BTreeBackend(ServingBackend):
         keys = np.asarray(keys, dtype=np.int64)
         revived = np.intersect1d(keys, self._tombs)
         self._tombs = np.setdiff1d(self._tombs, revived)
-        for key in np.setdiff1d(keys, revived):
+        fresh = np.setdiff1d(keys, revived)
+        for key in fresh[~np.isin(fresh, self._snapshot)]:
             self._tree.insert(int(key))
         # Track membership in the snapshot array as well so the shared
         # tombstone/compaction bookkeeping keeps working.
@@ -383,7 +444,20 @@ class DynamicBackend(ServingBackend):
         revived = np.intersect1d(keys, self._tombs)
         self._tombs = np.setdiff1d(self._tombs, revived)
         for key in np.setdiff1d(keys, revived):
-            self._index.insert(int(key))
+            # The serving surface is upsert (matching the generic
+            # backend); the index itself keeps its strict
+            # duplicate-rejecting contract, so membership is checked
+            # here before handing the key down.
+            if not self._index.contains(int(key)):
+                self._index.insert(int(key))
+
+    def set_rebuild_threshold(self, threshold: float) -> None:
+        super().set_rebuild_threshold(threshold)
+        self._index.set_retrain_threshold(threshold)
+
+    def set_trim_keep_fraction(self, fraction: float | None) -> None:
+        super().set_trim_keep_fraction(fraction)
+        self._index.set_sanitizer(self._sanitizer)
 
     def delete_batch(self, keys: np.ndarray) -> None:
         keys = np.asarray(keys, dtype=np.int64)

@@ -14,7 +14,8 @@ bit-identical results at ``jobs=1`` and ``jobs=N`` on either executor.
 Wall-clock is measured too (for the benchmark trajectory) but kept
 out of the result payload.
 
-Per tick (a fixed op-count window) the report records:
+Per tick (a fixed op-count window, or a rate-driven variable one when
+``tick_sizes`` is given) the report records:
 
 * ``p50``/``p95``/``p99`` — probe-count percentiles over the tick's
   read operations (the latency story);
@@ -27,13 +28,37 @@ Per tick (a fixed op-count window) the report records:
   by its pre-replay baseline: how much damage the stream (and the
   drip-fed poison in it) has done so far;
 * ``n_keys`` — live key count.
+
+Closed-loop mode
+----------------
+The replay becomes a control loop when any of ``tick_sizes``,
+``adversary``, or ``tuner`` is supplied.  At every tick boundary the
+simulator publishes a :class:`TickObservation` (the per-tick series
+row, percentiles backfilled to the last finite value so a read-free
+tick never feeds NaN into a policy) through two feedback ports:
+
+* ``adversary(observation)`` may return crafted keys; they are
+  injected — one op at a time, so retrain timing stays op-exact —
+  at the start of the *next* tick (an attacker reacting to observed
+  latency);
+* ``tuner(observation)`` may return a :class:`TunerDecision`; the
+  simulator applies it to the backend's ``set_trim_keep_fraction`` /
+  ``set_rebuild_threshold`` hooks and logs the values now in force.
+
+Closed-loop replays carry three extra series — ``injected`` (crafted
+keys landed per tick), ``keep_fraction`` and ``rebuild_threshold``
+(defense settings entering the next tick; ``keep_fraction`` is NaN
+while TRIM is off) — so fixed and tuned cells of one grid share one
+artifact shape.  Both ports are plain callables of the observation
+alone; as long as they are deterministic, the whole loop is.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -50,11 +75,74 @@ from .trace import (
     Trace,
 )
 
-__all__ = ["ServingReport", "ServingSimulator"]
+__all__ = ["ServingReport", "ServingSimulator", "TickObservation",
+           "TunerDecision", "last_finite"]
 
 _READ_OPS = (OP_QUERY, OP_RANGE)
 _SERIES = ("p50", "p95", "p99", "mean_probes", "error_bound",
            "retrains", "amplification", "n_keys")
+_LOOP_SERIES = ("injected", "keep_fraction", "rebuild_threshold")
+
+
+def last_finite(values: Sequence[float], default: float = 0.0) -> float:
+    """The most recent finite value of a series, else ``default``.
+
+    The summary-field contract of a replay: a trace that *ends* on a
+    read-free (churn-only) tick records NaN percentiles for that tick,
+    and a final taken naively from the tail would leak the NaN into
+    the JSON payload and into any policy watching the feedback port.
+    Falling back to the last finite tick keeps finals — and closed-loop
+    observations — well-defined whenever any earlier tick measured.
+    """
+    for value in reversed(list(values)):
+        if math.isfinite(value):
+            return float(value)
+    return default
+
+
+@dataclass(frozen=True)
+class TickObservation:
+    """What the feedback ports see at one tick boundary.
+
+    Mirrors the per-tick series row just recorded, with percentiles
+    backfilled via :func:`last_finite` (NaN only before the first read
+    of the whole replay).  ``retrains_delta`` is the cycle count since
+    the previous tick — the signal a retrain-detecting adversary keys
+    on; ``injected_total`` counts the adversary's own keys landed so
+    far, so a policy can pace a budget without private bookkeeping.
+    """
+
+    tick: int
+    ticks_total: int
+    p50: float
+    p95: float
+    p99: float
+    mean_probes: float
+    error_bound: float
+    retrains: int
+    retrains_delta: int
+    amplification: float
+    n_keys: int
+    injected_total: int
+
+
+@dataclass(frozen=True)
+class TunerDecision:
+    """A defense tuner's knob settings for the ticks ahead.
+
+    ``keep_fraction`` is the TRIM screen (``None`` disarms it);
+    ``rebuild_threshold`` retargets the compaction trigger.  Values
+    pass through the backend's validating setters, so an out-of-range
+    decision fails loudly rather than silently clamping.
+    """
+
+    keep_fraction: float | None
+    rebuild_threshold: float
+
+
+#: Feedback-port signatures (policy objects are plain callables).
+AdversaryPort = Callable[[TickObservation], "np.ndarray | None"]
+TunerPort = Callable[[TickObservation], "TunerDecision | None"]
 
 
 @dataclass(frozen=True, eq=False)  # array fields: identity equality
@@ -62,10 +150,13 @@ class ServingReport:
     """Everything one replay measured.
 
     ``series`` maps each name in ``p50 p95 p99 mean_probes error_bound
-    retrains amplification n_keys`` to a per-tick float64 array (a
-    tick with no read op carries NaN percentiles).  ``wall_seconds``
-    is the only non-deterministic field and is deliberately excluded
-    from :meth:`to_dict`.
+    retrains amplification n_keys`` — plus ``injected keep_fraction
+    rebuild_threshold`` for closed-loop replays — to a per-tick float64
+    array (a tick with no read op carries NaN percentiles; the summary
+    fields fall back to the last finite tick instead of propagating
+    it).  ``wall_seconds`` is the only non-deterministic field and is
+    deliberately excluded from :meth:`to_dict`.  ``tick_ops`` is 0 for
+    rate-driven replays, whose tick widths vary.
     """
 
     backend: str
@@ -84,6 +175,7 @@ class ServingReport:
     max_error_bound: float
     final_n_keys: int
     ops_by_kind: dict[str, int]
+    injected_poison: int
     wall_seconds: float = field(compare=False)
 
     @property
@@ -109,6 +201,7 @@ class ServingReport:
             "max_error_bound": json_float(self.max_error_bound),
             "final_n_keys": self.final_n_keys,
             "ops_by_kind": dict(self.ops_by_kind),
+            "injected_poison": self.injected_poison,
         }
 
 
@@ -124,20 +217,56 @@ class ServingSimulator:
     trace:
         The operation stream to replay.
     tick_ops:
-        Operations per metrics tick.
+        Operations per metrics tick (fixed-width ticks).
     probe_sample_size:
         Size of the fixed key sample used for the amplification
         series; drawn deterministically from the trace's base keys
         and never counted into the op metrics.
+    tick_sizes:
+        Optional per-tick operation counts (a rate-driven stream, as
+        produced by an :class:`~repro.workload.closedloop.ArrivalModel`).
+        Must be non-negative and sum to the trace's op count; zero-op
+        ticks are legal and record NaN percentiles.  Overrides
+        ``tick_ops``.
+    adversary:
+        Optional feedback port: called with a :class:`TickObservation`
+        after every tick; returned keys are injected at the start of
+        the next tick.  Keys returned after the final tick have no
+        stream left to land in and are discarded.
+    tuner:
+        Optional defense port: called after every tick (after the
+        adversary observes, before its next keys land); a returned
+        :class:`TunerDecision` is applied through the backend's tuner
+        hooks.
     """
 
     def __init__(self, backend: ServingBackend, trace: Trace,
-                 tick_ops: int = 200, probe_sample_size: int = 64):
+                 tick_ops: int = 200, probe_sample_size: int = 64,
+                 tick_sizes: "Sequence[int] | None" = None,
+                 adversary: "AdversaryPort | None" = None,
+                 tuner: "TunerPort | None" = None):
         if tick_ops < 1:
             raise ValueError(f"tick_ops must be >= 1: {tick_ops}")
         self._backend = backend
         self._trace = trace
         self._tick_ops = tick_ops
+        self._tick_sizes = None
+        if tick_sizes is not None:
+            sizes = np.asarray(tick_sizes, dtype=np.int64)
+            if sizes.size == 0 or (sizes < 0).any():
+                raise ValueError(
+                    "tick_sizes must be a non-empty sequence of "
+                    f"non-negative counts: {tick_sizes!r}")
+            if int(sizes.sum()) != trace.n_ops:
+                raise ValueError(
+                    f"tick_sizes sum to {int(sizes.sum())} but the "
+                    f"trace holds {trace.n_ops} ops")
+            self._tick_sizes = sizes
+        self._adversary = adversary
+        self._tuner = tuner
+        self._closed_loop = (tick_sizes is not None
+                             or adversary is not None
+                             or tuner is not None)
         rng = np.random.default_rng(stable_seed_words(
             trace.spec.seed, "probe-sample", trace.spec.digest))
         size = min(probe_sample_size, trace.base_keys.size)
@@ -150,6 +279,15 @@ class ServingSimulator:
         _, probes = self._backend.lookup_batch(self._probe_sample)
         return float(probes.mean())
 
+    def _tick_bounds(self) -> np.ndarray:
+        """End index (exclusive) of every tick, covering all ops."""
+        n = self._trace.n_ops
+        if self._tick_sizes is not None:
+            return np.cumsum(self._tick_sizes)
+        n_ticks = -(-n // self._tick_ops)  # ceil
+        return np.minimum(
+            (np.arange(n_ticks, dtype=np.int64) + 1) * self._tick_ops, n)
+
     def run(self) -> ServingReport:
         """Replay the whole trace; returns the metrics report."""
         trace, backend = self._trace, self._backend
@@ -157,14 +295,18 @@ class ServingSimulator:
         n = trace.n_ops
         started = time.perf_counter()
         baseline = self._sample_cost()
+        bounds = self._tick_bounds()
 
-        series: dict[str, list[float]] = {name: [] for name in _SERIES}
+        names = _SERIES + (_LOOP_SERIES if self._closed_loop else ())
+        series: dict[str, list[float]] = {name: [] for name in names}
         all_probes: list[np.ndarray] = []
         tick_probes: list[np.ndarray] = []
         found_total = 0
         query_total = 0
+        injected_total = 0
+        last_retrains = 0
 
-        def close_tick() -> None:
+        def close_tick(injected: int) -> None:
             merged = (np.concatenate(tick_probes) if tick_probes
                       else np.empty(0, dtype=np.int64))
             if merged.size:
@@ -181,8 +323,31 @@ class ServingSimulator:
             series["amplification"].append(
                 self._sample_cost() / baseline)
             series["n_keys"].append(float(backend.n_keys))
+            if self._closed_loop:
+                series["injected"].append(float(injected))
             all_probes.extend(tick_probes)
             tick_probes.clear()
+
+        def observe(tick: int) -> TickObservation:
+            """The feedback ports' view of the tick just closed."""
+            nonlocal last_retrains
+            retrains = int(series["retrains"][-1])
+            obs = TickObservation(
+                tick=tick,
+                ticks_total=int(bounds.size),
+                p50=last_finite(series["p50"], float("nan")),
+                p95=last_finite(series["p95"], float("nan")),
+                p99=last_finite(series["p99"], float("nan")),
+                mean_probes=last_finite(series["mean_probes"],
+                                        float("nan")),
+                error_bound=series["error_bound"][-1],
+                retrains=retrains,
+                retrains_delta=retrains - last_retrains,
+                amplification=series["amplification"][-1],
+                n_keys=int(series["n_keys"][-1]),
+                injected_total=injected_total)
+            last_retrains = retrains
+            return obs
 
         # Process runs of same-kind ops, never across a tick boundary.
         # Only *stateless* reads are batched (a query run is one
@@ -191,42 +356,68 @@ class ServingSimulator:
         # size by construction — a backend's batch-level rebuild check
         # must never decide retrain timing here.
         start = 0
-        while start < n:
-            tick_end = min(n, (start // self._tick_ops + 1)
-                           * self._tick_ops)
-            kind = kinds[start]
-            stop = start + 1
-            while stop < tick_end and kinds[stop] == kind:
-                stop += 1
-            run_keys = keys[start:stop]
-            if kind == OP_QUERY:
-                found, probes = backend.lookup_batch(run_keys)
-                tick_probes.append(probes)
-                found_total += int(found.sum())
-                query_total += int(found.size)
-            elif kind == OP_RANGE:
-                probes = np.asarray(
-                    [backend.range_scan(int(lo), int(hi))
-                     for lo, hi in zip(run_keys, aux[start:stop])],
-                    dtype=np.int64)
-                tick_probes.append(probes)
-            elif kind in (OP_INSERT, OP_POISON):
-                for key in run_keys:
-                    backend.insert_batch(key[np.newaxis])
-            elif kind == OP_DELETE:
-                for key in run_keys:
-                    backend.delete_batch(key[np.newaxis])
-            elif kind == OP_MODIFY:
-                for key, new in zip(run_keys, aux[start:stop]):
-                    backend.delete_batch(key[np.newaxis])
-                    backend.insert_batch(new[np.newaxis])
-            else:  # pragma: no cover - trace generator never emits it
-                raise ValueError(f"unknown op kind: {kind}")
-            start = stop
-            if start == tick_end:
-                close_tick()
-        if tick_probes:  # pragma: no cover - tick math closes exactly
-            close_tick()
+        pending_inject = np.empty(0, dtype=np.int64)
+        for tick_index, tick_end in enumerate(bounds):
+            injected_this_tick = int(pending_inject.size)
+            for key in pending_inject:
+                backend.insert_batch(key[np.newaxis])
+            injected_total += injected_this_tick
+            pending_inject = np.empty(0, dtype=np.int64)
+            while start < tick_end:
+                kind = kinds[start]
+                stop = start + 1
+                while stop < tick_end and kinds[stop] == kind:
+                    stop += 1
+                run_keys = keys[start:stop]
+                if kind == OP_QUERY:
+                    found, probes = backend.lookup_batch(run_keys)
+                    tick_probes.append(probes)
+                    found_total += int(found.sum())
+                    query_total += int(found.size)
+                elif kind == OP_RANGE:
+                    probes = np.asarray(
+                        [backend.range_scan(int(lo), int(hi))
+                         for lo, hi in zip(run_keys, aux[start:stop])],
+                        dtype=np.int64)
+                    tick_probes.append(probes)
+                elif kind in (OP_INSERT, OP_POISON):
+                    for key in run_keys:
+                        backend.insert_batch(key[np.newaxis])
+                elif kind == OP_DELETE:
+                    for key in run_keys:
+                        backend.delete_batch(key[np.newaxis])
+                elif kind == OP_MODIFY:
+                    for key, new in zip(run_keys, aux[start:stop]):
+                        backend.delete_batch(key[np.newaxis])
+                        backend.insert_batch(new[np.newaxis])
+                else:  # pragma: no cover - generator never emits it
+                    raise ValueError(f"unknown op kind: {kind}")
+                start = stop
+            close_tick(injected_this_tick)
+            if self._adversary is not None or self._tuner is not None:
+                obs = observe(tick_index)
+                if self._tuner is not None:
+                    decision = self._tuner(obs)
+                    if decision is not None:
+                        # Model-free backends have no training set to
+                        # screen; their TRIM knob is inert so one grid
+                        # can attach the same tuner to every backend.
+                        if backend.supports_trim:
+                            backend.set_trim_keep_fraction(
+                                decision.keep_fraction)
+                        backend.set_rebuild_threshold(
+                            decision.rebuild_threshold)
+                if self._adversary is not None:
+                    crafted = self._adversary(obs)
+                    if crafted is not None:
+                        pending_inject = np.asarray(crafted,
+                                                    dtype=np.int64)
+            if self._closed_loop:
+                keep = backend.trim_keep_fraction
+                series["keep_fraction"].append(
+                    float("nan") if keep is None else float(keep))
+                series["rebuild_threshold"].append(
+                    float(backend.rebuild_threshold))
 
         probes_flat = (np.concatenate(all_probes) if all_probes
                        else np.empty(0, dtype=np.int64))
@@ -235,15 +426,19 @@ class ServingSimulator:
                              np.percentile(probes_flat, (50, 95, 99)))
             mean = float(probes_flat.mean())
         else:
-            p50 = p95 = p99 = mean = float("nan")
-        amplification = (series["amplification"][-1]
-                         if series["amplification"] else 1.0)
+            # A read-free replay: fall back per the last-finite
+            # contract (0.0 — no tick ever measured a read).
+            p50 = last_finite(series["p50"])
+            p95 = last_finite(series["p95"])
+            p99 = last_finite(series["p99"])
+            mean = last_finite(series["mean_probes"])
         error_bounds = np.asarray(series["error_bound"])
         return ServingReport(
             backend=backend.name,
             spec_digest=trace.spec.digest,
             n_ops=n,
-            tick_ops=self._tick_ops,
+            tick_ops=(0 if self._tick_sizes is not None
+                      else self._tick_ops),
             series={name: np.asarray(values, dtype=np.float64)
                     for name, values in series.items()},
             p50=p50, p95=p95, p99=p99,
@@ -252,9 +447,11 @@ class ServingSimulator:
             found_fraction=(found_total / query_total if query_total
                             else 0.0),
             retrains=int(backend.retrain_count),
-            final_amplification=float(amplification),
+            final_amplification=last_finite(series["amplification"],
+                                            1.0),
             max_error_bound=(float(error_bounds.max())
                              if error_bounds.size else 0.0),
             final_n_keys=int(backend.n_keys),
             ops_by_kind=trace.counts(),
+            injected_poison=injected_total,
             wall_seconds=time.perf_counter() - started)

@@ -38,8 +38,8 @@ from __future__ import annotations
 import hashlib
 import json
 import zlib
-from dataclasses import asdict, dataclass
-from typing import Any
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -52,6 +52,7 @@ __all__ = [
     "OP_QUERY", "OP_INSERT", "OP_DELETE", "OP_MODIFY", "OP_RANGE",
     "OP_POISON", "OP_NAMES", "QUERY_MIXES", "POISON_SCHEDULES",
     "TraceSpec", "Trace", "generate_trace",
+    "generate_rate_driven_trace",
 ]
 
 OP_QUERY, OP_INSERT, OP_DELETE, OP_MODIFY, OP_RANGE, OP_POISON = range(6)
@@ -369,3 +370,31 @@ def generate_trace(spec: TraceSpec) -> Trace:
         arr.setflags(write=False)
     return Trace(spec=spec, base_keys=base.keys, kinds=kinds, keys=keys,
                  aux=aux)
+
+
+def generate_rate_driven_trace(spec: TraceSpec,
+                               tick_sizes: Sequence[int]) -> Trace:
+    """Materialise a spec whose op count an arrival process dictates.
+
+    ``tick_sizes`` — typically
+    :meth:`repro.workload.closedloop.ArrivalModel.tick_sizes` output —
+    replaces the spec's nominal ``n_ops`` with its sum; every other
+    field (mix, fractions, schedule, seed) carries over unchanged.
+    The returned trace is the canonical stream of the *resized* spec:
+    two runs with the same spec + arrival counts regenerate
+    bit-identical arrays.  Note the digest names only that resized
+    spec, not the arrival shape — two arrival processes with equal
+    totals yield the same stream, and it is the per-tick boundaries
+    that differ, so feed the same ``tick_sizes`` to the simulator
+    (and keep the arrival parameters in any cell identity, as the
+    ``closedloop`` grid does).
+    """
+    sizes = np.asarray(tick_sizes, dtype=np.int64)
+    if sizes.size == 0 or (sizes < 0).any():
+        raise ValueError(
+            "tick_sizes must be a non-empty sequence of non-negative "
+            f"counts: {tick_sizes!r}")
+    total = int(sizes.sum())
+    if total < 1:
+        raise ValueError("arrival process produced an empty stream")
+    return generate_trace(replace(spec, n_ops=total))

@@ -327,6 +327,39 @@ class TestProgressReporter:
         seen = {e.cell.params_dict["x"] for e in events}
         assert seen == set(range(6))
 
+    def test_resumed_full_hit_run_keeps_eta_none_at_jobs_2(
+            self, tmp_path):
+        """ISSUE 4 satellite: when every remaining cell of a resumed
+        run is a checkpoint hit, nothing was computed this run, so
+        the ETA must stay None — never ``inf`` or negative."""
+        store = CheckpointStore(tmp_path)
+        SweepEngine(square_cell, checkpoint=store).run(plan(4))
+        events = []
+        engine = SweepEngine(square_cell, jobs=2, executor="thread",
+                             checkpoint=store, resume=True,
+                             progress=events.append)
+        engine.run(plan(4))
+        assert engine.last_stats.computed == 0
+        assert engine.last_stats.reused == 4
+        (restore,) = events  # the single restore tick
+        assert restore.done == restore.total == 4
+        assert restore.eta_seconds is None
+
+    def test_eta_is_finite_non_negative_or_none_on_partial_resume(
+            self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        SweepEngine(square_cell, checkpoint=store).run(plan(3))
+        events = []
+        SweepEngine(square_cell, jobs=2, executor="thread",
+                    checkpoint=store, resume=True,
+                    progress=events.append).run(plan(6))
+        assert events[0].eta_seconds is None  # restore tick first
+        for event in events[1:]:
+            assert event.eta_seconds is not None
+            assert event.eta_seconds >= 0.0
+            assert event.eta_seconds != float("inf")
+        assert events[-1].eta_seconds == 0.0
+
     def test_duplicates_settle_with_their_source(self):
         events = []
         engine = SweepEngine(square_cell, progress=events.append)

@@ -133,6 +133,134 @@ class TestTrimUnsupported:
             make_backend(name, keys, trim_keep_fraction=0.9)
 
 
+@pytest.mark.parametrize("name", ALL)
+class TestInsertAccounting:
+    """ISSUE 4 satellite: live-key accounting under re-insertion.
+
+    Upsert semantics everywhere: inserting a key that is already live
+    (model, delta buffer, or quarantine) is a no-op — it must never
+    inflate ``n_keys`` nor count twice against the rebuild threshold.
+    """
+
+    def test_duplicate_insert_of_model_key_is_noop(self, name, keys):
+        backend = make_backend(name, keys)
+        backend.insert_batch(keys[:10])
+        assert backend.n_keys == keys.size
+        assert backend.pending_updates == 0
+
+    def test_reinsert_while_still_in_delta_not_double_counted(
+            self, name, keys, fresh):
+        backend = make_backend(name, keys)
+        backend.insert_batch(fresh[:5])
+        before_pending = backend.pending_updates
+        backend.insert_batch(fresh[:5])  # same keys again
+        assert backend.n_keys == keys.size + 5
+        assert backend.pending_updates == before_pending
+        found, _ = backend.lookup_batch(fresh[:5])
+        assert found.all()
+
+    def test_revive_clears_the_tombstone_from_pending(self, name,
+                                                      keys):
+        backend = make_backend(name, keys)
+        victim = keys[42:43]
+        backend.delete_batch(victim)
+        backend.insert_batch(victim)
+        assert backend.pending_updates == 0
+        assert backend.n_keys == keys.size
+        # A second delete+revive cycle stays consistent.
+        backend.delete_batch(victim)
+        backend.insert_batch(victim)
+        assert backend.n_keys == keys.size
+
+
+class TestQuarantineAccounting:
+    @pytest.mark.parametrize("name", LEARNED)
+    def test_insert_of_quarantined_key_is_noop(self, name, keys,
+                                               fresh):
+        backend = make_backend(name, keys, rebuild_threshold=0.1,
+                               trim_keep_fraction=0.9)
+        backend.insert_batch(fresh)
+        assert backend.quarantine_size > 0
+        live_before = backend.n_keys
+        if name == "dynamic":
+            quarantined = backend._index.quarantine_keys[:5]
+        else:
+            quarantined = backend._quarantine[:5]
+        backend.insert_batch(np.asarray(quarantined))
+        assert backend.n_keys == live_before
+
+    @pytest.mark.parametrize("name", LEARNED)
+    def test_quarantined_keys_rejoin_candidacy_at_next_rebuild(
+            self, name, keys, fresh):
+        """Pins the *rehabilitation* contract: quarantine is a holding
+        pen, not a blacklist — disarming TRIM returns every
+        quarantined key to the model at the next rebuild, with no key
+        lost or duplicated along the way."""
+        backend = make_backend(name, keys, rebuild_threshold=0.1,
+                               trim_keep_fraction=0.9)
+        backend.insert_batch(fresh)
+        assert backend.quarantine_size > 0
+        live_before = backend.n_keys
+        backend.set_trim_keep_fraction(None)
+        backend.insert_batch(
+            np.arange(20_000, 20_000 + 120, dtype=np.int64))
+        assert backend.quarantine_size == 0
+        assert backend.n_keys == live_before + 120
+        found, _ = backend.lookup_batch(np.concatenate([keys, fresh]))
+        assert found.all()
+
+
+class TestTunerHooks:
+    @pytest.mark.parametrize("name", ALL)
+    def test_threshold_setter_validates_and_applies(self, name, keys):
+        backend = make_backend(name, keys)
+        backend.set_rebuild_threshold(0.25)
+        assert backend.rebuild_threshold == 0.25
+        with pytest.raises(ValueError, match="threshold"):
+            backend.set_rebuild_threshold(0.0)
+
+    @pytest.mark.parametrize("name", LEARNED)
+    def test_lowering_threshold_never_rebuilds_on_the_spot(self, name,
+                                                           keys,
+                                                           fresh):
+        backend = make_backend(name, keys, rebuild_threshold=0.9)
+        backend.insert_batch(fresh[:30])  # pending, far below 90%
+        before = backend.retrain_count
+        backend.set_rebuild_threshold(0.01)  # now far above threshold
+        assert backend.retrain_count == before
+        backend.insert_batch(fresh[30:31])  # next mutation trips it
+        assert backend.retrain_count > before
+
+    @pytest.mark.parametrize("name", LEARNED)
+    def test_trim_setter_arms_the_next_rebuild(self, name, keys,
+                                               fresh):
+        backend = make_backend(name, keys, rebuild_threshold=0.1)
+        assert backend.trim_keep_fraction is None
+        backend.set_trim_keep_fraction(0.9)
+        assert backend.trim_keep_fraction == 0.9
+        backend.insert_batch(fresh)  # forces a sanitized rebuild
+        assert backend.quarantine_size > 0
+
+    def test_dynamic_forwards_threshold_to_the_index(self, keys):
+        backend = make_backend("dynamic", keys)
+        backend.set_rebuild_threshold(0.5)
+        assert backend._index.retrain_threshold == 0.5
+
+    @pytest.mark.parametrize("name", ("binary", "btree"))
+    def test_model_free_setter_rejects_numeric_keep(self, name, keys):
+        backend = make_backend(name, keys)
+        backend.set_trim_keep_fraction(None)  # disarm is always legal
+        with pytest.raises(ValueError, match="TRIM"):
+            backend.set_trim_keep_fraction(0.9)
+
+    @pytest.mark.parametrize("name", LEARNED)
+    def test_invalid_keep_fraction_rejected_by_setter(self, name,
+                                                      keys):
+        backend = make_backend(name, keys)
+        with pytest.raises(ValueError, match="keep fraction"):
+            backend.set_trim_keep_fraction(1.5)
+
+
 class TestRegistry:
     def test_unknown_backend_rejected(self, keys):
         with pytest.raises(ValueError, match="unknown backend"):

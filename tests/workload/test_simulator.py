@@ -1,15 +1,21 @@
 """Unit tests for the serving simulator's replay and metrics."""
 
+import json
+import math
+
 import numpy as np
 import pytest
 
 from repro.workload import (
     BACKENDS,
     ServingSimulator,
+    Trace,
     TraceSpec,
     generate_trace,
+    last_finite,
     make_backend,
 )
+from repro.workload.trace import OP_INSERT, OP_QUERY
 
 SPEC = TraceSpec(n_base_keys=500, n_ops=800, query_mix="uniform",
                  insert_fraction=0.05, delete_fraction=0.03,
@@ -131,3 +137,63 @@ class TestValidation:
         backend = make_backend("binary", trace.base_keys)
         with pytest.raises(ValueError, match="tick_ops"):
             ServingSimulator(backend, trace, tick_ops=0)
+
+
+def _hand_trace(kinds, keys, aux=None):
+    """A synthetic trace over a tiny arithmetic base keyset."""
+    spec = TraceSpec(n_base_keys=64, n_ops=len(kinds), seed=3)
+    kinds = np.asarray(kinds, dtype=np.int8)
+    keys = np.asarray(keys, dtype=np.int64)
+    aux = (np.zeros(kinds.size, dtype=np.int64) if aux is None
+           else np.asarray(aux, dtype=np.int64))
+    return Trace(spec=spec, base_keys=np.arange(0, 640, 10,
+                                                dtype=np.int64),
+                 kinds=kinds, keys=keys, aux=aux)
+
+
+class TestLastFiniteFinals:
+    """ISSUE 4 satellite: a read-free tail must never leak NaN into
+    the summary fields — finals fall back to the last finite tick."""
+
+    def test_churn_only_tail_keeps_finals_finite(self):
+        base = np.arange(0, 640, 10, dtype=np.int64)
+        queries = base[np.arange(100) % base.size]
+        inserts = np.arange(5, 1005, 10, dtype=np.int64)[:100]
+        trace = _hand_trace(
+            kinds=[OP_QUERY] * 100 + [OP_INSERT] * 100,
+            keys=np.concatenate([queries, inserts]))
+        report = ServingSimulator(
+            make_backend("rmi", trace.base_keys), trace,
+            tick_ops=100).run()
+        # The tail tick measured no reads: NaN in the series is the
+        # documented per-tick encoding ...
+        assert math.isnan(float(report.series["p50"][-1]))
+        # ... but every summary field is finite, and the final
+        # amplification is the churn-only tick's (finite) reading.
+        payload = report.to_dict()
+        for field in ("p50", "p95", "p99", "mean_probes",
+                      "final_amplification", "max_error_bound"):
+            assert isinstance(payload[field], float), field
+            assert math.isfinite(payload[field]), field
+        assert report.final_amplification == float(
+            report.series["amplification"][-1])
+        assert "nan" not in json.dumps(payload)
+
+    def test_read_free_trace_falls_back_to_zero(self):
+        inserts = np.arange(5, 2005, 10, dtype=np.int64)[:100]
+        trace = _hand_trace(kinds=[OP_INSERT] * 100, keys=inserts)
+        report = ServingSimulator(
+            make_backend("binary", trace.base_keys), trace,
+            tick_ops=50).run()
+        assert report.p50 == report.p95 == report.p99 == 0.0
+        assert report.mean_probes == 0.0
+        assert report.found_fraction == 0.0
+        assert "nan" not in json.dumps(report.to_dict())
+
+    def test_last_finite_helper(self):
+        nan = float("nan")
+        assert last_finite([1.0, 2.0, nan]) == 2.0
+        assert last_finite([nan, 3.5, nan, nan]) == 3.5
+        assert last_finite([nan, nan]) == 0.0
+        assert last_finite([], default=1.0) == 1.0
+        assert last_finite([float("inf"), 4.0, nan]) == 4.0
