@@ -5,10 +5,12 @@ vectorized windowed binary search replaces a Python loop of scalar
 lookups, with bit-identical probe counts.  This benchmark measures the
 speedup on the RMI and the dynamic index across batch sizes, replays
 one quick workload scenario end to end, runs the closed-loop duel
-(adaptive vs oblivious, fixed vs tuned), and writes the numbers as
-``BENCH_workload.json`` (schema ``repro.bench.workload/v1``; the
-``closed_loop`` section is additive) — the wall-clock perf trajectory
-the ROADMAP asks for, now spanning three PRs of surface.
+(adaptive vs oblivious, fixed vs tuned), runs the sharded-cluster
+duel (concentrated vs uniform placement, static vs managed), and
+writes the numbers as ``BENCH_workload.json`` (schema
+``repro.bench.workload/v1``; the ``closed_loop`` and ``cluster``
+sections are additive) — the wall-clock perf trajectory the ROADMAP
+asks for, now spanning four PRs of surface.
 
 Run standalone with::
 
@@ -163,18 +165,71 @@ def bench_closed_loop() -> tuple[str, dict]:
     return table, record
 
 
+def bench_cluster() -> tuple[str, dict]:
+    """The sharded-cluster duel on the calibrated quick scenario.
+
+    Times the tenant-layout grid (a cell now builds a shard map, one
+    backend per shard, the crafted pools, and the whole management
+    loop) and records the headline numbers the cluster acceptance
+    regression pins: the concentrated-over-uniform victim-tenant
+    amplification gap and how much of it cluster management
+    (rebalancing + SLO-weighted per-shard tuning) claws back.
+    """
+    from repro.experiments import cluster_serving
+
+    config = cluster_serving.quick_config()
+    started = time.perf_counter()
+    result = cluster_serving.run(config)
+    wall = time.perf_counter() - started
+    rows = []
+    record: dict = {
+        "wall_seconds": wall,
+        "cells": len(result.rows),
+        "cells_per_second": (len(result.rows) / wall if wall > 0
+                             else 0.0),
+    }
+    for backend in config.backends:
+        uniform = result.row(backend=backend, adversary="uniform",
+                             defense="static").victim_amplification
+        static = result.row(backend=backend,
+                            adversary="concentrated",
+                            defense="static").victim_amplification
+        managed = result.row(backend=backend,
+                             adversary="concentrated",
+                             defense="managed").victim_amplification
+        rows.append([backend, f"{uniform:.3f}", f"{static:.3f}",
+                     f"{managed:.3f}", f"{static - uniform:+.3f}",
+                     f"{static - managed:+.3f}"])
+        record[backend] = {
+            "uniform_amplification": io.json_float(uniform),
+            "concentrated_amplification": io.json_float(static),
+            "managed_amplification": io.json_float(managed),
+            "placement_gap": io.json_float(static - uniform),
+            "management_recovered": io.json_float(static - managed),
+        }
+    table = (section(f"cluster duel — {len(result.rows)} cells, "
+                     f"{wall:.1f}s wall, victim tenant 0")
+             + "\n" + render_table(
+                 ["backend", "uniform", "concentrated", "managed",
+                  "gap", "recovered"], rows))
+    return table, record
+
+
 def run_bench(out_path: str = "BENCH_workload.json") -> str:
     """Run all sections; persist the JSON record; return the tables."""
     lookup_table, lookup_record = bench_batched_lookup()
     replay_table, replay_record = bench_serving_replay()
     loop_table, loop_record = bench_closed_loop()
+    cluster_table, cluster_record = bench_cluster()
     io.save_json({
         "schema": BENCH_SCHEMA,
         "batched_lookup": lookup_record,
         "serving_replay": replay_record,
         "closed_loop": loop_record,
+        "cluster": cluster_record,
     }, out_path)
-    return f"{lookup_table}\n\n{replay_table}\n\n{loop_table}"
+    return (f"{lookup_table}\n\n{replay_table}\n\n{loop_table}"
+            f"\n\n{cluster_table}")
 
 
 def test_workload_serving_bench(once, tmp_path):

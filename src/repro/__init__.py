@@ -14,6 +14,11 @@ Public API tour:
 * ``repro.defense`` — TRIM and the other Section VI mitigations;
 * ``repro.runtime`` — parallel, resumable sweep engine (cells,
   checkpoints, process-pool fan-out);
+* ``repro.workload`` — streaming traces, serving backends, the
+  online simulator, and the closed-loop policies on its feedback
+  ports;
+* ``repro.cluster`` — sharded multi-tenant serving (CDF-partitioned
+  shard maps, routing, rebalancing, SLO-weighted defense);
 * ``repro.experiments`` — per-figure reproduction harness.
 
 Quick taste::

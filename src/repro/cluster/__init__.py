@@ -1,0 +1,60 @@
+"""Sharded multi-tenant serving: shard maps, routing, rebalancing.
+
+The production-scale layer above :mod:`repro.workload`: one learned
+index per *shard*, a router fanning batched operations out by key
+range, and the cluster-management loop (split/merge rebalancing plus
+an SLO-weighted per-shard defense).  Four modules:
+
+* :mod:`repro.cluster.shardmap` — :class:`ShardMap`, the
+  content-addressed equal-mass range partition of the key space (a
+  second learned artifact, and therefore a second poisoning surface);
+* :mod:`repro.cluster.router` — :class:`ClusterRouter`, the uniform
+  serving surface over per-shard :mod:`repro.workload.backends`
+  instances, with per-tick load and migration accounting;
+* :mod:`repro.cluster.rebalance` — :class:`Rebalancer` (churn- and
+  latency-triggered split/merge with deterministic migration-cost
+  proxies) and :class:`SloWeightedDefense` (per-shard
+  :class:`~repro.workload.closedloop.TrimAutoTuner` instances weighted
+  by tenant SLO pressure);
+* :mod:`repro.cluster.simulator` — :class:`ClusterSimulator`, the
+  replay loop recording cluster, per-tenant, and per-shard series,
+  plus the cluster-aware poison placements on the PR 4 feedback port
+  (``uniform`` / ``concentrated`` / ``hotshard``).
+
+The ``cluster`` CLI target
+(:mod:`repro.experiments.cluster_serving`) runs
+tenant-layout × shard-count × backend × adversary × defense grids of
+these on the :class:`repro.runtime.SweepEngine`.
+"""
+
+from .rebalance import RebalanceDecision, Rebalancer, SloWeightedDefense
+from .router import ClusterRouter
+from .shardmap import ShardMap
+from .simulator import (
+    CLUSTER_ADVERSARIES,
+    ClusterAdversary,
+    ClusterReport,
+    ClusterSimulator,
+    ClusterTickObservation,
+    ConcentratedClusterAdversary,
+    HotShardAdversary,
+    UniformClusterAdversary,
+    make_cluster_adversary,
+)
+
+__all__ = [
+    "ShardMap",
+    "ClusterRouter",
+    "Rebalancer",
+    "RebalanceDecision",
+    "SloWeightedDefense",
+    "ClusterSimulator",
+    "ClusterReport",
+    "ClusterTickObservation",
+    "ClusterAdversary",
+    "UniformClusterAdversary",
+    "ConcentratedClusterAdversary",
+    "HotShardAdversary",
+    "CLUSTER_ADVERSARIES",
+    "make_cluster_adversary",
+]

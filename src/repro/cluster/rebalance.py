@@ -1,0 +1,293 @@
+"""Rebalancing triggers and the SLO-weighted cluster defense.
+
+Two deterministic control policies that close the cluster-management
+loop, mirroring the single-backend policies of
+:mod:`repro.workload.closedloop` one level up:
+
+* :class:`Rebalancer` — watches per-shard load shares and probe p95s
+  and decides at most one topology action per tick: **split** the
+  hottest shard when its load or latency runs away from the cluster
+  (the churn- and latency-driven triggers of the issue), or **merge**
+  the two coldest adjacent shards when both idle well below the ideal
+  share.  Splits cut at the live-key mass median
+  (:meth:`~repro.cluster.shardmap.ShardMap.split`), so a poison
+  cluster that heated a shard ends up isolated in its own range —
+  rebalancing *is* a containment defense here, not just a load
+  spreader.  Every action pays a migration cost the simulator records;
+  a cooldown stops the trigger from thrashing.
+
+* :class:`SloWeightedDefense` — one
+  :class:`~repro.workload.closedloop.TrimAutoTuner` per shard, each
+  fed a shard-local observation, with the decision *weighted by SLO
+  pressure*: the worst ratio of observed tenant p95 to that tenant's
+  SLO target among the tenants whose key ranges overlap the shard.  A
+  shard serving an SLO-violating tenant gets a tightened TRIM screen
+  (scaled toward the tuner's floor); a shard whose tenants are inside
+  budget keeps the tuner's neutral decision.  Decisions are pure
+  functions of the observation stream — the whole defense is exactly
+  as deterministic as a fixed configuration.
+
+Both policies are single-replay objects: construct fresh ones per
+cell, as with every closed-loop policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workload.closedloop import TrimAutoTuner
+from ..workload.simulator import TickObservation
+
+__all__ = ["RebalanceDecision", "Rebalancer", "SloWeightedDefense"]
+
+
+@dataclass(frozen=True)
+class RebalanceDecision:
+    """One topology action: ``kind`` is ``"split"`` or ``"merge"``.
+
+    ``shard`` names the split victim, or the left shard of a merge
+    pair.  ``reason`` is a short human-readable trigger tag that lands
+    in nothing but logs and tests.
+    """
+
+    kind: str
+    shard: int
+    reason: str
+
+
+class Rebalancer:
+    """Split/merge decisions from per-shard load and latency series."""
+
+    def __init__(self, min_shards: int = 1, max_shards: int = 16,
+                 split_load_factor: float = 2.0,
+                 split_latency_factor: float = 1.5,
+                 merge_load_factor: float = 0.25,
+                 cooldown_ticks: int = 2,
+                 min_shard_keys: int = 32):
+        if min_shards < 1:
+            raise ValueError(f"min_shards must be >= 1: {min_shards}")
+        if max_shards < min_shards:
+            raise ValueError(
+                f"max_shards must be >= min_shards: {max_shards}")
+        if split_load_factor <= 1.0:
+            raise ValueError(
+                f"split_load_factor must exceed 1: {split_load_factor}")
+        if split_latency_factor <= 1.0:
+            raise ValueError(
+                f"split_latency_factor must exceed 1: "
+                f"{split_latency_factor}")
+        if not 0.0 < merge_load_factor < 1.0:
+            raise ValueError(
+                f"merge_load_factor must be in (0, 1): "
+                f"{merge_load_factor}")
+        if cooldown_ticks < 0:
+            raise ValueError(
+                f"cooldown_ticks must be >= 0: {cooldown_ticks}")
+        if min_shard_keys < 2:
+            raise ValueError(
+                f"min_shard_keys must be >= 2: {min_shard_keys}")
+        self._min_shards = int(min_shards)
+        self._max_shards = int(max_shards)
+        self._split_load = float(split_load_factor)
+        self._split_latency = float(split_latency_factor)
+        self._merge_load = float(merge_load_factor)
+        self._cooldown_ticks = int(cooldown_ticks)
+        self._min_shard_keys = int(min_shard_keys)
+        self._cooldown = 0
+
+    def decide(self, shard_loads: np.ndarray, shard_p95: np.ndarray,
+               shard_keys: np.ndarray) -> "RebalanceDecision | None":
+        """At most one action for the tick just observed.
+
+        ``shard_loads`` — ops served per shard this tick;
+        ``shard_p95`` — per-shard probe p95 (NaN for read-free
+        shards); ``shard_keys`` — live keys per shard.  Split triggers
+        rank hot shards by load share and then by latency ratio
+        against the cluster median; ties break on the lowest shard
+        index, so the decision stream is deterministic.
+        """
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        loads = np.asarray(shard_loads, dtype=np.float64)
+        p95 = np.asarray(shard_p95, dtype=np.float64)
+        keys = np.asarray(shard_keys, dtype=np.int64)
+        n = loads.size
+        if n == 0:
+            return None
+
+        decision = self._split_decision(loads, p95, keys, n)
+        if decision is None:
+            decision = self._merge_decision(loads, n)
+        if decision is not None:
+            self._cooldown = self._cooldown_ticks
+        return decision
+
+    # ------------------------------------------------------------------
+    def _split_decision(self, loads: np.ndarray, p95: np.ndarray,
+                        keys: np.ndarray,
+                        n: int) -> "RebalanceDecision | None":
+        if n >= self._max_shards:
+            return None
+        total = loads.sum()
+        splittable = keys >= self._min_shard_keys
+        if total > 0:
+            shares = loads * n / total
+            hot = splittable & (shares >= self._split_load)
+            if hot.any():
+                shard = int(np.flatnonzero(hot)[
+                    np.argmax(loads[hot])])
+                return RebalanceDecision("split", shard, "hot-load")
+        finite = p95[np.isfinite(p95)]
+        if finite.size:
+            median = float(np.median(finite))
+            if median > 0:
+                slow = (splittable & np.isfinite(p95)
+                        & (p95 >= self._split_latency * median))
+                if slow.any():
+                    shard = int(np.flatnonzero(slow)[
+                        np.argmax(p95[slow])])
+                    return RebalanceDecision("split", shard,
+                                             "slow-shard")
+        return None
+
+    def _merge_decision(self, loads: np.ndarray,
+                        n: int) -> "RebalanceDecision | None":
+        if n <= self._min_shards or n < 2:
+            return None
+        total = loads.sum()
+        if total <= 0:
+            return None
+        shares = loads * n / total
+        cold = shares < self._merge_load
+        pairs = np.flatnonzero(cold[:-1] & cold[1:])
+        if pairs.size == 0:
+            return None
+        left = int(pairs[np.argmin(shares[pairs] + shares[pairs + 1])])
+        return RebalanceDecision("merge", left, "cold-pair")
+
+
+class SloWeightedDefense:
+    """Per-shard TRIM auto-tuning, weighted by tenant SLO pressure.
+
+    Two levers per shard, both scaled by the worst SLO ratio among
+    the tenants the shard serves:
+
+    * **retrain deferral** — a shard under pressure raises its
+      rebuild threshold to ``deferral_threshold``: don't retrain a
+      shard that is already hurting its tenants, so dripped poison
+      strands in the delta side table (which model-resident lookups
+      never pay for) instead of training the next model — the
+      cluster-level "don't retrain on a burst";
+    * **TRIM tightening** — when a pressured shard *does* retrain (a
+      threshold crossing, a migration rebuild), its keep fraction is
+      tightened toward ``keep_floor`` so the training set is
+      screened harder exactly where SLOs are burning.
+    """
+
+    def __init__(self, tenant_slos: "tuple[float, ...] | np.ndarray",
+                 base_threshold: float = 0.1,
+                 pressure_gain: float = 0.5,
+                 keep_floor: float = 0.7,
+                 deferral_threshold: float = 0.5,
+                 amp_slo: float = 1.1,
+                 **tuner_kwargs):
+        slos = np.asarray(tenant_slos, dtype=np.float64)
+        if slos.size == 0 or (slos <= 0).any():
+            raise ValueError(
+                f"tenant SLO targets must be positive: {tenant_slos}")
+        if pressure_gain < 0.0:
+            raise ValueError(
+                f"pressure_gain must be non-negative: {pressure_gain}")
+        if not 0.0 < keep_floor <= 1.0:
+            raise ValueError(
+                f"keep_floor must be in (0, 1]: {keep_floor}")
+        if not 0.0 < deferral_threshold <= 1.0:
+            raise ValueError(
+                f"deferral_threshold must be in (0, 1]: "
+                f"{deferral_threshold}")
+        if amp_slo <= 1.0:
+            raise ValueError(
+                f"amp_slo must exceed the clean baseline (1.0): "
+                f"{amp_slo}")
+        self._slos = slos
+        self._pressure_gain = float(pressure_gain)
+        self._keep_floor = float(keep_floor)
+        self._deferral_threshold = float(deferral_threshold)
+        self._amp_slo = float(amp_slo)
+        self._tuner_kwargs = dict(tuner_kwargs,
+                                  base_threshold=base_threshold)
+        self._tuners: dict[int, TrimAutoTuner] = {}
+        self._epoch = 0
+        self._n_shards: "int | None" = None
+
+    def _tuner_for(self, shard: int, n_shards: int) -> TrimAutoTuner:
+        # A topology change re-keys every shard index, so stale tuner
+        # state (EMAs of a differently-shaped shard) is discarded and
+        # each new shard starts from the neutral tuner — the same
+        # fresh-policy-per-cell determinism rule, applied per epoch.
+        if self._n_shards != n_shards:
+            self._n_shards = n_shards
+            self._tuners = {}
+            self._epoch += 1
+        if shard not in self._tuners:
+            self._tuners[shard] = TrimAutoTuner(**self._tuner_kwargs)
+        return self._tuners[shard]
+
+    def pressure(self, tenant_p95: np.ndarray,
+                 tenant_amplification: np.ndarray,
+                 tenants_on_shard: np.ndarray) -> float:
+        """Worst SLO ratio among the shard's tenants.
+
+        Two budgets per tenant, worst wins: observed p95 over the
+        tenant's probe target, and observed amplification over the
+        cluster-wide ``amp_slo`` (the relative-latency budget).  The
+        amplification arm matters because probe p95s are integers —
+        a model quietly degrading inside one probe bucket shows up in
+        the sample-mean amplification long before the p95 ticks over.
+        Missing observations (NaN, e.g. a tenant with no reads yet)
+        contribute no pressure; an unconstrained tenant (``inf``
+        SLO) contributes none through the p95 arm by construction.
+        """
+        worst = 0.0
+        for tenant in np.asarray(tenants_on_shard, dtype=np.int64):
+            observed = float(tenant_p95[tenant])
+            target = float(self._slos[tenant])
+            if math.isfinite(observed) and math.isfinite(target) \
+                    and target > 0:
+                worst = max(worst, observed / target)
+            amp = float(tenant_amplification[tenant])
+            if math.isfinite(amp):
+                worst = max(worst, amp / self._amp_slo)
+        return worst
+
+    def decide_shard(self, shard: int, n_shards: int,
+                     observation: TickObservation,
+                     tenant_p95: np.ndarray,
+                     tenant_amplification: np.ndarray,
+                     tenants_on_shard: np.ndarray,
+                     ) -> tuple["float | None", float]:
+        """(keep_fraction, rebuild_threshold) for one shard this tick.
+
+        The shard's own tuner digests the shard-local observation;
+        SLO pressure above 1 then tightens the keep fraction toward
+        ``keep_floor`` (scaled by ``pressure_gain``) and raises the
+        rebuild threshold to ``deferral_threshold`` — the
+        premium-tenant shards defend harder, which is the whole point
+        of SLO weighting.
+        """
+        decision = self._tuner_for(shard, n_shards)(observation)
+        keep = decision.keep_fraction
+        threshold = decision.rebuild_threshold
+        pressure = self.pressure(tenant_p95, tenant_amplification,
+                                 tenants_on_shard)
+        if pressure > 1.0:
+            if keep is not None:
+                tightened = keep - self._pressure_gain * (pressure
+                                                         - 1.0)
+                keep = max(self._keep_floor, min(keep, tightened))
+            threshold = max(threshold, self._deferral_threshold)
+        return keep, threshold

@@ -1,0 +1,213 @@
+"""Shard maps: range-partitioning the key space from an empirical CDF.
+
+A production deployment of a learned index does not serve one model
+over one machine — it range-partitions the key space into *shards*,
+each served by its own index, and routes every operation by key.  The
+partition is itself data-dependent: split points sit at equal-mass
+quantiles of the empirical CDF, so each shard holds the same number of
+keys no matter how skewed the distribution is.  That makes the shard
+map a *second* learned artifact trained on the key distribution — and
+therefore a second poisoning surface: an adversary that concentrates
+crafted keys in one region drags split points toward it and forces
+the cluster to burn splits and migrations there
+(:mod:`repro.cluster.rebalance`).
+
+A :class:`ShardMap` is immutable and canonical, exactly like a
+runtime :class:`~repro.runtime.Cell` or a workload
+:class:`~repro.workload.trace.TraceSpec`: the interior split points
+plus the domain are JSON scalars, hashed into a content digest, so two
+maps route identically iff their digests match.  Routing is a pure
+``searchsorted`` over the split points — stateless, which is what
+makes it invariant under any re-chunking of an operation batch (pinned
+by ``tests/cluster/test_shardmap_properties.py``).  Derivations
+(:meth:`split`, :meth:`merge`, :meth:`rebalanced`) return new maps and
+never mutate, so a simulator can log the full lineage of digests a
+rebalancer walked through.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..data.keyset import Domain
+
+__all__ = ["ShardMap"]
+
+_DIGEST_HEX = 16  # matches Cell/TraceSpec's 64-bit prefix
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """An ordered range partition of an integer key domain.
+
+    ``splits`` holds the interior boundaries, strictly increasing and
+    strictly inside ``(domain_lo, domain_hi]``; shard ``i`` owns the
+    half-open key range ``[edge[i], edge[i+1])`` where the edge list is
+    ``(domain_lo, *splits, domain_hi + 1)``.  An empty ``splits`` is
+    the one-shard (single-machine) cluster.
+    """
+
+    domain_lo: int
+    domain_hi: int
+    splits: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.domain_hi < self.domain_lo:
+            raise ValueError(
+                f"empty shard-map domain: "
+                f"[{self.domain_lo}, {self.domain_hi}]")
+        previous = self.domain_lo
+        for split in self.splits:
+            if not previous < split <= self.domain_hi:
+                raise ValueError(
+                    f"split points must be strictly increasing inside "
+                    f"({self.domain_lo}, {self.domain_hi}], "
+                    f"got {self.splits}")
+            previous = split
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def balanced(cls, keys: np.ndarray, n_shards: int,
+                 domain: Domain) -> "ShardMap":
+        """Equal-mass split points from the empirical CDF of ``keys``.
+
+        Split ``i`` lands at the key of rank ``ceil(i * n / n_shards)``
+        — each shard gets the same key count (±1) regardless of how
+        the mass is distributed over the domain.  Deterministic in the
+        sorted key array alone; duplicate quantile keys (a tiny keyset
+        or a pathological distribution) collapse, yielding fewer
+        shards rather than empty ones.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        keys = np.sort(np.asarray(keys, dtype=np.int64))
+        if keys.size and not domain.contains_all(keys):
+            raise ValueError(
+                f"keys fall outside the domain "
+                f"[{domain.lo}, {domain.hi}]")
+        if keys.size == 0 or n_shards == 1:
+            return cls(domain.lo, domain.hi)
+        ranks = (np.arange(1, n_shards, dtype=np.int64)
+                 * keys.size) // n_shards
+        candidates = np.unique(keys[ranks])
+        # A split at a key puts that key in the right-hand shard; the
+        # domain floor can never be a legal interior boundary.
+        candidates = candidates[candidates > domain.lo]
+        return cls(domain.lo, domain.hi, tuple(int(s)
+                                               for s in candidates))
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.splits) + 1
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Half-open edge list: shard ``i`` is ``[e[i], e[i+1])``."""
+        return np.asarray(
+            (self.domain_lo, *self.splits, self.domain_hi + 1),
+            dtype=np.int64)
+
+    def shard_range(self, shard: int) -> tuple[int, int]:
+        """Inclusive ``(lo, hi)`` key range of one shard."""
+        self._validate_shard(shard)
+        edges = self.edges
+        return int(edges[shard]), int(edges[shard + 1]) - 1
+
+    def _validate_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.n_shards}), got {shard}")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, keys: np.ndarray) -> np.ndarray:
+        """The shard serving each key — pure and stateless.
+
+        ``searchsorted`` over the interior split points: a key equal
+        to a split belongs to the right-hand shard.  Statelessness is
+        the re-chunking invariant: routing a batch equals routing its
+        concatenated sub-batches in any partition.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        return np.searchsorted(
+            np.asarray(self.splits, dtype=np.int64), keys,
+            side="right").astype(np.int64)
+
+    def shard_counts(self, keys: np.ndarray) -> np.ndarray:
+        """Keys-per-shard histogram (the mass balance of the map)."""
+        return np.bincount(self.route(keys),
+                           minlength=self.n_shards).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Derivation (what the rebalancer applies)
+    # ------------------------------------------------------------------
+    def split(self, shard: int, keys: np.ndarray) -> "ShardMap":
+        """Split one shard at the mass median of its live keys.
+
+        The new boundary is the key at rank ``ceil(n/2)`` of the
+        shard's keys — the equal-mass rule applied locally, so a
+        poison cluster that made the shard hot ends up isolated on one
+        side of the cut.  Splitting a shard whose keys cannot yield a
+        legal interior boundary (fewer than 2 distinct keys, or all
+        mass at the range floor) returns ``self`` unchanged.
+        """
+        self._validate_shard(shard)
+        lo, hi = self.shard_range(shard)
+        keys = np.sort(np.asarray(keys, dtype=np.int64))
+        inside = keys[(keys >= lo) & (keys <= hi)]
+        if inside.size < 2:
+            return self
+        cut = int(inside[inside.size // 2])
+        if not lo < cut <= hi:
+            return self
+        return ShardMap(self.domain_lo, self.domain_hi,
+                        tuple(sorted({*self.splits, cut})))
+
+    def merge(self, shard: int) -> "ShardMap":
+        """Merge one shard with its right neighbour (drop the split)."""
+        self._validate_shard(shard)
+        if shard >= self.n_shards - 1:
+            raise ValueError(
+                f"shard {shard} has no right neighbour to merge with "
+                f"(n_shards={self.n_shards})")
+        splits = list(self.splits)
+        del splits[shard]
+        return ShardMap(self.domain_lo, self.domain_hi, tuple(splits))
+
+    def rebalanced(self, keys: np.ndarray) -> "ShardMap":
+        """Recompute equal-mass splits for the current shard count."""
+        return ShardMap.balanced(
+            keys, self.n_shards,
+            Domain(self.domain_lo, self.domain_hi))
+
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def spec(self) -> dict[str, Any]:
+        """JSON-safe canonical description (what the digest covers)."""
+        return {
+            "domain": [self.domain_lo, self.domain_hi],
+            "splits": list(self.splits),
+        }
+
+    def canonical_json(self) -> str:
+        """Canonical serialisation: sorted keys, no whitespace games."""
+        return json.dumps(self.spec(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @property
+    def digest(self) -> str:
+        """Hex content hash naming this exact partition."""
+        raw = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return raw.hexdigest()[:_DIGEST_HEX]

@@ -1,0 +1,793 @@
+"""The cluster replay loop: per-shard, per-tenant serving metrics.
+
+:class:`ClusterSimulator` is the :class:`~repro.workload.simulator.
+ServingSimulator` one level up: it drives a multi-tenant trace through
+a :class:`~repro.cluster.router.ClusterRouter`, applies the
+:class:`~repro.cluster.rebalance.Rebalancer` and
+:class:`~repro.cluster.rebalance.SloWeightedDefense` at tick
+boundaries, and records three families of series:
+
+* **cluster** — p50/p95/p99 probe percentiles, throughput proxy,
+  worst shard error bound, cumulative retrains, live keys, shard
+  count, router imbalance, keys migrated, poison injected;
+* **per-tenant** (2D, ``ticks × tenants``) — probe p95 and
+  amplification against per-tenant probe samples, the series SLO
+  compliance is judged on;
+* **per-shard** (2D, ``ticks × max-shards``, NaN-padded on topology
+  changes) — load, probe p95, and live keys per shard, the series
+  that shows a hot shard heating up and a split cooling it.
+
+All metrics are deterministic cost proxies (probe counts, key
+counts), so a cluster cell keeps the jobs/executor parity guarantee
+of every other sweep on the engine.  Mutations apply one op at a
+time, reads batch per same-kind run — retrain *and* rebalance timing
+are invariant under batching by construction.
+
+Cluster adversaries
+-------------------
+The simulator reuses the PR 4 feedback port: after every tick the
+adversary observes a :class:`ClusterTickObservation` and its returned
+keys are injected at the start of the next tick.  Three placements,
+all budget-ledgered through the same
+:class:`~repro.workload.closedloop.AdaptiveAdversary` machinery:
+
+``uniform``       evenly spaced fresh keys across the whole domain —
+                  the placement-blind baseline every shard absorbs a
+                  proportional dose of;
+``concentrated``  Algorithm 2 (architecture-aware) output against the
+                  *victim tenant's* sub-CDF, every key inside the
+                  victim's range — the cluster-aware attack that
+                  drags split points and forces hot-shard splits
+                  there;
+``hotshard``      feedback-driven: packs crafted keys around the mass
+                  centre of whichever shard the observation shows
+                  hottest inside the victim's range.
+
+Because all placements share one budget and one drip pacing, a gap
+between them is attributable to *placement* alone — the cluster-level
+analogue of PR 4's same-world timing duels.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.rmi_attack import poison_rmi
+from ..core.threat_model import RMIAttackerCapability
+from ..data.keyset import Domain, KeySet
+from ..io import json_float
+from ..runtime import stable_seed_words
+from ..workload.closedloop import AdaptiveAdversary
+from ..workload.simulator import TickObservation, last_finite
+from ..workload.trace import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_MODIFY,
+    OP_POISON,
+    OP_QUERY,
+    OP_RANGE,
+    Trace,
+)
+from .rebalance import Rebalancer, SloWeightedDefense
+from .router import ClusterRouter
+
+__all__ = [
+    "ClusterTickObservation", "ClusterReport", "ClusterSimulator",
+    "ClusterAdversary", "UniformClusterAdversary",
+    "ConcentratedClusterAdversary", "HotShardAdversary",
+    "CLUSTER_ADVERSARIES", "make_cluster_adversary",
+]
+
+_CLUSTER_SERIES = ("p50", "p95", "p99", "mean_probes", "error_bound",
+                   "retrains", "n_keys", "n_shards", "imbalance",
+                   "migrated", "injected")
+_TENANT_SERIES = ("tenant_p95", "tenant_amplification")
+_SHARD_SERIES = ("shard_loads", "shard_p95", "shard_n_keys")
+
+
+@dataclass(frozen=True)
+class ClusterTickObservation:
+    """What the cluster feedback ports see at one tick boundary.
+
+    Percentiles are backfilled to the last finite value like the
+    single-backend observation; the per-tenant and per-shard tuples
+    are the tick's raw rows (NaN where a tenant or shard saw no
+    reads).  ``shard_ranges`` aligns with the shard tuples so a
+    policy can target key space, not just indices.
+    """
+
+    tick: int
+    ticks_total: int
+    p95: float
+    mean_probes: float
+    retrains: int
+    retrains_delta: int
+    n_keys: int
+    n_shards: int
+    imbalance: float
+    injected_total: int
+    migrated_total: int
+    tenant_p95: tuple[float, ...]
+    tenant_amplification: tuple[float, ...]
+    shard_loads: tuple[int, ...]
+    shard_p95: tuple[float, ...]
+    shard_ranges: tuple[tuple[int, int], ...]
+
+
+#: Cluster feedback-port signatures (policies are plain callables).
+ClusterAdversaryPort = Callable[[ClusterTickObservation],
+                                "np.ndarray | None"]
+
+
+@dataclass(frozen=True, eq=False)  # array fields: identity equality
+class ClusterReport:
+    """Everything one cluster replay measured.
+
+    ``series`` holds the 1D cluster channels; ``tenant_series`` and
+    ``shard_series`` hold the 2D ones (``ticks × tenants`` and
+    ``ticks × max-shards``, the latter NaN-padded where a tick had
+    fewer shards).  ``wall_seconds`` is the only non-deterministic
+    field and stays out of :meth:`to_dict`.
+    """
+
+    backend: str
+    spec_digest: str
+    initial_map_digest: str
+    final_map_digest: str
+    n_ops: int
+    tick_ops: int
+    n_tenants: int
+    series: dict[str, np.ndarray]
+    tenant_series: dict[str, np.ndarray]
+    shard_series: dict[str, np.ndarray]
+    p50: float
+    p95: float
+    p99: float
+    mean_probes: float
+    found_fraction: float
+    retrains: int
+    injected_poison: int
+    migrated_keys: int
+    final_n_shards: int
+    max_imbalance: float
+    final_tenant_p95: tuple[float, ...]
+    final_tenant_amplification: tuple[float, ...]
+    tenant_slo_violation_fraction: tuple[float, ...]
+    wall_seconds: float = field(compare=False)
+
+    @property
+    def n_ticks(self) -> int:
+        return int(self.series["p50"].size)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe, deterministic summary (no wall-clock)."""
+        return {
+            "backend": self.backend,
+            "spec_digest": self.spec_digest,
+            "initial_map_digest": self.initial_map_digest,
+            "final_map_digest": self.final_map_digest,
+            "n_ops": self.n_ops,
+            "tick_ops": self.tick_ops,
+            "n_ticks": self.n_ticks,
+            "n_tenants": self.n_tenants,
+            "p50": json_float(self.p50),
+            "p95": json_float(self.p95),
+            "p99": json_float(self.p99),
+            "mean_probes": json_float(self.mean_probes),
+            "found_fraction": json_float(self.found_fraction),
+            "retrains": self.retrains,
+            "injected_poison": self.injected_poison,
+            "migrated_keys": self.migrated_keys,
+            "final_n_shards": self.final_n_shards,
+            "max_imbalance": json_float(self.max_imbalance),
+            "final_tenant_p95": [json_float(v)
+                                 for v in self.final_tenant_p95],
+            "final_tenant_amplification": [
+                json_float(v)
+                for v in self.final_tenant_amplification],
+            "tenant_slo_violation_fraction": [
+                json_float(v)
+                for v in self.tenant_slo_violation_fraction],
+        }
+
+
+# ----------------------------------------------------------------------
+# Cluster adversaries (the PR 4 port, cluster-aware placements)
+# ----------------------------------------------------------------------
+
+def _fresh_even_keys(base: np.ndarray, lo: int, hi: int,
+                     count: int) -> np.ndarray:
+    """``count`` unoccupied keys evenly spaced across ``[lo, hi]``.
+
+    Deterministic and RNG-free: candidates walk an even grid and each
+    occupied candidate slides right to the nearest free value, so two
+    processes (and two budgets paced differently) craft identical
+    pools.
+    """
+    base = np.sort(np.asarray(base, dtype=np.int64))
+    out: list[int] = []
+    taken = set()
+    for i in range(count):
+        candidate = lo + ((2 * i + 1) * (hi - lo)) // max(2 * count, 1)
+        for _ in range(hi - lo + 1):
+            if candidate > hi:
+                candidate = lo
+            slot = int(np.searchsorted(base, candidate))
+            occupied = (slot < base.size
+                        and int(base[slot]) == candidate)
+            if not occupied and candidate not in taken:
+                break
+            candidate += 1
+        else:  # pragma: no cover - range denser than the budget
+            break
+        out.append(candidate)
+        taken.add(candidate)
+    return np.asarray(sorted(out), dtype=np.int64)
+
+
+class ClusterAdversary(AdaptiveAdversary):
+    """Budget-ledgered even drip of a fixed, placement-specific pool.
+
+    Subclasses fill ``self._pool`` in ``__init__``; the base paces it
+    evenly over the injection opportunities (the oblivious-drip
+    timing), so any duel between placements is same-pacing by
+    construction.  ``victim_range`` is the key range of the tenant
+    under attack (tenant 0 by the grid's convention).
+    """
+
+    name = "abstract-cluster"
+
+    def __init__(self, base_keys: np.ndarray, domain: Domain,
+                 budget: int, seed: int,
+                 victim_range: tuple[int, int]):
+        super().__init__(base_keys, domain, budget, seed)
+        lo, hi = victim_range
+        if not domain.lo <= lo <= hi <= domain.hi:
+            raise ValueError(
+                f"victim range [{lo}, {hi}] must sit inside the "
+                f"domain [{domain.lo}, {domain.hi}]")
+        self._victim = (int(lo), int(hi))
+        self._pool = np.empty(0, dtype=np.int64)
+
+    def _seal_pool(self, pool: np.ndarray) -> None:
+        """Install the crafted pool; the ledger follows its size."""
+        self._pool = np.asarray(pool, dtype=np.int64)[:self._budget]
+        self._budget = min(self._budget, int(self._pool.size))
+
+    def _take(self, count: int) -> np.ndarray:
+        return self._pool[self._emitted:self._emitted + max(count, 0)]
+
+    def _next_keys(self, obs: ClusterTickObservation) -> np.ndarray:
+        chances = max(1, obs.ticks_total - 1)
+        dose = -(-self.budget // chances)  # ceil: spend the whole pool
+        return self._take(dose)
+
+
+class UniformClusterAdversary(ClusterAdversary):
+    """Placement-blind baseline: even spread over the whole domain.
+
+    Every shard absorbs a dose proportional to its key-space width —
+    the strongest attack an adversary ignorant of tenancy and the
+    shard map can mount with the same budget and pacing.
+    """
+
+    name = "uniform"
+
+    def __init__(self, base_keys: np.ndarray, domain: Domain,
+                 budget: int, seed: int,
+                 victim_range: tuple[int, int]):
+        super().__init__(base_keys, domain, budget, seed, victim_range)
+        self._seal_pool(_fresh_even_keys(self._base, domain.lo,
+                                         domain.hi, budget))
+
+
+class ConcentratedClusterAdversary(ClusterAdversary):
+    """Cluster-aware placement: Algorithm 2 against the victim tenant.
+
+    The architecture-aware RMI attack runs against the victim's
+    *sub-CDF* (its keys, its range as the domain, the model count its
+    key mass would be provisioned), so every crafted key lands inside
+    the victim's slice of the key space — and, unlike a single dense
+    cluster, the per-model placement survives the equal-size
+    repartition of every subsequent retrain.  The local mass spike
+    drags equal-mass split points toward the victim and concentrates
+    model damage on exactly the shards serving it — the shard map
+    itself becomes part of the attack surface.
+
+    The paper caps Algorithm 2's budget at 20% of the victimised
+    keys; a larger requested budget is clamped (the ledger follows
+    the crafted pool), which only makes a same-budget duel against
+    the uniform placement conservative.
+    """
+
+    name = "concentrated"
+
+    def __init__(self, base_keys: np.ndarray, domain: Domain,
+                 budget: int, seed: int,
+                 victim_range: tuple[int, int], model_size: int = 100):
+        super().__init__(base_keys, domain, budget, seed, victim_range)
+        if model_size < 1:
+            raise ValueError(
+                f"model_size must be >= 1, got {model_size}")
+        lo, hi = self._victim
+        inside = self._base[(self._base >= lo) & (self._base <= hi)]
+        if inside.size == 0:
+            raise ValueError(
+                f"victim range [{lo}, {hi}] holds no base keys")
+        victim = KeySet(inside, domain=Domain(lo, hi))
+        n_models = max(1, inside.size // model_size)
+        percentage = min(20.0, 100.0 * budget / inside.size)
+        self._seal_pool(np.asarray(poison_rmi(
+            victim, n_models,
+            RMIAttackerCapability(poisoning_percentage=percentage),
+        ).poison_keys, dtype=np.int64))
+
+
+class HotShardAdversary(ClusterAdversary):
+    """Feedback-driven placement: chase the hottest victim shard.
+
+    Each tick the observation's per-shard loads pick the busiest
+    shard overlapping the victim's range; the dose packs outward from
+    that shard's key-range centre, skipping occupied and
+    already-crafted values.  The pool is crafted lazily, so this is
+    the one placement that genuinely *uses* the feedback port's
+    cluster channels.
+    """
+
+    name = "hotshard"
+
+    def __init__(self, base_keys: np.ndarray, domain: Domain,
+                 budget: int, seed: int,
+                 victim_range: tuple[int, int]):
+        super().__init__(base_keys, domain, budget, seed, victim_range)
+        self._budget = int(budget)
+        self._crafted: set[int] = set()
+
+    def _hottest_victim_shard(self, obs: ClusterTickObservation,
+                              ) -> tuple[int, int]:
+        lo, hi = self._victim
+        best, best_load = None, -1
+        for (shard_lo, shard_hi), load in zip(obs.shard_ranges,
+                                              obs.shard_loads):
+            if shard_hi < lo or shard_lo > hi:
+                continue
+            if load > best_load:
+                best, best_load = (max(shard_lo, lo),
+                                   min(shard_hi, hi)), load
+        return best if best is not None else (lo, hi)
+
+    def _next_keys(self, obs: ClusterTickObservation) -> np.ndarray:
+        chances = max(1, obs.ticks_total - 1)
+        dose = min(-(-self.budget // chances), self.remaining)
+        lo, hi = self._hottest_victim_shard(obs)
+        centre = (lo + hi) // 2
+        out: list[int] = []
+        offset = 0
+        while len(out) < dose and offset <= (hi - lo + 1):
+            for candidate in (centre + offset, centre - offset):
+                if len(out) >= dose:
+                    break
+                if not lo <= candidate <= hi:
+                    continue
+                if candidate in self._crafted:
+                    continue
+                slot = int(np.searchsorted(self._base, candidate))
+                if (slot < self._base.size
+                        and int(self._base[slot]) == candidate):
+                    continue
+                out.append(candidate)
+                self._crafted.add(candidate)
+            offset += 1
+        return np.asarray(sorted(out), dtype=np.int64)
+
+
+CLUSTER_ADVERSARIES: dict[str, type[ClusterAdversary]] = {
+    cls.name: cls
+    for cls in (UniformClusterAdversary, ConcentratedClusterAdversary,
+                HotShardAdversary)
+}
+
+
+def make_cluster_adversary(name: str, base_keys: np.ndarray,
+                           domain: Domain, budget: int, seed: int,
+                           victim_range: tuple[int, int],
+                           model_size: int = 100) -> ClusterAdversary:
+    """Instantiate a registered cluster placement policy.
+
+    ``model_size`` only reaches the architecture-aware
+    ``concentrated`` placement; passing it for the others is allowed
+    (and ignored) so callers can treat the registry uniformly.
+    """
+    try:
+        cls = CLUSTER_ADVERSARIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cluster adversary {name!r}; known: "
+            f"{sorted(CLUSTER_ADVERSARIES)}") from None
+    kwargs: dict[str, Any] = {"victim_range": victim_range}
+    if cls is ConcentratedClusterAdversary:
+        kwargs["model_size"] = model_size
+    return cls(base_keys, domain, budget, seed, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# The simulator
+# ----------------------------------------------------------------------
+
+class ClusterSimulator:
+    """Drive one multi-tenant trace through one sharded cluster.
+
+    Parameters
+    ----------
+    router:
+        A freshly built :class:`ClusterRouter` over the trace's base
+        keys.
+    trace:
+        The operation stream; its spec carries the tenant layout and
+        SLO targets.
+    tick_ops:
+        Operations per metrics tick.
+    probe_sample_size:
+        Per-tenant probe-sample size for the amplification series
+        (drawn deterministically from each tenant's base keys).
+    adversary:
+        Optional cluster feedback port; returned keys are injected at
+        the start of the next tick, one op at a time.
+    rebalancer:
+        Optional :class:`Rebalancer`; its split/merge decisions apply
+        at tick boundaries and their migration cost lands in the
+        ``migrated`` series of the following tick.
+    defense:
+        Optional :class:`SloWeightedDefense`; per-shard decisions
+        apply through the router's shard tuner hooks every tick.
+    """
+
+    def __init__(self, router: ClusterRouter, trace: Trace,
+                 tick_ops: int = 200, probe_sample_size: int = 48,
+                 adversary: "ClusterAdversaryPort | None" = None,
+                 rebalancer: "Rebalancer | None" = None,
+                 defense: "SloWeightedDefense | None" = None):
+        if tick_ops < 1:
+            raise ValueError(f"tick_ops must be >= 1: {tick_ops}")
+        self._router = router
+        self._trace = trace
+        self._spec = trace.spec
+        self._tick_ops = int(tick_ops)
+        self._adversary = adversary
+        self._rebalancer = rebalancer
+        self._defense = defense
+        self._n_tenants = self._spec.n_tenants
+        tenants = self._spec.tenant_of(trace.base_keys)
+        self._samples: list[np.ndarray] = []
+        for tenant in range(self._n_tenants):
+            own = trace.base_keys[tenants == tenant]
+            rng = np.random.default_rng(stable_seed_words(
+                self._spec.seed, "cluster-probe-sample", tenant,
+                self._spec.digest))
+            size = min(probe_sample_size, own.size)
+            if size == 0:  # a tenant with no keys measures nothing
+                self._samples.append(np.empty(0, dtype=np.int64))
+            else:
+                self._samples.append(rng.choice(own, size=size,
+                                                replace=False))
+
+    # ------------------------------------------------------------------
+    def _sample_cost(self, tenant: int) -> float:
+        """Mean probes over one tenant's fixed sample (measure only)."""
+        sample = self._samples[tenant]
+        if sample.size == 0:
+            return float("nan")
+        _, probes = self._router.lookup_batch(sample)
+        # Measurement lookups must not count as served load.
+        self._router.drain_tick_loads()
+        return float(probes.mean())
+
+    def _tenants_on_shard(self, lo: int, hi: int) -> np.ndarray:
+        """Tenants whose key ranges overlap ``[lo, hi]``."""
+        if self._spec.tenant_layout == "shared" \
+                or self._n_tenants == 1:
+            return np.arange(self._n_tenants, dtype=np.int64)
+        first = int(self._spec.tenant_of(np.asarray([lo]))[0])
+        last = int(self._spec.tenant_of(np.asarray([hi]))[0])
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def run(self) -> ClusterReport:
+        """Replay the whole trace; returns the metrics report."""
+        trace, router, spec = self._trace, self._router, self._spec
+        kinds, keys, aux = trace.kinds, trace.keys, trace.aux
+        n = trace.n_ops
+        started = time.perf_counter()
+        initial_digest = router.shard_map.digest
+        baselines = np.asarray(
+            [self._sample_cost(t) for t in range(self._n_tenants)])
+
+        n_ticks = -(-n // self._tick_ops)  # ceil
+        bounds = np.minimum(
+            (np.arange(n_ticks, dtype=np.int64) + 1) * self._tick_ops,
+            n)
+
+        series: dict[str, list[float]] = {
+            name: [] for name in _CLUSTER_SERIES}
+        tenant_rows: dict[str, list[np.ndarray]] = {
+            name: [] for name in _TENANT_SERIES}
+        shard_rows: dict[str, list[np.ndarray]] = {
+            name: [] for name in _SHARD_SERIES}
+
+        all_probes: list[np.ndarray] = []
+        tick_probes: list[np.ndarray] = []
+        tick_tenants: list[np.ndarray] = []
+        tick_shards: list[np.ndarray] = []
+        found_total = 0
+        query_total = 0
+        injected_total = 0
+        migrated_total = 0
+        last_retrains = 0
+        pending_inject = np.empty(0, dtype=np.int64)
+        migrated_at_boundary = 0
+
+        def close_tick(injected: int, migrated: int) -> None:
+            merged = (np.concatenate(tick_probes) if tick_probes
+                      else np.empty(0, dtype=np.int64))
+            tenants = (np.concatenate(tick_tenants) if tick_tenants
+                       else np.empty(0, dtype=np.int64))
+            shards = (np.concatenate(tick_shards) if tick_shards
+                      else np.empty(0, dtype=np.int64))
+            if merged.size:
+                p50, p95, p99 = np.percentile(merged, (50, 95, 99))
+                mean = float(merged.mean())
+            else:
+                p50 = p95 = p99 = mean = float("nan")
+            loads = router.drain_tick_loads()
+            series["p50"].append(float(p50))
+            series["p95"].append(float(p95))
+            series["p99"].append(float(p99))
+            series["mean_probes"].append(mean)
+            series["error_bound"].append(router.error_bound())
+            series["retrains"].append(float(router.retrain_count))
+            series["n_keys"].append(float(router.n_keys))
+            series["n_shards"].append(float(router.n_shards))
+            series["imbalance"].append(
+                ClusterRouter.imbalance(loads))
+            series["migrated"].append(float(migrated))
+            series["injected"].append(float(injected))
+
+            tenant_p95 = np.full(self._n_tenants, np.nan)
+            for tenant in range(self._n_tenants):
+                own = merged[tenants == tenant]
+                if own.size:
+                    tenant_p95[tenant] = float(
+                        np.percentile(own, 95))
+            amp = np.asarray(
+                [self._sample_cost(t) / baselines[t]
+                 if math.isfinite(baselines[t]) and baselines[t] > 0
+                 else float("nan")
+                 for t in range(self._n_tenants)])
+            tenant_rows["tenant_p95"].append(tenant_p95)
+            tenant_rows["tenant_amplification"].append(amp)
+
+            shard_p95 = np.full(router.n_shards, np.nan)
+            for shard in range(router.n_shards):
+                own = merged[shards == shard]
+                if own.size:
+                    shard_p95[shard] = float(np.percentile(own, 95))
+            shard_rows["shard_loads"].append(
+                loads.astype(np.float64))
+            shard_rows["shard_p95"].append(shard_p95)
+            shard_rows["shard_n_keys"].append(
+                router.shard_n_keys().astype(np.float64))
+
+            all_probes.extend(tick_probes)
+            tick_probes.clear()
+            tick_tenants.clear()
+            tick_shards.clear()
+
+        def observe(tick: int) -> ClusterTickObservation:
+            nonlocal last_retrains
+            retrains = int(series["retrains"][-1])
+            obs = ClusterTickObservation(
+                tick=tick,
+                ticks_total=int(bounds.size),
+                p95=last_finite(series["p95"], float("nan")),
+                mean_probes=last_finite(series["mean_probes"],
+                                        float("nan")),
+                retrains=retrains,
+                retrains_delta=retrains - last_retrains,
+                n_keys=int(series["n_keys"][-1]),
+                n_shards=int(series["n_shards"][-1]),
+                imbalance=float(series["imbalance"][-1]),
+                injected_total=injected_total,
+                migrated_total=migrated_total,
+                tenant_p95=tuple(
+                    float(v) for v in tenant_rows["tenant_p95"][-1]),
+                tenant_amplification=tuple(
+                    float(v)
+                    for v in tenant_rows["tenant_amplification"][-1]),
+                shard_loads=tuple(
+                    int(v) for v in shard_rows["shard_loads"][-1]),
+                shard_p95=tuple(
+                    float(v) for v in shard_rows["shard_p95"][-1]),
+                shard_ranges=tuple(
+                    router.shard_map.shard_range(s)
+                    for s in range(router.n_shards)))
+            last_retrains = retrains
+            return obs
+
+        def apply_defense(obs: ClusterTickObservation) -> None:
+            tenant_amp = np.asarray(obs.tenant_amplification)
+            observed_p95 = np.asarray(obs.tenant_p95)
+            for shard in range(router.n_shards):
+                if router.shard(shard) is None:
+                    continue  # unprovisioned: nothing to tune yet
+                lo, hi = router.shard_map.shard_range(shard)
+                on_shard = self._tenants_on_shard(lo, hi)
+                shard_amp = float(np.nanmax(tenant_amp[on_shard])) \
+                    if np.isfinite(tenant_amp[on_shard]).any() \
+                    else float("nan")
+                local = TickObservation(
+                    tick=obs.tick, ticks_total=obs.ticks_total,
+                    p50=obs.p95, p95=obs.p95, p99=obs.p95,
+                    mean_probes=obs.mean_probes,
+                    error_bound=0.0,
+                    retrains=obs.retrains,
+                    retrains_delta=obs.retrains_delta,
+                    amplification=shard_amp,
+                    n_keys=int(router.shard(shard).n_keys),
+                    injected_total=obs.injected_total)
+                keep, threshold = self._defense.decide_shard(
+                    shard, router.n_shards, local, observed_p95,
+                    tenant_amp, on_shard)
+                router.set_shard_trim_keep_fraction(shard, keep)
+                router.set_shard_rebuild_threshold(shard, threshold)
+
+        start = 0
+        for tick_index, tick_end in enumerate(bounds):
+            injected_this_tick = int(pending_inject.size)
+            for key in pending_inject:
+                router.insert_batch(key[np.newaxis])
+            injected_total += injected_this_tick
+            pending_inject = np.empty(0, dtype=np.int64)
+            migrated_this_tick = migrated_at_boundary
+            migrated_at_boundary = 0
+
+            while start < tick_end:
+                kind = kinds[start]
+                stop = start + 1
+                while stop < tick_end and kinds[stop] == kind:
+                    stop += 1
+                run_keys = keys[start:stop]
+                if kind == OP_QUERY:
+                    found, probes = router.lookup_batch(run_keys)
+                    tick_probes.append(probes)
+                    tick_tenants.append(spec.tenant_of(run_keys))
+                    tick_shards.append(
+                        router.shard_map.route(run_keys))
+                    found_total += int(found.sum())
+                    query_total += int(found.size)
+                elif kind == OP_RANGE:
+                    probes = np.asarray(
+                        [router.range_scan(int(lo), int(hi))
+                         for lo, hi in zip(run_keys, aux[start:stop])],
+                        dtype=np.int64)
+                    tick_probes.append(probes)
+                    tick_tenants.append(spec.tenant_of(run_keys))
+                    tick_shards.append(
+                        router.shard_map.route(run_keys))
+                elif kind in (OP_INSERT, OP_POISON):
+                    for key in run_keys:
+                        router.insert_batch(key[np.newaxis])
+                elif kind == OP_DELETE:
+                    for key in run_keys:
+                        router.delete_batch(key[np.newaxis])
+                elif kind == OP_MODIFY:
+                    for key, new in zip(run_keys, aux[start:stop]):
+                        router.delete_batch(key[np.newaxis])
+                        router.insert_batch(new[np.newaxis])
+                else:  # pragma: no cover - generator never emits it
+                    raise ValueError(f"unknown op kind: {kind}")
+                start = stop
+
+            close_tick(injected_this_tick, migrated_this_tick)
+            needs_ports = (self._adversary is not None
+                           or self._defense is not None
+                           or self._rebalancer is not None)
+            if needs_ports:
+                obs = observe(tick_index)
+                if self._defense is not None:
+                    apply_defense(obs)
+                # No topology change after the final tick: nothing
+                # would serve under the new map, and the migration
+                # cost would have no tick row left to land in (the
+                # same guard the adversary port applies to its keys).
+                last_tick = tick_index >= bounds.size - 1
+                if self._rebalancer is not None and not last_tick:
+                    decision = self._rebalancer.decide(
+                        np.asarray(obs.shard_loads, dtype=np.int64),
+                        np.asarray(obs.shard_p95),
+                        router.shard_n_keys())
+                    if decision is not None:
+                        if decision.kind == "split":
+                            moved = router.split_shard(decision.shard)
+                        else:
+                            moved = router.merge_shards(decision.shard)
+                        migrated_at_boundary += moved
+                        migrated_total += moved
+                if self._adversary is not None:
+                    crafted = self._adversary(obs)
+                    if crafted is not None:
+                        pending_inject = np.asarray(crafted,
+                                                    dtype=np.int64)
+
+        probes_flat = (np.concatenate(all_probes) if all_probes
+                       else np.empty(0, dtype=np.int64))
+        if probes_flat.size:
+            p50, p95, p99 = (float(v) for v in
+                             np.percentile(probes_flat, (50, 95, 99)))
+            mean = float(probes_flat.mean())
+        else:
+            p50 = last_finite(series["p50"])
+            p95 = last_finite(series["p95"])
+            p99 = last_finite(series["p99"])
+            mean = last_finite(series["mean_probes"])
+
+        tenant_arrays = {
+            name: np.vstack(rows)
+            for name, rows in tenant_rows.items()}
+        max_shards = max(row.size
+                         for row in shard_rows["shard_loads"])
+        shard_arrays = {}
+        for name, rows in shard_rows.items():
+            padded = np.full((len(rows), max_shards), np.nan)
+            for i, row in enumerate(rows):
+                padded[i, :row.size] = row
+            shard_arrays[name] = padded
+
+        final_p95 = tuple(
+            last_finite(tenant_arrays["tenant_p95"][:, t],
+                        float("nan"))
+            for t in range(self._n_tenants))
+        final_amp = tuple(
+            last_finite(tenant_arrays["tenant_amplification"][:, t],
+                        1.0)
+            for t in range(self._n_tenants))
+        slos = spec.tenant_slos()
+        violations = []
+        for tenant in range(self._n_tenants):
+            observed = tenant_arrays["tenant_p95"][:, tenant]
+            finite = observed[np.isfinite(observed)]
+            if finite.size == 0 or not math.isfinite(slos[tenant]):
+                violations.append(0.0)
+            else:
+                violations.append(
+                    float((finite > slos[tenant]).mean()))
+
+        return ClusterReport(
+            backend=router.backend_name,
+            spec_digest=spec.digest,
+            initial_map_digest=initial_digest,
+            final_map_digest=router.shard_map.digest,
+            n_ops=n,
+            tick_ops=self._tick_ops,
+            n_tenants=self._n_tenants,
+            series={name: np.asarray(values, dtype=np.float64)
+                    for name, values in series.items()},
+            tenant_series=tenant_arrays,
+            shard_series=shard_arrays,
+            p50=p50, p95=p95, p99=p99,
+            mean_probes=mean,
+            found_fraction=(found_total / query_total if query_total
+                            else 0.0),
+            retrains=int(router.retrain_count),
+            injected_poison=injected_total,
+            migrated_keys=migrated_total,
+            final_n_shards=int(router.n_shards),
+            max_imbalance=float(np.max(series["imbalance"]))
+            if series["imbalance"] else 1.0,
+            final_tenant_p95=final_p95,
+            final_tenant_amplification=final_amp,
+            tenant_slo_violation_fraction=tuple(violations),
+            wall_seconds=time.perf_counter() - started)

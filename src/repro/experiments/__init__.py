@@ -18,7 +18,15 @@ from . import (
     workload_serving,
 )
 from .regression_sweep import fig5_config, fig8_config, run_sweep
-from .report import ascii_boxplot, format_ratio, render_table, section
+from .report import (
+    DuelRow,
+    ascii_boxplot,
+    format_gap,
+    format_ratio,
+    render_duel,
+    render_table,
+    section,
+)
 
 __all__ = [
     "fig2_compound_effect",
@@ -36,4 +44,7 @@ __all__ = [
     "render_table",
     "ascii_boxplot",
     "format_ratio",
+    "format_gap",
+    "DuelRow",
+    "render_duel",
 ]

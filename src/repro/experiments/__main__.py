@@ -4,7 +4,7 @@ Targets mirror the paper's figures and the ablations, plus the
 streaming serving grid:
 
     fig2 fig3 fig4 fig5 fig6 fig7 fig8
-    workload closedloop
+    workload closedloop cluster
     a1-bruteforce a2-trim a3-cost a4-alpha a5-allocation
     all
 
@@ -24,8 +24,14 @@ backends × injection policies × fixed/tuned defense) — the
 adaptive-vs-oblivious duel with per-cell ``.npz`` series including
 the ``injected``/``keep_fraction``/``rebuild_threshold`` channels.
 
+``cluster`` runs the sharded multi-tenant grids (tenant layouts ×
+shard counts × backends × poison placements × static/managed
+defense) — the concentrated-vs-uniform placement duel with per-cell
+``.npz`` series including the per-tenant (``tenant_*``) and
+per-shard (``shard_*``) 2D channels.
+
 Runtime flags (engine-backed targets: fig5, fig6, fig7, fig8,
-workload, and every ablation a1-a11):
+workload, closedloop, cluster, and every ablation a1-a11):
 
 ``--jobs N``
     Fan the sweep's cells out over N workers.  Results are
@@ -94,6 +100,7 @@ from ..runtime import EXECUTORS, CheckpointStore
 from . import (
     ablations,
     closedloop_serving,
+    cluster_serving,
     fig2_compound_effect,
     fig3_loss_landscape,
     fig4_greedy_showcase,
@@ -240,6 +247,15 @@ def _run_closedloop(opts: RunOptions) -> TargetOutput:
                                     **opts.engine_kwargs("closedloop"))
     return (result.format(), result.to_dict(),
             closedloop_serving.plan_cells(config))
+
+
+def _run_cluster(opts: RunOptions) -> TargetOutput:
+    config = (cluster_serving.full_config() if opts.profile == "full"
+              else cluster_serving.quick_config())
+    result = cluster_serving.run(config,
+                                 **opts.engine_kwargs("cluster"))
+    return (result.format(), result.to_dict(),
+            cluster_serving.plan_cells(config))
 
 
 def _run_a1(opts: RunOptions) -> TargetOutput:
@@ -397,6 +413,7 @@ _TARGETS: dict[str, Target] = {
     "fig8": _run_fig8,
     "workload": _run_workload,
     "closedloop": _run_closedloop,
+    "cluster": _run_cluster,
     "a1-bruteforce": _run_a1,
     "a2-trim": _run_a2,
     "a3-cost": _run_a3,

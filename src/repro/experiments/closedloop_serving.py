@@ -44,7 +44,13 @@ from ..workload import (
     make_arrival,
     make_backend,
 )
-from .report import format_ratio, render_table, section
+from .report import (
+    DuelRow,
+    format_ratio,
+    render_duel,
+    render_table,
+    section,
+)
 
 __all__ = ["ClosedLoopConfig", "ClosedLoopRow", "ClosedLoopResult",
            "plan_cells", "run_closedloop_cell", "run", "quick_config",
@@ -158,12 +164,12 @@ class ClosedLoopResult:
             blocks.append(duel)
         return "\n\n".join(blocks)
 
-    def _format_duel(self) -> str:
-        """Adaptive-vs-oblivious gap and tuner recovery per backend."""
+    def duel_rows(self) -> list[DuelRow]:
+        """Adaptive-vs-oblivious gaps (and tuner recovery) per cell."""
         if ("oblivious" not in self.config.adversaries
                 or "fixed" not in self.config.defenses):
-            return ""
-        body = []
+            return []
+        rows = []
         for arrival in self.config.arrivals:
             for backend in self.config.backends:
                 for adversary in self.config.adversaries:
@@ -178,26 +184,29 @@ class ClosedLoopResult:
                             adversary=adversary, defense="fixed")
                     except KeyError:  # pragma: no cover - partial grid
                         continue
-                    gap = fixed.amplification - oblivious.amplification
-                    line = [arrival, backend, adversary,
-                            f"{gap:+.3f}"]
+                    recovered = None
                     if "tuned" in self.config.defenses:
                         tuned = self.row(
                             arrival=arrival, backend=backend,
                             adversary=adversary, defense="tuned")
-                        recovered = fixed.amplification \
-                            - tuned.amplification
-                        line.append(f"{recovered:+.3f}")
-                    body.append(line)
-        if not body:  # pragma: no cover - degenerate config
-            return ""
-        headers = ["arrival", "backend", "adversary",
-                   "gap vs oblivious"]
-        if "tuned" in self.config.defenses:
-            headers.append("tuner recovered")
-        return (section("duel: adaptive gap and tuner recovery "
-                        "(final amplification)") + "\n"
-                + render_table(headers, body))
+                        recovered = (fixed.amplification
+                                     - tuned.amplification)
+                    rows.append(DuelRow(
+                        group=(arrival, backend, adversary),
+                        gap=(fixed.amplification
+                             - oblivious.amplification),
+                        recovered=recovered))
+        return rows
+
+    def _format_duel(self) -> str:
+        """Adaptive-vs-oblivious gap and tuner recovery per backend."""
+        return render_duel(
+            "duel: adaptive gap and tuner recovery "
+            "(final amplification)",
+            ["arrival", "backend", "adversary"],
+            self.duel_rows(),
+            gap_header="gap vs oblivious",
+            recovered_header="tuner recovered")
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe summary (the CLI's ``--out`` payload)."""

@@ -4,15 +4,24 @@ The paper reports boxplots; a terminal harness reports the same
 five-number summaries as aligned tables plus a coarse ascii boxplot so
 shapes are comparable at a glance.  Every benchmark prints through
 these helpers so EXPERIMENTS.md rows can be pasted verbatim.
+
+Serving grids (``closedloop``, ``cluster``) additionally end in a
+*duel* block: every challenger row compared against its same-world
+baseline, with the gap the attack opened and, when a tuned/defended
+arm exists, how much of it the defense recovered.  :class:`DuelRow`
+plus :func:`render_duel` are the shared rendering for both targets —
+the figure targets keep their historical tables.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..core.metrics import BoxplotSummary
 
-__all__ = ["section", "render_table", "ascii_boxplot", "format_ratio"]
+__all__ = ["section", "render_table", "ascii_boxplot", "format_ratio",
+           "format_gap", "DuelRow", "render_duel"]
 
 
 def section(title: str, width: int = 78) -> str:
@@ -30,6 +39,55 @@ def format_ratio(value: float) -> str:
     if value >= 100:
         return f"{value:.0f}x"
     return f"{value:.1f}x"
+
+
+def format_gap(value: float) -> str:
+    """Signed gap/recovery deltas, e.g. ``+0.132`` (``nan`` passes)."""
+    if value != value:  # NaN
+        return "nan"
+    return f"{value:+.3f}"
+
+
+@dataclass(frozen=True)
+class DuelRow:
+    """One challenger-vs-baseline comparison of a serving grid.
+
+    ``group`` labels the grid point (arrival/backend/adversary for
+    ``closedloop``; layout/backend/adversary for ``cluster``);
+    ``gap`` is challenger-minus-baseline on the duel metric, and
+    ``recovered`` — when a defended arm exists — is how much of the
+    challenger's damage the defense clawed back (``None`` renders no
+    column).
+    """
+
+    group: tuple[str, ...]
+    gap: float
+    recovered: "float | None" = None
+
+
+def render_duel(title: str, group_headers: Sequence[str],
+                rows: Sequence[DuelRow],
+                gap_header: str = "gap vs baseline",
+                recovered_header: str = "recovered") -> str:
+    """The duel block: a section banner over gap/recovery columns.
+
+    The recovery column appears iff any row carries one; rows without
+    it render ``-`` there, so partially defended grids still align.
+    """
+    if not rows:
+        return ""
+    with_recovery = any(row.recovered is not None for row in rows)
+    headers = [*group_headers, gap_header]
+    if with_recovery:
+        headers.append(recovered_header)
+    body = []
+    for row in rows:
+        line = [*row.group, format_gap(row.gap)]
+        if with_recovery:
+            line.append("-" if row.recovered is None
+                        else format_gap(row.recovered))
+        body.append(line)
+    return f"{section(title)}\n{render_table(headers, body)}"
 
 
 def render_table(headers: Sequence[str],

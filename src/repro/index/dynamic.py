@@ -52,14 +52,15 @@ class DynamicLearnedIndex:
     def __init__(self, keyset: KeySet | np.ndarray, n_models: int,
                  retrain_threshold: float = 0.1,
                  sanitizer: "Callable[[np.ndarray], np.ndarray] | None"
-                 = None):
+                 = None, sanitize_initial: bool = False):
         """Build the base index.
 
         Parameters
         ----------
         keyset:
-            Initial keys (trusted; the sanitizer screens *retrains*,
-            where attacker-influenced updates enter the training set).
+            Initial keys (trusted by default; the sanitizer screens
+            *retrains*, where attacker-influenced updates enter the
+            training set).
         n_models:
             Second-stage model count for every (re)build; the
             keys-per-model ratio therefore grows with the data, like a
@@ -73,6 +74,12 @@ class DynamicLearnedIndex:
             to train on.  Rejected keys are quarantined (still
             served, via binary search) and reconsidered at the next
             retrain.
+        sanitize_initial:
+            Screen the *initial* build too.  The default trusts the
+            construction keys (the paper's threat model); a caller
+            rebuilding from a live — possibly already-poisoned — key
+            set (a shard migration) passes ``True`` so the first
+            model trains only on keys the defense trusts.
         """
         if not 0.0 < retrain_threshold <= 1.0:
             raise ValueError(
@@ -85,6 +92,15 @@ class DynamicLearnedIndex:
         self._base = np.sort(keys)
         self._delta: list[int] = []
         self._quarantine = np.empty(0, dtype=np.int64)
+        if sanitize_initial and sanitizer is not None:
+            kept = np.sort(np.asarray(sanitizer(self._base),
+                                      dtype=np.int64))
+            if np.setdiff1d(kept, self._base).size:
+                raise ValueError(
+                    "sanitizer returned keys outside the training set")
+            self._quarantine = np.setdiff1d(self._base, kept)
+            self._quarantine.setflags(write=False)
+            self._base = kept
         self._rmi = RecursiveModelIndex.build_equal_size(self._base,
                                                          n_models)
         self._retrain_count = 0

@@ -67,6 +67,7 @@ from .trace import (
     OP_RANGE,
     POISON_SCHEDULES,
     QUERY_MIXES,
+    TENANT_LAYOUTS,
     Trace,
     TraceSpec,
     generate_rate_driven_trace,
@@ -80,6 +81,7 @@ __all__ = [
     "generate_rate_driven_trace",
     "QUERY_MIXES",
     "POISON_SCHEDULES",
+    "TENANT_LAYOUTS",
     "OP_QUERY",
     "OP_INSERT",
     "OP_DELETE",

@@ -41,6 +41,12 @@ auto-tuner (:class:`repro.workload.closedloop.TrimAutoTuner`) turns
 from observed churn and amplification.  Changes take effect at the
 next rebuild check; they never trigger one by themselves, so a tuning
 decision at a tick boundary cannot move retrain timing inside a tick.
+
+Shard hook: ``live_keys`` exports the backend's current live key set
+(model − tombstones + delta + quarantine) as one sorted array — what a
+cluster router migrates when a shard splits or merges
+(:mod:`repro.cluster`).  It is a read-only snapshot; exporting never
+perturbs rebuild timing.
 """
 
 from __future__ import annotations
@@ -190,6 +196,19 @@ class ServingBackend:
         """Worst-case search width of the current model, in cells."""
         return float(self._model_error_bound())
 
+    # -- shard hook ----------------------------------------------------
+    def live_keys(self) -> np.ndarray:
+        """The current live key set, sorted (the migration unit).
+
+        Exactly the keys a rebuild would train on before any TRIM
+        screen: snapshot minus tombstones, plus the delta buffer and
+        the quarantine list.  A cluster router splitting or merging
+        shards rebuilds the replacement backends from this export.
+        """
+        return np.union1d(
+            np.setdiff1d(self._snapshot, self._tombs),
+            np.union1d(self._delta, self._quarantine))
+
     def lookup_batch(self, keys: np.ndarray,
                      ) -> tuple[np.ndarray, np.ndarray]:
         """(found, probes) per query over model + side tables."""
@@ -265,9 +284,7 @@ class ServingBackend:
     def rebuild(self) -> None:
         """Compact and retrain on the live keys (the poisoning window:
         whatever reached the delta buffer trains the next model)."""
-        live = np.union1d(
-            np.setdiff1d(self._snapshot, self._tombs),
-            np.union1d(self._delta, self._quarantine))
+        live = self.live_keys()
         if self._sanitizer is not None:
             kept = np.sort(np.asarray(self._sanitizer(live),
                                       dtype=np.int64))
@@ -459,18 +476,44 @@ class DynamicBackend(ServingBackend):
         super().set_trim_keep_fraction(fraction)
         self._index.set_sanitizer(self._sanitizer)
 
+    def live_keys(self) -> np.ndarray:
+        # The dynamic index owns its own side tables; the shared
+        # snapshot/delta fields are not authoritative here.
+        return np.setdiff1d(
+            np.sort(np.concatenate([
+                self._index.rmi.store.keys,
+                self._index.delta_keys,
+                self._index.quarantine_keys])),
+            self._tombs)
+
+    def rebuild(self) -> None:
+        """Compact and retrain through the index's own screening path.
+
+        The base-class rebuild would screen into the *generic*
+        quarantine list, which this backend's lookups never consult
+        (the index owns its side tables) — so the dynamic backend
+        rebuilds by replacing its index over the live keys with
+        ``sanitize_initial`` armed, landing rejects in the index's own
+        quarantine where lookups price them honestly.
+        """
+        live = self.live_keys()
+        self._tombs = np.empty(0, dtype=np.int64)
+        self._retrains += self._index.retrain_count + 1
+        n_models = max(int(live.size) // self._build_args["model_size"],
+                       1)
+        self._index = DynamicLearnedIndex(
+            live, n_models=n_models,
+            retrain_threshold=self._threshold,
+            sanitizer=self._sanitizer,
+            sanitize_initial=True)
+
     def delete_batch(self, keys: np.ndarray) -> None:
         keys = np.asarray(keys, dtype=np.int64)
         present = keys[[self._index.contains(int(k)) for k in keys]]
         self._tombs = np.union1d(self._tombs, present)
         if (self._tombs.size
                 >= self._threshold * max(self._index.n_keys, 1)):
-            live = np.setdiff1d(
-                np.sort(np.concatenate([
-                    self._index.rmi.store.keys,
-                    self._index.delta_keys,
-                    self._index.quarantine_keys])),
-                self._tombs)
+            live = self.live_keys()
             self._tombs = np.empty(0, dtype=np.int64)
             # The replacement index restarts its internal counter;
             # fold the finished one's cycles in before dropping it.

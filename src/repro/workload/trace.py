@@ -31,6 +31,30 @@ Poison schedules
 ``drip``    evenly interleaved single insertions — the low-and-slow
             attacker a rate limiter would have to catch;
 ``burst``   ``burst_count`` contiguous bursts spread across the trace.
+
+Tenant layouts
+--------------
+A spec may describe a *multi-tenant* scenario (``n_tenants`` > 1):
+several users share one serving cluster, and every operation belongs
+to exactly one tenant — a pure, deterministic function of its key, so
+the trace arrays themselves never change shape:
+
+``shared``  every tenant stores keys over the whole domain; a key's
+            tenant is a multiplicative hash of its value (the
+            colocated-table layout);
+``ranges``  the domain splits into ``n_tenants`` equal-width
+            contiguous key ranges with equal key mass each (the
+            range-partitioned layout a shard map can align with);
+``skewed``  equal-width ranges, but tenant ``t`` holds a
+            ``tenant_skew ** t`` share of the key mass — tenant 0 is
+            the heavy (premium) tenant whose shards run hot.
+
+Per-tenant SLO targets derive from two scalars: tenant ``t``'s p95
+probe budget is ``slo_p95 * slo_tier_factor ** t`` (``slo_p95 == 0``
+disables SLOs).  All tenant fields are omitted from the canonical
+serialisation while they sit at their single-tenant defaults, so
+every pre-existing spec keeps its digest — and its bit-identical
+generated stream.
 """
 
 from __future__ import annotations
@@ -51,7 +75,7 @@ from ..runtime import stable_seed_words
 __all__ = [
     "OP_QUERY", "OP_INSERT", "OP_DELETE", "OP_MODIFY", "OP_RANGE",
     "OP_POISON", "OP_NAMES", "QUERY_MIXES", "POISON_SCHEDULES",
-    "TraceSpec", "Trace", "generate_trace",
+    "TENANT_LAYOUTS", "TraceSpec", "Trace", "generate_trace",
     "generate_rate_driven_trace",
 ]
 
@@ -68,8 +92,26 @@ OP_NAMES = {
 
 QUERY_MIXES = ("uniform", "zipfian", "hotspot")
 POISON_SCHEDULES = ("none", "oneshot", "drip", "burst")
+TENANT_LAYOUTS = ("shared", "ranges", "skewed")
 
 _DIGEST_HEX = 16  # matches Cell's 64-bit content-hash prefix
+
+#: The single-tenant defaults.  While *all* of these fields sit at
+#: their defaults they are omitted from the canonical serialisation,
+#: so every spec written before multi-tenancy existed keeps its digest
+#: (and therefore regenerates its exact pre-existing stream).
+_TENANT_DEFAULTS = {
+    "n_tenants": 1,
+    "tenant_layout": "shared",
+    "tenant_skew": 0.5,
+    "slo_p95": 0.0,
+    "slo_tier_factor": 1.0,
+}
+
+#: Fibonacci-hash multiplier for the ``shared`` layout's key->tenant
+#: map (pure uint64 arithmetic: stable across processes and platforms,
+#: unlike the salted builtin ``hash``).
+_TENANT_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
 
 
 @dataclass(frozen=True)
@@ -98,45 +140,103 @@ class TraceSpec:
     poison_percentage: float = 0.0   # budget as % of the base keys
     burst_count: int = 4
     seed: int = 101
+    n_tenants: int = 1
+    tenant_layout: str = "shared"
+    tenant_skew: float = 0.5         # mass ratio between adjacent tiers
+    slo_p95: float = 0.0             # tenant 0's p95 target (0 = off)
+    slo_tier_factor: float = 1.0     # per-tier SLO relaxation
 
     def __post_init__(self) -> None:
+        # Every rejection names the offending field and its value, so a
+        # bad CLI config fails with a message that points at the knob.
         if self.n_base_keys < 1:
-            raise ValueError(f"need base keys, got {self.n_base_keys}")
+            raise ValueError(
+                f"n_base_keys must be >= 1 (need base keys), "
+                f"got {self.n_base_keys}")
         if self.domain_factor < 2:
             raise ValueError(
-                f"domain factor must leave gaps: {self.domain_factor}")
+                f"domain_factor must be >= 2 to leave gaps for "
+                f"insertions, got {self.domain_factor}")
         if self.n_ops < 1:
-            raise ValueError(f"need operations, got {self.n_ops}")
+            raise ValueError(
+                f"n_ops must be >= 1 (need operations), "
+                f"got {self.n_ops}")
         if self.query_mix not in QUERY_MIXES:
             raise ValueError(
-                f"query mix must be one of {QUERY_MIXES}, "
+                f"query_mix must name a query mix in {QUERY_MIXES}, "
                 f"got {self.query_mix!r}")
         if self.poison_schedule not in POISON_SCHEDULES:
             raise ValueError(
-                f"poison schedule must be one of {POISON_SCHEDULES}, "
+                f"poison_schedule must be one of {POISON_SCHEDULES}, "
                 f"got {self.poison_schedule!r}")
         if (self.poison_schedule == "none") != (self.poison_percentage == 0.0):
             raise ValueError(
-                "poison_percentage must be 0 exactly when the schedule "
-                "is 'none'")
+                f"poison_percentage must be 0 exactly when "
+                f"poison_schedule is 'none', got "
+                f"poison_percentage={self.poison_percentage} with "
+                f"poison_schedule={self.poison_schedule!r}")
         if not 0.0 <= self.poison_percentage <= 20.0:
             raise ValueError(
-                f"poisoning is capped at 20%: {self.poison_percentage}")
+                f"poison_percentage is capped at 20%, "
+                f"got {self.poison_percentage}")
         for name in ("range_fraction", "insert_fraction",
                      "delete_fraction", "modify_fraction"):
             value = getattr(self, name)
             if not 0.0 <= value <= 0.5:
-                raise ValueError(f"{name} must be in [0, 0.5]: {value}")
+                raise ValueError(
+                    f"{name} must be in [0, 0.5], got {value}")
         if self.burst_count < 1:
-            raise ValueError(f"need at least one burst: {self.burst_count}")
+            raise ValueError(
+                f"burst_count must be >= 1, got {self.burst_count}")
+        if self.n_tenants < 1:
+            raise ValueError(
+                f"n_tenants must be >= 1, got {self.n_tenants}")
+        if self.tenant_layout not in TENANT_LAYOUTS:
+            raise ValueError(
+                f"tenant_layout must be one of {TENANT_LAYOUTS}, "
+                f"got {self.tenant_layout!r}")
+        if not 0.0 < self.tenant_skew <= 1.0:
+            raise ValueError(
+                f"tenant_skew must be in (0, 1], got {self.tenant_skew}")
+        if self.slo_p95 < 0.0:
+            raise ValueError(
+                f"slo_p95 must be non-negative (0 disables SLOs), "
+                f"got {self.slo_p95}")
+        if self.slo_tier_factor <= 0.0:
+            raise ValueError(
+                f"slo_tier_factor must be positive, "
+                f"got {self.slo_tier_factor}")
+        if self.n_tenants > 1:
+            if self.n_base_keys < 4 * self.n_tenants:
+                raise ValueError(
+                    f"n_base_keys={self.n_base_keys} leaves under 4 "
+                    f"keys per tenant for n_tenants={self.n_tenants}")
+            if self.tenant_layout in ("ranges", "skewed"):
+                # Every tenant's range must hold its keys with gaps
+                # to spare — a skewed heavy tenant packs its slice
+                # far denser than the global density suggests.
+                counts = self.tenant_key_counts()
+                for tenant, (lo, hi) in enumerate(
+                        self.tenant_ranges()):
+                    width = hi - lo + 1
+                    if width < 2 * int(counts[tenant]):
+                        raise ValueError(
+                            f"tenant_skew={self.tenant_skew} packs "
+                            f"tenant {tenant}'s {int(counts[tenant])} "
+                            f"keys into a range of {width} values; "
+                            f"raise domain_factor="
+                            f"{self.domain_factor} to leave "
+                            f"insertion gaps")
         counts = self.op_counts()
         if counts["query"] < 1:
             raise ValueError(
-                "op fractions plus the poison budget leave no queries")
+                "op fractions plus the poison budget leave no queries "
+                f"in n_ops={self.n_ops}")
         if counts["delete"] + counts["modify"] > self.n_base_keys // 2:
             raise ValueError(
-                "delete + modify stream would consume over half of the "
-                "base keys")
+                "delete_fraction + modify_fraction stream would consume "
+                f"over half of n_base_keys={self.n_base_keys}: "
+                f"{counts['delete']} + {counts['modify']} victims")
 
     # ------------------------------------------------------------------
     def poison_budget(self) -> int:
@@ -163,9 +263,102 @@ class TraceSpec:
         return Domain.of_size(self.domain_factor * self.n_base_keys)
 
     # ------------------------------------------------------------------
+    # Multi-tenancy
+    # ------------------------------------------------------------------
+    def tenant_weights(self) -> np.ndarray:
+        """Key-mass share per tenant (sums to 1).
+
+        ``shared``/``ranges`` split mass evenly; ``skewed`` gives
+        tenant ``t`` a share proportional to ``tenant_skew ** t``, so
+        tenant 0 is the heavy tenant.
+        """
+        if self.tenant_layout == "skewed":
+            weights = self.tenant_skew ** np.arange(
+                self.n_tenants, dtype=np.float64)
+        else:
+            weights = np.ones(self.n_tenants, dtype=np.float64)
+        return weights / weights.sum()
+
+    def tenant_key_counts(self) -> np.ndarray:
+        """Base keys each tenant owns (largest-remainder, >= 1 each)."""
+        shares = self.tenant_weights() * self.n_base_keys
+        counts = np.maximum(np.floor(shares).astype(np.int64), 1)
+        remainders = shares - np.floor(shares)
+        # Stable largest-remainder top-up: ties break on tenant index.
+        order = np.lexsort((np.arange(self.n_tenants), -remainders))
+        i = 0
+        while counts.sum() < self.n_base_keys:
+            counts[order[i % self.n_tenants]] += 1
+            i += 1
+        while counts.sum() > self.n_base_keys:
+            donor = int(np.argmax(counts))
+            counts[donor] -= 1
+        return counts
+
+    def tenant_bounds(self) -> np.ndarray:
+        """Interior key-space boundaries of the ranged layouts.
+
+        Tenant ``t`` owns ``[bounds[t-1], bounds[t])`` with the domain
+        edges implied; ``shared`` layouts have no boundaries.
+        """
+        if self.tenant_layout == "shared" or self.n_tenants == 1:
+            return np.empty(0, dtype=np.int64)
+        domain = self.domain()
+        steps = np.arange(1, self.n_tenants, dtype=np.int64)
+        return domain.lo + (steps * domain.size) // self.n_tenants
+
+    def tenant_ranges(self) -> list[tuple[int, int]]:
+        """Inclusive ``(lo, hi)`` key range per tenant (ranged layouts).
+
+        For ``shared`` every tenant spans the whole domain.
+        """
+        domain = self.domain()
+        if self.tenant_layout == "shared" or self.n_tenants == 1:
+            return [(domain.lo, domain.hi)] * self.n_tenants
+        edges = np.concatenate([
+            [domain.lo], self.tenant_bounds(), [domain.hi + 1]])
+        return [(int(edges[t]), int(edges[t + 1]) - 1)
+                for t in range(self.n_tenants)]
+
+    def tenant_of(self, keys: np.ndarray) -> np.ndarray:
+        """The tenant owning each key — a pure function of the value.
+
+        Ranged layouts map by range membership; ``shared`` maps by a
+        process-stable multiplicative hash.  Because tenancy never
+        depends on trace position, re-chunked replays attribute every
+        op identically.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if self.n_tenants == 1:
+            return np.zeros(keys.shape, dtype=np.int64)
+        if self.tenant_layout == "shared":
+            mixed = keys.astype(np.uint64) * _TENANT_HASH_MULTIPLIER
+            return ((mixed >> np.uint64(33))
+                    % np.uint64(self.n_tenants)).astype(np.int64)
+        return np.searchsorted(self.tenant_bounds(), keys,
+                               side="right").astype(np.int64)
+
+    def tenant_slos(self) -> tuple[float, ...]:
+        """Per-tenant p95 probe targets (``inf`` when SLOs are off)."""
+        if self.slo_p95 == 0.0:
+            return (float("inf"),) * self.n_tenants
+        return tuple(self.slo_p95 * self.slo_tier_factor ** t
+                     for t in range(self.n_tenants))
+
+    # ------------------------------------------------------------------
     def spec(self) -> dict[str, Any]:
-        """JSON-safe canonical description (what the digest covers)."""
-        return dict(sorted(asdict(self).items()))
+        """JSON-safe canonical description (what the digest covers).
+
+        Tenant fields are omitted while the whole group sits at the
+        single-tenant defaults — the backward-compatibility contract
+        that keeps every pre-multi-tenancy digest (and stream) intact.
+        """
+        fields = asdict(self)
+        if all(fields[name] == default
+               for name, default in _TENANT_DEFAULTS.items()):
+            for name in _TENANT_DEFAULTS:
+                del fields[name]
+        return dict(sorted(fields.items()))
 
     def canonical_json(self) -> str:
         """Canonical serialisation: sorted keys, no whitespace games."""
@@ -206,6 +399,10 @@ class Trace:
     def poison_keys(self) -> np.ndarray:
         """The adversarial keys, in injection order."""
         return self.keys[self.kinds == OP_POISON]
+
+    def tenants(self) -> np.ndarray:
+        """Tenant id per operation (op-aligned, from the op's key)."""
+        return self.spec.tenant_of(self.keys)
 
     def checksum(self) -> int:
         """CRC-32 over every array — the cross-process fingerprint."""
@@ -293,6 +490,27 @@ def _poison_positions(spec: TraceSpec, count: int) -> np.ndarray:
     return np.concatenate(positions)
 
 
+def _base_keyset(rng: np.random.Generator, spec: TraceSpec,
+                 domain: Domain) -> KeySet:
+    """The initial stored keys, honouring the tenant layout.
+
+    Ranged layouts draw each tenant's keys uniformly inside its own
+    contiguous range (counts per :meth:`TraceSpec.tenant_key_counts`),
+    so a ``skewed`` layout produces a piecewise CDF whose slope is the
+    tenant mass — the distribution a balanced-by-mass shard map
+    partitions unevenly on purpose.  ``shared`` (and single-tenant)
+    layouts keep the historical uniform draw bit-for-bit.
+    """
+    if spec.n_tenants == 1 or spec.tenant_layout == "shared":
+        return uniform_keyset(spec.n_base_keys, domain, rng)
+    pieces = []
+    for (lo, hi), count in zip(spec.tenant_ranges(),
+                               spec.tenant_key_counts()):
+        sub = uniform_keyset(int(count), Domain(lo, hi), rng)
+        pieces.append(sub.keys)
+    return KeySet(np.concatenate(pieces), domain)
+
+
 def generate_trace(spec: TraceSpec) -> Trace:
     """Materialise the operation stream a spec describes.
 
@@ -303,7 +521,7 @@ def generate_trace(spec: TraceSpec) -> Trace:
     rng = np.random.default_rng(
         stable_seed_words(spec.seed, spec.digest))
     domain = spec.domain()
-    base = uniform_keyset(spec.n_base_keys, domain, rng)
+    base = _base_keyset(rng, spec, domain)
     counts = spec.op_counts()
 
     # Adversarial stream: Algorithm 1 against the base keyset.  The

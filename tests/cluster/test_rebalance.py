@@ -1,0 +1,176 @@
+"""Unit tests for rebalancing triggers and the SLO-weighted defense."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Rebalancer, SloWeightedDefense
+from repro.workload.simulator import TickObservation
+
+
+def loads(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+def p95s(*values):
+    return np.asarray(values, dtype=np.float64)
+
+
+KEYS = np.asarray([100, 100, 100, 100], dtype=np.int64)
+
+
+def obs(tick=3, amplification=1.0, n_keys=100):
+    return TickObservation(
+        tick=tick, ticks_total=10, p50=4.0, p95=5.0, p99=6.0,
+        mean_probes=4.0, error_bound=8.0, retrains=0,
+        retrains_delta=0, amplification=amplification, n_keys=n_keys,
+        injected_total=0)
+
+
+class TestRebalancerTriggers:
+    def test_hot_load_split(self):
+        r = Rebalancer(cooldown_ticks=0)
+        decision = r.decide(loads(300, 20, 20, 20), p95s(5, 5, 5, 5),
+                            KEYS)
+        assert decision is not None
+        assert (decision.kind, decision.shard) == ("split", 0)
+        assert decision.reason == "hot-load"
+
+    def test_slow_shard_split(self):
+        r = Rebalancer(cooldown_ticks=0, split_latency_factor=1.5)
+        decision = r.decide(loads(25, 25, 25, 25), p95s(5, 5, 9, 5),
+                            KEYS)
+        assert decision is not None
+        assert (decision.kind, decision.shard) == ("split", 2)
+        assert decision.reason == "slow-shard"
+
+    def test_cold_pair_merge(self):
+        r = Rebalancer(cooldown_ticks=0)
+        decision = r.decide(loads(60, 2, 2, 60), p95s(5, 5, 5, 5),
+                            KEYS)
+        assert decision is not None
+        assert (decision.kind, decision.shard) == ("merge", 1)
+        assert decision.reason == "cold-pair"
+
+    def test_balanced_cluster_is_left_alone(self):
+        r = Rebalancer(cooldown_ticks=0)
+        assert r.decide(loads(25, 25, 25, 25), p95s(5, 5, 5, 5),
+                        KEYS) is None
+
+    def test_cooldown_suppresses_consecutive_actions(self):
+        r = Rebalancer(cooldown_ticks=2)
+        hot = loads(300, 20, 20, 20)
+        flat = p95s(5, 5, 5, 5)
+        assert r.decide(hot, flat, KEYS) is not None
+        assert r.decide(hot, flat, KEYS) is None
+        assert r.decide(hot, flat, KEYS) is None
+        assert r.decide(hot, flat, KEYS) is not None
+
+    def test_max_shards_blocks_splits(self):
+        """At the shard cap a hot shard cannot split; merging the
+        cold tail instead frees room for a future split."""
+        r = Rebalancer(cooldown_ticks=0, max_shards=4)
+        decision = r.decide(loads(300, 20, 20, 20), p95s(5, 5, 5, 5),
+                            KEYS)
+        assert decision is not None and decision.kind == "merge"
+
+    def test_min_shards_blocks_merges(self):
+        r = Rebalancer(cooldown_ticks=0, min_shards=4)
+        assert r.decide(loads(60, 2, 2, 60), p95s(5, 5, 5, 5),
+                        KEYS) is None
+
+    def test_tiny_shard_never_splits(self):
+        r = Rebalancer(cooldown_ticks=0, min_shard_keys=64)
+        decision = r.decide(loads(300, 20, 20, 20), p95s(5, 5, 5, 5),
+                            loads(10, 100, 100, 100))
+        assert decision is None or decision.shard != 0
+
+    def test_nan_p95_is_no_signal(self):
+        r = Rebalancer(cooldown_ticks=0)
+        assert r.decide(loads(25, 25, 25, 25),
+                        p95s(float("nan"), 5, 5, 5), KEYS) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_shards"):
+            Rebalancer(min_shards=0)
+        with pytest.raises(ValueError, match="max_shards"):
+            Rebalancer(min_shards=4, max_shards=2)
+        with pytest.raises(ValueError, match="split_load_factor"):
+            Rebalancer(split_load_factor=1.0)
+        with pytest.raises(ValueError, match="merge_load_factor"):
+            Rebalancer(merge_load_factor=1.0)
+
+
+class TestSloWeightedDefense:
+    SLOS = (5.0, 7.5, 11.25)
+
+    def test_pressure_is_worst_tenant_ratio(self):
+        d = SloWeightedDefense(self.SLOS, amp_slo=1.1)
+        pressure = d.pressure(
+            np.asarray([6.0, 5.0, 5.0]),
+            np.asarray([1.0, 1.0, 1.0]),
+            np.asarray([0, 1]))
+        assert pressure == pytest.approx(6.0 / 5.0)
+
+    def test_amplification_arm_sees_sub_probe_drift(self):
+        """Integer p95s hide early damage; the amplification budget
+        must pressure anyway."""
+        d = SloWeightedDefense(self.SLOS, amp_slo=1.1)
+        pressure = d.pressure(
+            np.asarray([5.0, 5.0, 5.0]),      # all inside p95 SLO
+            np.asarray([1.32, 1.0, 1.0]),     # but tenant 0 drifted
+            np.asarray([0]))
+        assert pressure == pytest.approx(1.32 / 1.1)
+
+    def test_nan_and_inf_contribute_nothing(self):
+        d = SloWeightedDefense((float("inf"),), amp_slo=1.1)
+        assert d.pressure(np.asarray([99.0]),
+                          np.asarray([float("nan")]),
+                          np.asarray([0])) == 0.0
+
+    def test_pressure_defers_and_tightens(self):
+        d = SloWeightedDefense(self.SLOS, base_threshold=0.12,
+                               keep_deadband=0.1, keep_gain=0.75)
+        keep, threshold = d.decide_shard(
+            0, 4, obs(), np.asarray([9.0, 5.0, 5.0]),
+            np.asarray([1.0, 1.0, 1.0]), np.asarray([0]))
+        assert threshold == pytest.approx(0.5)   # deferral kicked in
+        assert keep is not None and keep < 1.0   # screen tightened
+
+    def test_no_pressure_keeps_neutral_decision(self):
+        d = SloWeightedDefense(self.SLOS, base_threshold=0.12,
+                               keep_deadband=0.1, keep_gain=0.75)
+        keep, threshold = d.decide_shard(
+            0, 4, obs(), np.asarray([4.0, 5.0, 5.0]),
+            np.asarray([1.0, 1.0, 1.0]), np.asarray([0]))
+        assert threshold == pytest.approx(0.12)
+        assert keep == 1.0
+
+    def test_keep_respects_the_floor(self):
+        d = SloWeightedDefense(self.SLOS, keep_floor=0.7,
+                               pressure_gain=5.0)
+        keep, _ = d.decide_shard(
+            0, 4, obs(), np.asarray([50.0, 5.0, 5.0]),
+            np.asarray([1.0, 1.0, 1.0]), np.asarray([0]))
+        assert keep == pytest.approx(0.7)
+
+    def test_topology_change_resets_tuner_state(self):
+        d = SloWeightedDefense(self.SLOS, base_threshold=0.12)
+        hot = obs(amplification=3.0)
+        for _ in range(4):  # drive shard 0's EMA up at 4 shards
+            d.decide_shard(0, 4, hot, np.asarray([4.0, 5.0, 5.0]),
+                           np.asarray([1.0, 1.0, 1.0]),
+                           np.asarray([0]))
+        armed = d._tuners[0]._amp_ema
+        assert armed > 1.5
+        # A split re-keys the shards: fresh tuners, neutral EMAs.
+        d.decide_shard(0, 5, obs(), np.asarray([4.0, 5.0, 5.0]),
+                       np.asarray([1.0, 1.0, 1.0]), np.asarray([0]))
+        assert d._tuners[0]._amp_ema < armed
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="SLO targets"):
+            SloWeightedDefense((0.0,))
+        with pytest.raises(ValueError, match="amp_slo"):
+            SloWeightedDefense(self.SLOS, amp_slo=1.0)
+        with pytest.raises(ValueError, match="deferral_threshold"):
+            SloWeightedDefense(self.SLOS, deferral_threshold=0.0)

@@ -1,0 +1,148 @@
+"""Unit tests for the CDF-partitioned shard map."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ShardMap
+from repro.data.keyset import Domain
+
+
+def keys_of(n, domain, seed=5):
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(domain.size, size=n, replace=False)
+                   + domain.lo)
+
+
+class TestConstruction:
+    def test_single_shard_has_no_splits(self):
+        domain = Domain.of_size(1000)
+        m = ShardMap.balanced(keys_of(100, domain), 1, domain)
+        assert m.n_shards == 1
+        assert m.splits == ()
+        assert m.shard_range(0) == (domain.lo, domain.hi)
+
+    def test_balanced_equal_mass(self):
+        domain = Domain.of_size(10_000)
+        keys = keys_of(1_000, domain)
+        m = ShardMap.balanced(keys, 8, domain)
+        counts = m.shard_counts(keys)
+        assert counts.sum() == keys.size
+        assert counts.max() - counts.min() <= 1
+
+    def test_skewed_mass_still_balances(self):
+        """Split points follow the CDF: a dense region gets narrow
+        shards, a sparse one wide shards — key counts stay equal."""
+        rng = np.random.default_rng(11)
+        dense = rng.choice(1_000, size=800, replace=False)
+        sparse = rng.choice(np.arange(50_000, 100_000), size=200,
+                            replace=False)
+        keys = np.sort(np.concatenate([dense, sparse]))
+        domain = Domain.of_size(100_000)
+        m = ShardMap.balanced(keys, 4, domain)
+        counts = m.shard_counts(keys)
+        assert counts.max() - counts.min() <= 1
+        widths = np.diff(m.edges)
+        assert widths[0] < widths[-1]  # dense side is narrower
+
+    def test_empty_keys_collapse_to_one_shard(self):
+        domain = Domain.of_size(100)
+        m = ShardMap.balanced(np.empty(0, dtype=np.int64), 4, domain)
+        assert m.n_shards == 1
+
+    def test_rejects_bad_splits(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ShardMap(0, 100, (50, 50))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ShardMap(0, 100, (0,))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ShardMap(0, 100, (101,))
+        with pytest.raises(ValueError, match="empty shard-map domain"):
+            ShardMap(10, 5)
+
+    def test_rejects_out_of_domain_keys(self):
+        with pytest.raises(ValueError, match="outside the domain"):
+            ShardMap.balanced(np.asarray([5, 200]), 2,
+                              Domain.of_size(100))
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardMap.balanced(np.asarray([1, 2]), 0, Domain.of_size(10))
+
+
+class TestRouting:
+    def test_route_respects_ranges(self):
+        domain = Domain.of_size(1_000)
+        keys = keys_of(200, domain)
+        m = ShardMap.balanced(keys, 4, domain)
+        shards = m.route(keys)
+        for shard in range(m.n_shards):
+            lo, hi = m.shard_range(shard)
+            own = keys[shards == shard]
+            assert (own >= lo).all() and (own <= hi).all()
+
+    def test_split_key_routes_right(self):
+        m = ShardMap(0, 100, (50,))
+        assert m.route(np.asarray([49, 50, 51])).tolist() == [0, 1, 1]
+
+    def test_ranges_partition_domain(self):
+        m = ShardMap(0, 99, (10, 40))
+        ranges = [m.shard_range(i) for i in range(3)]
+        assert ranges == [(0, 9), (10, 39), (40, 99)]
+
+
+class TestDerivation:
+    def test_split_at_mass_median(self):
+        domain = Domain.of_size(1_000)
+        keys = keys_of(100, domain)
+        m = ShardMap.balanced(keys, 2, domain)
+        before = m.n_shards
+        split = m.split(0, keys)
+        assert split.n_shards == before + 1
+        # The cut isolates half of shard 0's mass.
+        lo, hi = m.shard_range(0)
+        inside = keys[(keys >= lo) & (keys <= hi)]
+        left = split.shard_counts(inside)[0]
+        assert abs(left - inside.size / 2) <= 1
+
+    def test_split_without_enough_keys_is_a_noop(self):
+        m = ShardMap(0, 100, ())
+        assert m.split(0, np.asarray([5])) is m
+
+    def test_merge_drops_the_boundary(self):
+        m = ShardMap(0, 100, (30, 60))
+        merged = m.merge(0)
+        assert merged.splits == (60,)
+        with pytest.raises(ValueError, match="no right neighbour"):
+            merged.merge(1)
+
+    def test_rebalanced_recomputes_equal_mass(self):
+        domain = Domain.of_size(10_000)
+        keys = keys_of(500, domain)
+        skew = ShardMap(domain.lo, domain.hi, (9_000, 9_500, 9_900))
+        counts = skew.shard_counts(keys)
+        assert counts.max() - counts.min() > 1  # badly unbalanced
+        fixed = skew.rebalanced(keys)
+        assert fixed.n_shards == skew.n_shards
+        counts = fixed.shard_counts(keys)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestContentAddressing:
+    def test_digest_names_the_partition(self):
+        a = ShardMap(0, 100, (30, 60))
+        b = ShardMap(0, 100, (30, 60))
+        c = ShardMap(0, 100, (30, 61))
+        assert a.digest == b.digest
+        assert a.digest != c.digest
+        assert len(a.digest) == 16
+        int(a.digest, 16)
+
+    def test_digest_covers_the_domain(self):
+        assert ShardMap(0, 100).digest != ShardMap(0, 101).digest
+
+    def test_derivations_change_the_digest(self):
+        domain = Domain.of_size(1_000)
+        keys = keys_of(100, domain)
+        m = ShardMap.balanced(keys, 2, domain)
+        assert m.split(0, keys).digest != m.digest
+        assert m.split(0, keys).merge(0).n_shards == m.n_shards

@@ -1,0 +1,137 @@
+"""Property tests for shard-map determinism (ISSUE 5 satellite).
+
+Mirrors the trace-replay properties of PR 3 one level up:
+
+* **cross-process determinism** — split points and routing computed
+  in a separate interpreter (fresh ``PYTHONHASHSEED``, so any
+  accidental use of the salted builtin ``hash`` would change them)
+  are identical;
+* **re-chunking invariance** — routing an op batch equals routing
+  its concatenation in any partition into sub-batches (routing is
+  stateless, so per-tick batching can never change placement);
+* **balance** — equal-mass split points keep per-shard key counts
+  within one of each other for any keyset and shard count.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ShardMap
+from repro.data.keyset import Domain
+
+CASES = st.fixed_dictionaries({
+    "n_keys": st.sampled_from((50, 200, 999)),
+    "domain_factor": st.sampled_from((3, 10)),
+    "n_shards": st.integers(1, 9),
+    "seed": st.integers(0, 2**31 - 1),
+})
+
+
+def build(case):
+    domain = Domain.of_size(case["domain_factor"] * case["n_keys"])
+    rng = np.random.default_rng(case["seed"])
+    keys = np.sort(rng.choice(domain.size, size=case["n_keys"],
+                              replace=False) + domain.lo)
+    return keys, domain, ShardMap.balanced(keys, case["n_shards"],
+                                           domain)
+
+
+class TestDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(case=CASES)
+    def test_construction_is_idempotent(self, case):
+        keys, domain, m = build(case)
+        again = ShardMap.balanced(keys, case["n_shards"], domain)
+        assert m == again
+        assert m.digest == again.digest
+        assert np.array_equal(m.route(keys), again.route(keys))
+
+    def test_splits_and_routing_stable_across_processes(self):
+        """A worker with a different hash salt must derive identical
+        split points and routes — the property resumable cluster
+        sweeps depend on."""
+        case = {"n_keys": 500, "domain_factor": 10, "n_shards": 7,
+                "seed": 41}
+        keys, domain, local = build(case)
+        local_routes = local.route(keys)
+        script = (
+            "import numpy as np;"
+            "from repro.cluster import ShardMap;"
+            "from repro.data.keyset import Domain;"
+            "domain = Domain.of_size(5000);"
+            "rng = np.random.default_rng(41);"
+            "keys = np.sort(rng.choice(domain.size, size=500,"
+            " replace=False) + domain.lo);"
+            "m = ShardMap.balanced(keys, 7, domain);"
+            "import zlib;"
+            "print(m.digest);"
+            "print(zlib.crc32(m.route(keys).tobytes()))")
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        for salt in ("0", "12345"):
+            env = dict(os.environ, PYTHONPATH=src,
+                       PYTHONHASHSEED=salt)
+            out = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True)
+            digest, crc = out.stdout.split()
+            assert digest == local.digest, salt
+            import zlib
+            assert int(crc) == zlib.crc32(local_routes.tobytes()), salt
+
+
+class TestRechunkingInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(case=CASES, chunk_seed=st.integers(0, 2**31 - 1))
+    def test_routing_invariant_under_batch_rechunking(self, case,
+                                                      chunk_seed):
+        """route(batch) == concat(route(chunk) for chunk in batch)
+        for ANY partition of the batch — per-tick batching can never
+        move a key to a different shard."""
+        keys, domain, m = build(case)
+        rng = np.random.default_rng(chunk_seed)
+        ops = rng.choice(keys, size=300)  # queries, with repeats
+        whole = m.route(ops)
+        n_cuts = int(rng.integers(0, 10))
+        cuts = np.sort(rng.integers(0, ops.size + 1, size=n_cuts))
+        chunks = np.split(ops, cuts)
+        rechunked = np.concatenate([m.route(c) for c in chunks])
+        assert np.array_equal(whole, rechunked)
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=CASES)
+    def test_shard_counts_match_routing(self, case):
+        keys, domain, m = build(case)
+        counts = m.shard_counts(keys)
+        routed = m.route(keys)
+        for shard in range(m.n_shards):
+            assert counts[shard] == int((routed == shard).sum())
+
+
+class TestBalance:
+    @settings(max_examples=30, deadline=None)
+    @given(case=CASES)
+    def test_equal_mass_within_one(self, case):
+        keys, domain, m = build(case)
+        counts = m.shard_counts(keys)
+        # Duplicate quantile keys may collapse shards, never unbalance
+        # them beyond the apportionment slack.
+        assert counts.sum() == keys.size
+        if m.n_shards == case["n_shards"]:
+            assert counts.max() - counts.min() <= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=CASES)
+    def test_every_key_routes_inside_its_shard_range(self, case):
+        keys, domain, m = build(case)
+        shards = m.route(keys)
+        edges = m.edges
+        assert (keys >= edges[shards]).all()
+        assert (keys < edges[shards + 1]).all()

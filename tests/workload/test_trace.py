@@ -10,6 +10,7 @@ from repro.workload.trace import (
     OP_POISON,
     OP_QUERY,
     OP_RANGE,
+    TENANT_LAYOUTS,
     TraceSpec,
     generate_trace,
 )
@@ -64,6 +65,124 @@ class TestTraceSpec:
                          poison_schedule="burst",
                          poison_percentage=10.0)
         assert sum(spec.op_counts().values()) == spec.n_ops
+
+    def test_validation_errors_name_field_and_value(self):
+        """Every rejection points at the offending field and carries
+        its value — the ISSUE 5 debuggability bugfix."""
+        cases = [
+            (dict(n_base_keys=0), "n_base_keys", "0"),
+            (dict(domain_factor=1), "domain_factor", "1"),
+            (dict(n_ops=0), "n_ops", "0"),
+            (dict(query_mix="gaussian"), "query_mix", "gaussian"),
+            (dict(poison_schedule="tsunami", poison_percentage=5.0),
+             "poison_schedule", "tsunami"),
+            (dict(poison_percentage=25.0, poison_schedule="drip"),
+             "poison_percentage", "25"),
+            (dict(insert_fraction=0.7), "insert_fraction", "0.7"),
+            (dict(burst_count=0), "burst_count", "0"),
+            (dict(n_tenants=0), "n_tenants", "0"),
+            (dict(tenant_layout="mesh", n_tenants=2),
+             "tenant_layout", "mesh"),
+            (dict(tenant_skew=0.0, n_tenants=2), "tenant_skew", "0"),
+            (dict(slo_p95=-1.0), "slo_p95", "-1"),
+            (dict(slo_tier_factor=0.0), "slo_tier_factor", "0"),
+            (dict(n_base_keys=10, n_tenants=4,
+                  tenant_layout="ranges"), "n_base_keys", "10"),
+            (dict(delete_fraction=0.5, n_base_keys=100, n_ops=2_000),
+             "delete_fraction", "100"),
+        ]
+        for overrides, field, value in cases:
+            with pytest.raises(ValueError) as err:
+                TraceSpec(**overrides)
+            message = str(err.value)
+            assert field in message, overrides
+            assert value in message, overrides
+
+
+class TestMultiTenancy:
+    SPEC = TraceSpec(n_base_keys=600, n_tenants=3,
+                     tenant_layout="skewed", tenant_skew=0.5,
+                     slo_p95=8.0, slo_tier_factor=1.5, seed=7)
+
+    def test_tenant_defaults_keep_legacy_digest(self):
+        """The backward-compatibility contract: single-tenant specs
+        serialise exactly as before multi-tenancy existed."""
+        spec = TraceSpec()
+        assert "n_tenants" not in spec.spec()
+        explicit = TraceSpec(n_tenants=1, tenant_layout="shared")
+        assert explicit.digest == spec.digest
+
+    def test_tenant_fields_enter_the_digest_when_set(self):
+        assert self.SPEC.digest != TraceSpec(n_base_keys=600,
+                                             seed=7).digest
+        assert "n_tenants" in self.SPEC.spec()
+
+    def test_ranges_partition_the_domain(self):
+        ranges = self.SPEC.tenant_ranges()
+        assert len(ranges) == 3
+        assert ranges[0][0] == self.SPEC.domain().lo
+        assert ranges[-1][1] == self.SPEC.domain().hi
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(ranges, ranges[1:]):
+            assert b_lo == a_hi + 1
+
+    def test_skewed_weights_are_geometric(self):
+        weights = self.SPEC.tenant_weights()
+        assert weights[0] > weights[1] > weights[2]
+        assert weights.sum() == pytest.approx(1.0)
+        assert weights[1] / weights[0] == pytest.approx(0.5)
+
+    def test_key_counts_apportion_exactly(self):
+        counts = self.SPEC.tenant_key_counts()
+        assert counts.sum() == self.SPEC.n_base_keys
+        assert (counts >= 1).all()
+
+    def test_tenant_of_matches_ranges(self):
+        trace = generate_trace(self.SPEC)
+        tenants = self.SPEC.tenant_of(trace.base_keys)
+        for tenant, (lo, hi) in enumerate(self.SPEC.tenant_ranges()):
+            own = trace.base_keys[tenants == tenant]
+            assert (own >= lo).all() and (own <= hi).all()
+            assert own.size == self.SPEC.tenant_key_counts()[tenant]
+
+    def test_shared_layout_attribution_is_stable_and_covering(self):
+        spec = TraceSpec(n_base_keys=600, n_tenants=4,
+                         tenant_layout="shared", seed=7)
+        trace = generate_trace(spec)
+        tenants = spec.tenant_of(trace.base_keys)
+        assert np.array_equal(tenants, spec.tenant_of(trace.base_keys))
+        assert set(np.unique(tenants)) == {0, 1, 2, 3}
+
+    def test_single_tenant_everything_is_tenant_zero(self):
+        spec = TraceSpec()
+        assert (spec.tenant_of(np.arange(50)) == 0).all()
+        assert spec.tenant_slos() == (float("inf"),)
+
+    def test_slo_tiers(self):
+        assert self.SPEC.tenant_slos() == (8.0, 12.0, 18.0)
+        no_slo = TraceSpec(n_base_keys=600, n_tenants=3,
+                           tenant_layout="ranges", seed=7)
+        assert no_slo.tenant_slos() == (float("inf"),) * 3
+
+    def test_trace_tenants_align_with_ops(self):
+        trace = generate_trace(self.SPEC)
+        assert np.array_equal(trace.tenants(),
+                              self.SPEC.tenant_of(trace.keys))
+
+    def test_all_layouts_generate(self):
+        for layout in TENANT_LAYOUTS:
+            spec = TraceSpec(n_base_keys=300, n_ops=600, n_tenants=3,
+                             tenant_layout=layout, seed=3)
+            trace = generate_trace(spec)
+            assert trace.base_keys.size == 300
+            assert np.unique(trace.base_keys).size == 300
+
+    def test_overpacked_tenant_range_rejected_up_front(self):
+        """A skew that packs one tenant denser than its range can
+        hold must fail at spec time, naming the knobs — never deep
+        inside generation."""
+        with pytest.raises(ValueError, match="tenant_skew"):
+            TraceSpec(n_base_keys=100, domain_factor=2, n_tenants=4,
+                      tenant_layout="skewed", tenant_skew=0.05)
 
 
 class TestGeneration:
