@@ -12,11 +12,19 @@ writes the numbers as ``BENCH_workload.json`` (schema
 sections are additive) — the wall-clock perf trajectory the ROADMAP
 asks for, now spanning four PRs of surface.
 
+The replay sections time both serving paths — the columnar tick
+pipeline (the headline ``ops_per_second``) and the scalar reference
+(``ops_per_second_scalar``) — and assert their reports identical
+before recording the speedup.
+
 Run standalone with::
 
     PYTHONPATH=src python benchmarks/bench_workload_serving.py [out.json]
 
 or through the bench harness (``pytest benchmarks/ --benchmark-only -s``).
+``--check [snapshot.json]`` re-measures just the replay throughput and
+exits non-zero when any backend falls more than 30% below the
+committed snapshot — the CI smoke gate.
 """
 
 import sys
@@ -85,7 +93,13 @@ def bench_batched_lookup() -> tuple[str, dict]:
 
 
 def bench_serving_replay() -> tuple[str, dict]:
-    """One quick streaming scenario end to end, per backend."""
+    """One quick streaming scenario end to end, per backend.
+
+    Runs the columnar tick pipeline (the default, and the headline
+    ``ops_per_second``) and the scalar reference path on the same
+    trace; the reports must agree bit-for-bit, so the speedup column
+    is pure interpreter overhead removed.
+    """
     spec = TraceSpec(n_base_keys=5_000, n_ops=20_000,
                      query_mix="zipfian", insert_fraction=0.05,
                      delete_fraction=0.02, modify_fraction=0.02,
@@ -95,24 +109,36 @@ def bench_serving_replay() -> tuple[str, dict]:
     rows = []
     record: dict = {}
     for name in ("binary", "rmi", "dynamic"):
-        backend = make_backend(name, trace.base_keys)
-        report = ServingSimulator(backend, trace, tick_ops=1000).run()
-        ops_per_s = trace.n_ops / report.wall_seconds
-        rows.append([name, f"{report.wall_seconds * 1e3:.0f}ms",
-                     f"{ops_per_s:,.0f}", f"{report.p99:.1f}",
-                     f"{report.final_amplification:.2f}x"])
+        reports = {}
+        for columnar in (True, False):
+            backend = make_backend(name, trace.base_keys)
+            reports[columnar] = ServingSimulator(
+                backend, trace, tick_ops=1000,
+                columnar=columnar).run()
+        col, ref = reports[True], reports[False]
+        assert col.to_dict() == ref.to_dict()  # the parity contract
+        ops_per_s = trace.n_ops / col.wall_seconds
+        scalar_ops_per_s = trace.n_ops / ref.wall_seconds
+        speedup = ops_per_s / scalar_ops_per_s
+        rows.append([name, f"{col.wall_seconds * 1e3:.0f}ms",
+                     f"{ops_per_s:,.0f}", f"{scalar_ops_per_s:,.0f}",
+                     f"{speedup:.1f}x", f"{col.p99:.1f}",
+                     f"{col.final_amplification:.2f}x"])
         record[name] = {
-            "wall_seconds": report.wall_seconds,
+            "wall_seconds": col.wall_seconds,
             "ops_per_second": ops_per_s,
-            "p99_probes": io.json_float(report.p99),
+            "wall_seconds_scalar": ref.wall_seconds,
+            "ops_per_second_scalar": scalar_ops_per_s,
+            "speedup": io.json_float(speedup),
+            "p99_probes": io.json_float(col.p99),
             "amplification": io.json_float(
-                report.final_amplification),
+                col.final_amplification),
         }
     table = (section(f"serving replay — {spec.n_ops} ops, "
                      f"{spec.n_base_keys} base keys, drip poison")
              + "\n" + render_table(
-                 ["backend", "wall", "ops/s", "p99 probes",
-                  "amplif."], rows))
+                 ["backend", "wall", "ops/s", "scalar ops/s",
+                  "speedup", "p99 probes", "amplif."], rows))
     return table, record
 
 
@@ -207,11 +233,57 @@ def bench_cluster() -> tuple[str, dict]:
             "placement_gap": io.json_float(static - uniform),
             "management_recovered": io.json_float(static - managed),
         }
+    # Raw replay throughput: one larger sharded scenario per backend,
+    # columnar (the headline) vs the scalar reference, same parity
+    # contract as the single-backend section.
+    from repro.cluster import ClusterRouter, ClusterSimulator, ShardMap
+
+    spec = TraceSpec(n_base_keys=5_000, n_ops=20_000,
+                     query_mix="zipfian", insert_fraction=0.05,
+                     delete_fraction=0.02, modify_fraction=0.02,
+                     range_fraction=0.03, n_tenants=3,
+                     tenant_layout="skewed", slo_p95=5.0, seed=101)
+    trace = generate_trace(spec)
+    throughput_rows = []
+    for backend in config.backends:
+        kw = ({"model_size": config.model_size}
+              if backend in ("rmi", "dynamic") else {})
+        reports = {}
+        for columnar in (True, False):
+            shard_map = ShardMap.balanced(trace.base_keys, 4,
+                                          spec.domain())
+            router = ClusterRouter(
+                shard_map, trace.base_keys, backend,
+                rebuild_threshold=config.rebuild_threshold, **kw)
+            reports[columnar] = ClusterSimulator(
+                router, trace, tick_ops=1000,
+                columnar=columnar).run()
+        col, ref = reports[True], reports[False]
+        assert col.to_dict() == ref.to_dict()  # the parity contract
+        ops_per_s = trace.n_ops / col.wall_seconds
+        scalar_ops_per_s = trace.n_ops / ref.wall_seconds
+        speedup = ops_per_s / scalar_ops_per_s
+        throughput_rows.append([
+            backend, f"{col.wall_seconds * 1e3:.0f}ms",
+            f"{ops_per_s:,.0f}", f"{scalar_ops_per_s:,.0f}",
+            f"{speedup:.1f}x"])
+        record[backend].update({
+            "wall_seconds_replay": col.wall_seconds,
+            "ops_per_second": ops_per_s,
+            "wall_seconds_scalar": ref.wall_seconds,
+            "ops_per_second_scalar": scalar_ops_per_s,
+            "speedup": io.json_float(speedup),
+        })
     table = (section(f"cluster duel — {len(result.rows)} cells, "
                      f"{wall:.1f}s wall, victim tenant 0")
              + "\n" + render_table(
                  ["backend", "uniform", "concentrated", "managed",
-                  "gap", "recovered"], rows))
+                  "gap", "recovered"], rows)
+             + "\n\n" + section(
+                 f"cluster replay — {spec.n_ops} ops, 4 shards")
+             + "\n" + render_table(
+                 ["backend", "wall", "ops/s", "scalar ops/s",
+                  "speedup"], throughput_rows))
     return table, record
 
 
@@ -232,6 +304,63 @@ def run_bench(out_path: str = "BENCH_workload.json") -> str:
             f"\n\n{cluster_table}")
 
 
+#: Throughput may regress this far against the committed snapshot
+#: before ``--check`` fails — generous because CI machines differ
+#: from the machine that recorded the snapshot.
+CHECK_TOLERANCE = 0.30
+
+
+def check_throughput(snapshot_path: str = "BENCH_workload.json",
+                     ) -> int:
+    """Fast regression gate: fresh replay throughput vs the snapshot.
+
+    Re-measures only the two replay sections (skipping the grid
+    duels), compares every backend's ``ops_per_second`` against the
+    committed ``BENCH_workload.json``, and returns a non-zero exit
+    code when any backend lost more than ``CHECK_TOLERANCE`` of its
+    recorded throughput.  Keys absent from the snapshot pass — a
+    fresh section can land before its first recording.
+    """
+    committed = io.load_json(snapshot_path)
+    _, replay_record = bench_serving_replay()
+    _, cluster_record = bench_cluster()
+    fresh = {"serving_replay": replay_record,
+             "cluster": cluster_record}
+    failures = []
+    rows = []
+    for section_name, record in fresh.items():
+        baseline = committed.get(section_name, {})
+        for backend, stats in record.items():
+            if not isinstance(stats, dict) \
+                    or "ops_per_second" not in stats:
+                continue
+            recorded = baseline.get(backend, {}) \
+                if isinstance(baseline.get(backend), dict) else {}
+            recorded_ops = recorded.get("ops_per_second")
+            measured = stats["ops_per_second"]
+            if recorded_ops is None:
+                rows.append([section_name, backend, "-",
+                             f"{measured:,.0f}", "new"])
+                continue
+            ratio = measured / recorded_ops
+            verdict = "ok" if ratio >= 1.0 - CHECK_TOLERANCE \
+                else "REGRESSED"
+            rows.append([section_name, backend,
+                         f"{recorded_ops:,.0f}", f"{measured:,.0f}",
+                         f"{ratio:.2f}x {verdict}"])
+            if verdict == "REGRESSED":
+                failures.append((section_name, backend, ratio))
+    print(section("throughput check vs committed snapshot"))
+    print(render_table(["section", "backend", "recorded",
+                        "measured", "verdict"], rows))
+    if failures:
+        print(f"\nFAIL: {len(failures)} backend(s) regressed more "
+              f"than {CHECK_TOLERANCE:.0%}")
+        return 1
+    print("\nOK: throughput within tolerance")
+    return 0
+
+
 def test_workload_serving_bench(once, tmp_path):
     table = once(lambda: run_bench(str(tmp_path / "BENCH.json")))
     print()
@@ -239,6 +368,10 @@ def test_workload_serving_bench(once, tmp_path):
 
 
 if __name__ == "__main__":
-    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH_workload.json"
+    args = sys.argv[1:]
+    if args and args[0] == "--check":
+        snapshot = args[1] if len(args) > 1 else "BENCH_workload.json"
+        raise SystemExit(check_throughput(snapshot))
+    out = args[0] if args else "BENCH_workload.json"
     print(run_bench(out))
     print(f"\nwrote {out}")

@@ -30,23 +30,57 @@ from typing import Any
 
 import numpy as np
 
+from ..runtime.engine import EXECUTORS
 from ..workload.backends import ServingBackend, make_backend
+from ..workload.trace import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_MODIFY,
+    OP_POISON,
+    OP_QUERY,
+    OP_RANGE,
+)
 from .shardmap import ShardMap
 
 __all__ = ["ClusterRouter"]
 
 
 class ClusterRouter:
-    """Route batched serving operations to per-shard backends."""
+    """Route batched serving operations to per-shard backends.
+
+    ``fanout_jobs``/``fanout_executor`` configure :meth:`replay_ops`'s
+    per-shard concurrency: shards are independent between migrations,
+    so their op sequences can execute in parallel.  The executor is
+    resolved from the sweep engine's registry; only in-process pools
+    are accepted (shard state is shared mutable memory — a process
+    pool would mutate copies).  Results are scattered back in shard
+    order by the calling thread, so the replay stays bit-deterministic
+    at any job count.
+    """
 
     def __init__(self, shard_map: ShardMap, keys: np.ndarray,
                  backend: str, rebuild_threshold: float = 0.1,
                  trim_keep_fraction: "float | None" = None,
+                 fanout_jobs: int = 1,
+                 fanout_executor: str = "thread",
                  **build_args: Any):
+        if fanout_jobs < 1:
+            raise ValueError(
+                f"fanout_jobs must be >= 1: {fanout_jobs}")
+        if fanout_executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {fanout_executor!r}; known: "
+                f"{sorted(EXECUTORS)}")
+        if fanout_executor == "process":
+            raise ValueError(
+                "shard fan-out needs an in-process executor: shards "
+                "share mutable state a process pool would copy")
         self._map = shard_map
         self._backend_name = backend
         self._threshold = rebuild_threshold
         self._keep_fraction = trim_keep_fraction
+        self._fanout_jobs = int(fanout_jobs)
+        self._fanout_executor = fanout_executor
         self._build_args = dict(build_args)
         keys = np.sort(np.asarray(keys, dtype=np.int64))
         self._shards: "list[ServingBackend | None]" = [
@@ -235,6 +269,148 @@ class ClusterRouter:
             self._tick_loads[shard] += int(mask.sum())
             if self._shards[shard] is not None:
                 self._shards[shard].delete_batch(keys[mask])
+
+    def replay_ops(self, kinds: np.ndarray, keys: np.ndarray,
+                   aux: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Serve one tick's op slice through every shard at once.
+
+        Decomposes the slice into per-shard *events* — a query or a
+        mutation lands one event on its routed shard, a modify one
+        delete plus one insert on each key's shard, a range one
+        endpoint event on every shard it spans — then hands each
+        shard its events in op order through the backend's own
+        :meth:`~repro.workload.backends.ServingBackend.replay_ops`.
+        Shards are independent between migrations, so with
+        ``fanout_jobs > 1`` their event runs execute concurrently;
+        the calling thread scatters (found, probes) back by read
+        slot, so results are bit-identical to the one-key-at-a-time
+        feed at any job count.
+
+        Returns ``(found, probes)`` with one entry per query/range op
+        in the slice (found is only meaningful for queries; a range's
+        probes sum its endpoint cost across every spanned shard,
+        exactly like :meth:`range_scan`).
+        """
+        kinds = np.asarray(kinds)
+        keys = np.asarray(keys, dtype=np.int64)
+        aux = np.asarray(aux, dtype=np.int64)
+        is_read = (kinds == OP_QUERY) | (kinds == OP_RANGE)
+        read_slot = np.cumsum(is_read) - 1
+        n_reads = int(is_read.sum())
+        found_out = np.zeros(n_reads, dtype=bool)
+        probes_out = np.zeros(n_reads, dtype=np.int64)
+        pos = np.arange(kinds.size, dtype=np.int64)
+
+        ev_order: list[np.ndarray] = []
+        ev_kind: list[np.ndarray] = []
+        ev_key: list[np.ndarray] = []
+        ev_slot: list[np.ndarray] = []
+
+        def add(mask_pos: np.ndarray, kind_code: int,
+                event_keys: np.ndarray, slots: np.ndarray,
+                suborder: int = 0) -> None:
+            ev_order.append(mask_pos * 2 + suborder)
+            ev_kind.append(np.full(mask_pos.size, kind_code,
+                                   dtype=kinds.dtype))
+            ev_key.append(np.asarray(event_keys, dtype=np.int64))
+            ev_slot.append(np.asarray(slots, dtype=np.int64))
+
+        no_slot = -1
+        qm = kinds == OP_QUERY
+        add(pos[qm], OP_QUERY, keys[qm], read_slot[qm])
+        im = (kinds == OP_INSERT) | (kinds == OP_POISON)
+        add(pos[im], OP_INSERT, keys[im],
+            np.full(int(im.sum()), no_slot))
+        dm = kinds == OP_DELETE
+        add(pos[dm], OP_DELETE, keys[dm],
+            np.full(int(dm.sum()), no_slot))
+        mm = kinds == OP_MODIFY
+        add(pos[mm], OP_DELETE, keys[mm],
+            np.full(int(mm.sum()), no_slot), suborder=0)
+        add(pos[mm], OP_INSERT, aux[mm],
+            np.full(int(mm.sum()), no_slot), suborder=1)
+        rm = kinds == OP_RANGE
+        known = qm | im | dm | mm | rm
+        if not known.all():
+            bad = kinds[~known][0]
+            raise ValueError(f"unknown op kind: {bad}")
+        if rm.any():
+            # One endpoint event per spanned shard: the op's own lo on
+            # the first shard, the shard's range floor on every later
+            # one (mirrors range_scan; the backend only ever locates
+            # the endpoint, so the upper bound carries no event).
+            add(pos[rm], OP_RANGE, keys[rm], read_slot[rm])
+            first = self._map.route(keys[rm])
+            last = self._map.route(aux[rm])
+            for i in np.nonzero(last > first)[0]:
+                spanned = np.arange(int(first[i]) + 1,
+                                    int(last[i]) + 1, dtype=np.int64)
+                floors = np.asarray(
+                    [self._map.shard_range(int(s))[0]
+                     for s in spanned], dtype=np.int64)
+                add(np.full(spanned.size, pos[rm][i]), OP_RANGE,
+                    floors, np.full(spanned.size, read_slot[rm][i]))
+
+        order = np.concatenate(ev_order)
+        kind_arr = np.concatenate(ev_kind)
+        key_arr = np.concatenate(ev_key)
+        slot_arr = np.concatenate(ev_slot)
+        shard_arr = self._map.route(key_arr)
+        self._tick_loads += np.bincount(shard_arr,
+                                        minlength=self.n_shards)
+
+        by_op = np.argsort(order, kind="stable")
+        by_shard = by_op[np.argsort(shard_arr[by_op], kind="stable")]
+        shards_grouped = shard_arr[by_shard]
+        uniq, starts = np.unique(shards_grouped, return_index=True)
+        bounds = np.append(starts[1:], by_shard.size)
+
+        def serve_shard(shard: int, eidx: np.ndarray,
+                        ) -> "tuple[np.ndarray, ...] | None":
+            ek = kind_arr[eidx]
+            ekey = key_arr[eidx]
+            eslot = slot_arr[eidx]
+            backend = self._shards[shard]
+            if backend is None:
+                # Reads miss at zero cost and deletes no-op until the
+                # first insert materialises the shard, exactly as the
+                # per-op feed would.
+                ins = np.nonzero(ek == OP_INSERT)[0]
+                if ins.size == 0:
+                    return None
+                k = int(ins[0])
+                self._shards[shard] = self._build_shard(ekey[k:k + 1])
+                backend = self._shards[shard]
+                ek, ekey, eslot = ek[k + 1:], ekey[k + 1:], \
+                    eslot[k + 1:]
+                if ek.size == 0:
+                    return None
+            f, p = backend.replay_ops(
+                ek, ekey, np.zeros(ekey.size, dtype=np.int64))
+            reads = (ek == OP_QUERY) | (ek == OP_RANGE)
+            slots = eslot[reads]
+            qmask = ek[reads] == OP_QUERY
+            return slots, p, slots[qmask], f[qmask]
+
+        groups = [(int(s), by_shard[s0:s1])
+                  for s, s0, s1 in zip(uniq, starts, bounds)]
+        if self._fanout_jobs > 1 and len(groups) > 1:
+            with EXECUTORS[self._fanout_executor](
+                    max_workers=self._fanout_jobs) as pool:
+                results = list(pool.map(
+                    lambda g: serve_shard(*g), groups))
+        else:
+            results = [serve_shard(*g) for g in groups]
+        for result in results:
+            if result is None:
+                continue
+            slots, p, qslots, qfound = result
+            # A range op's slot appears on several shards; probes sum
+            # (commutative, so scatter order never matters).  A query
+            # slot appears on exactly one shard.
+            np.add.at(probes_out, slots, p)
+            found_out[qslots] = qfound
+        return found_out, probes_out
 
     # ------------------------------------------------------------------
     # Per-tick load accounting

@@ -152,6 +152,10 @@ class ClusterReport:
     found_fraction: float
     retrains: int
     injected_poison: int
+    # Crafted keys the adversary emitted but the run never injected
+    # (left pending when the trace ended); budget reconciliation is
+    # emitted == injected_poison + discarded_poison.
+    discarded_poison: int
     migrated_keys: int
     final_n_shards: int
     max_imbalance: float
@@ -182,6 +186,7 @@ class ClusterReport:
             "found_fraction": json_float(self.found_fraction),
             "retrains": self.retrains,
             "injected_poison": self.injected_poison,
+            "discarded_poison": self.discarded_poison,
             "migrated_keys": self.migrated_keys,
             "final_n_shards": self.final_n_shards,
             "max_imbalance": json_float(self.max_imbalance),
@@ -445,15 +450,27 @@ class ClusterSimulator:
     defense:
         Optional :class:`SloWeightedDefense`; per-shard decisions
         apply through the router's shard tuner hooks every tick.
+    columnar:
+        Serve each tick as one :meth:`ClusterRouter.replay_ops` call
+        (the default fast path) instead of one router call per op
+        run.  Both paths produce bit-identical reports; the scalar
+        path remains as the parity reference.
     """
 
     def __init__(self, router: ClusterRouter, trace: Trace,
                  tick_ops: int = 200, probe_sample_size: int = 48,
                  adversary: "ClusterAdversaryPort | None" = None,
                  rebalancer: "Rebalancer | None" = None,
-                 defense: "SloWeightedDefense | None" = None):
+                 defense: "SloWeightedDefense | None" = None,
+                 columnar: bool = True):
         if tick_ops < 1:
             raise ValueError(f"tick_ops must be >= 1: {tick_ops}")
+        if probe_sample_size < 1:
+            # A zero-sized sample would poison every per-tenant
+            # baseline with NaN and silently blank the amplification
+            # series; refuse up front instead.
+            raise ValueError(
+                f"probe_sample_size must be >= 1: {probe_sample_size}")
         self._router = router
         self._trace = trace
         self._spec = trace.spec
@@ -461,6 +478,7 @@ class ClusterSimulator:
         self._adversary = adversary
         self._rebalancer = rebalancer
         self._defense = defense
+        self._columnar = bool(columnar)
         self._n_tenants = self._spec.n_tenants
         tenants = self._spec.tenant_of(trace.base_keys)
         self._samples: list[np.ndarray] = []
@@ -647,49 +665,83 @@ class ClusterSimulator:
         start = 0
         for tick_index, tick_end in enumerate(bounds):
             injected_this_tick = int(pending_inject.size)
-            for key in pending_inject:
-                router.insert_batch(key[np.newaxis])
-            injected_total += injected_this_tick
-            pending_inject = np.empty(0, dtype=np.int64)
             migrated_this_tick = migrated_at_boundary
             migrated_at_boundary = 0
 
-            while start < tick_end:
-                kind = kinds[start]
-                stop = start + 1
-                while stop < tick_end and kinds[stop] == kind:
-                    stop += 1
-                run_keys = keys[start:stop]
-                if kind == OP_QUERY:
-                    found, probes = router.lookup_batch(run_keys)
+            if self._columnar:
+                # One router.replay_ops call per tick: pending poison
+                # rides along as a synthetic OP_POISON prefix, so it
+                # lands before the tick's ops exactly as the per-key
+                # injection loop would.
+                t_kinds = kinds[start:tick_end]
+                t_keys = keys[start:tick_end]
+                t_aux = aux[start:tick_end]
+                if injected_this_tick:
+                    t_kinds = np.concatenate([
+                        np.full(injected_this_tick, OP_POISON,
+                                dtype=kinds.dtype), t_kinds])
+                    t_keys = np.concatenate([pending_inject, t_keys])
+                    t_aux = np.concatenate([
+                        np.zeros(injected_this_tick, dtype=np.int64),
+                        t_aux])
+                injected_total += injected_this_tick
+                pending_inject = np.empty(0, dtype=np.int64)
+                found, probes = router.replay_ops(t_kinds, t_keys,
+                                                  t_aux)
+                reads = ((t_kinds == OP_QUERY)
+                         | (t_kinds == OP_RANGE))
+                if probes.size:
+                    read_keys = t_keys[reads]
                     tick_probes.append(probes)
-                    tick_tenants.append(spec.tenant_of(run_keys))
+                    tick_tenants.append(spec.tenant_of(read_keys))
                     tick_shards.append(
-                        router.shard_map.route(run_keys))
-                    found_total += int(found.sum())
-                    query_total += int(found.size)
-                elif kind == OP_RANGE:
-                    probes = np.asarray(
-                        [router.range_scan(int(lo), int(hi))
-                         for lo, hi in zip(run_keys, aux[start:stop])],
-                        dtype=np.int64)
-                    tick_probes.append(probes)
-                    tick_tenants.append(spec.tenant_of(run_keys))
-                    tick_shards.append(
-                        router.shard_map.route(run_keys))
-                elif kind in (OP_INSERT, OP_POISON):
-                    for key in run_keys:
-                        router.insert_batch(key[np.newaxis])
-                elif kind == OP_DELETE:
-                    for key in run_keys:
-                        router.delete_batch(key[np.newaxis])
-                elif kind == OP_MODIFY:
-                    for key, new in zip(run_keys, aux[start:stop]):
-                        router.delete_batch(key[np.newaxis])
-                        router.insert_batch(new[np.newaxis])
-                else:  # pragma: no cover - generator never emits it
-                    raise ValueError(f"unknown op kind: {kind}")
-                start = stop
+                        router.shard_map.route(read_keys))
+                is_query = t_kinds[reads] == OP_QUERY
+                found_total += int(found[is_query].sum())
+                query_total += int(is_query.sum())
+                start = tick_end
+            else:
+                for key in pending_inject:
+                    router.insert_batch(key[np.newaxis])
+                injected_total += injected_this_tick
+                pending_inject = np.empty(0, dtype=np.int64)
+                while start < tick_end:
+                    kind = kinds[start]
+                    stop = start + 1
+                    while stop < tick_end and kinds[stop] == kind:
+                        stop += 1
+                    run_keys = keys[start:stop]
+                    if kind == OP_QUERY:
+                        found, probes = router.lookup_batch(run_keys)
+                        tick_probes.append(probes)
+                        tick_tenants.append(spec.tenant_of(run_keys))
+                        tick_shards.append(
+                            router.shard_map.route(run_keys))
+                        found_total += int(found.sum())
+                        query_total += int(found.size)
+                    elif kind == OP_RANGE:
+                        probes = np.asarray(
+                            [router.range_scan(int(lo), int(hi))
+                             for lo, hi in zip(run_keys,
+                                               aux[start:stop])],
+                            dtype=np.int64)
+                        tick_probes.append(probes)
+                        tick_tenants.append(spec.tenant_of(run_keys))
+                        tick_shards.append(
+                            router.shard_map.route(run_keys))
+                    elif kind in (OP_INSERT, OP_POISON):
+                        for key in run_keys:
+                            router.insert_batch(key[np.newaxis])
+                    elif kind == OP_DELETE:
+                        for key in run_keys:
+                            router.delete_batch(key[np.newaxis])
+                    elif kind == OP_MODIFY:
+                        for key, new in zip(run_keys, aux[start:stop]):
+                            router.delete_batch(key[np.newaxis])
+                            router.insert_batch(new[np.newaxis])
+                    else:  # pragma: no cover - generator never emits
+                        raise ValueError(f"unknown op kind: {kind}")
+                    start = stop
 
             close_tick(injected_this_tick, migrated_this_tick)
             needs_ports = (self._adversary is not None
@@ -783,6 +835,7 @@ class ClusterSimulator:
                             else 0.0),
             retrains=int(router.retrain_count),
             injected_poison=injected_total,
+            discarded_poison=int(pending_inject.size),
             migrated_keys=migrated_total,
             final_n_shards=int(router.n_shards),
             max_imbalance=float(np.max(series["imbalance"]))

@@ -115,6 +115,29 @@ def windowed_search_batch(sorted_keys: np.ndarray, queries: np.ndarray,
     positions = np.full(queries.shape, -1, dtype=np.int64)
     probes = np.zeros(queries.shape, dtype=np.int64)
 
+    if queries.size <= 16:
+        # Small batches lose to ufunc dispatch: a whole vectorized
+        # pass costs ~a dozen array ops to advance each query one
+        # comparison, so below ~16 queries the interpreted loop —
+        # the *same* midpoint sequence and early exit — is faster.
+        # This is the per-chunk shape of the columnar replay path.
+        for i, (query, low, high) in enumerate(
+                zip(queries.tolist(), lo.tolist(), hi.tolist())):
+            cost = 0
+            while low <= high:
+                mid = (low + high) // 2
+                cost += 1
+                stored = int(keys[mid])
+                if stored == query:
+                    positions[i] = mid
+                    break
+                if stored < query:
+                    low = mid + 1
+                else:
+                    high = mid - 1
+            probes[i] = cost
+        return BatchProbeResult(positions=positions, probes=probes)
+
     active = lo <= hi
     while np.any(active):
         idx = np.nonzero(active)[0]

@@ -206,6 +206,19 @@ class DynamicLearnedIndex:
                 retrains += 1
         return retrains
 
+    def _absorb_fresh(self, keys: np.ndarray) -> None:
+        """Bulk-append keys into the delta buffer (columnar replay).
+
+        The caller — a backend's segment replay — has already
+        classified every key as absent from base, delta, and
+        quarantine *and* split its batch at the retrain crossing, so
+        no membership or threshold check runs here; one sort leaves
+        the buffer identical to per-key :meth:`insert` appends.
+        """
+        if len(keys):
+            self._delta.extend(int(key) for key in keys)
+            self._delta.sort()
+
     def flush(self) -> None:
         """Force a merge + retrain regardless of the buffer level.
 

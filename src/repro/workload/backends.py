@@ -24,8 +24,12 @@ untouched); once pending updates exceed ``rebuild_threshold`` of the
 model's keys, the backend compacts and retrains on the live set.
 ``insert_batch``/``delete_batch`` are *batch-atomic*: the whole batch
 lands, then the rebuild check runs once — a bulk load.  Callers that
-need op-exact retrain timing (the serving simulator) feed mutations
-one key at a time.
+need op-exact retrain timing have ``replay_ops``: it applies a whole
+op slice (reads and mutations interleaved) with vectorized
+classification and batched window searches while firing every rebuild
+at the same op index the one-key-at-a-time feed would — the columnar
+fast path the serving simulator runs on, pinned bit-identical to the
+scalar feed by the parity suite.
 Probe counts always reflect the *actual* searches performed —
 model + delta + quarantine — so a swollen side table or a poisoned
 retrain shows up in the latency percentiles honestly.
@@ -59,6 +63,22 @@ from ..index.btree import BTree
 from ..index.dynamic import DynamicLearnedIndex
 from ..index.linear_index import LinearLearnedIndex
 from ..index.rmi import RecursiveModelIndex
+from .columnar import (
+    EFF_DROP_DELTA,
+    EFF_DROP_QUAR,
+    EFF_FRESH,
+    EFF_NOOP,
+    EFF_REVIVE,
+    EFF_TOMB,
+    TickOps,
+    decompose_ops,
+    first_occurrence,
+    sorted_insert,
+    sorted_insert_unique,
+    sorted_member,
+    sorted_remove,
+    sorted_remove_present,
+)
 
 __all__ = ["BACKENDS", "ServingBackend", "make_backend",
            "BinarySearchBackend", "BTreeBackend", "LinearBackend",
@@ -298,6 +318,189 @@ class ServingBackend:
         self._build(live)
         self._retrains += 1
 
+    # -- columnar replay ----------------------------------------------
+    #: Whether the vectorized segment replay is valid for this
+    #: backend (the B-Tree's native inserts are order-dependent
+    #: structure edits, so it walks sub-ops instead).
+    _columnar_replay = True
+
+    def replay_ops(self, kinds: np.ndarray, keys: np.ndarray,
+                   aux: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Apply one op slice with op-exact rebuild timing.
+
+        The slice is the serving simulator's unit of work: queries,
+        range reads (charged as their ``lo`` endpoint, as in
+        :meth:`range_scan`), and mutations interleaved in op order.
+        Returns ``(found, probes)`` for the slice's reads, in op
+        order — bit-identical to feeding every op through the
+        single-op surface, including where rebuilds fire.
+
+        A slice whose insert and delete key sets overlap cannot be
+        classified against the slice-start state (the key changes
+        camps mid-slice), so it falls back to the scalar sub-op walk;
+        generated traces never produce one, the guard is for direct
+        API users and property tests.
+        """
+        ops = decompose_ops(kinds, keys, aux)
+        found = np.zeros(ops.read_pos.size, dtype=bool)
+        probes = np.zeros(ops.read_pos.size, dtype=np.int64)
+        if not self._columnar_replay or ops.hazard:
+            self._replay_scalar(ops, found, probes)
+        else:
+            self._replay_columnar(ops, found, probes)
+        return found, probes
+
+    def _replay_scalar(self, ops: TickOps, found_out: np.ndarray,
+                       probes_out: np.ndarray) -> None:
+        """Sub-op walk: one mutation at a time, reads batched per gap
+        (valid because ``lookup_batch`` is per-element independent)."""
+        r = 0
+        for i in range(ops.sub_key.size):
+            r2 = int(np.searchsorted(ops.read_pos, ops.sub_pos[i]))
+            if r2 > r:
+                f, p = self.lookup_batch(ops.read_keys[r:r2])
+                found_out[r:r2] = f
+                probes_out[r:r2] = p
+                r = r2
+            key = ops.sub_key[i:i + 1]
+            if ops.sub_ins[i]:
+                self.insert_batch(key)
+            else:
+                self.delete_batch(key)
+        if ops.read_pos.size > r:
+            f, p = self.lookup_batch(ops.read_keys[r:])
+            found_out[r:] = f
+            probes_out[r:] = p
+
+    #: Pending-update delta per effect code, indexed by EFF_*.
+    _DPEND = np.array([0, -1, 1, -1, 0, 1], dtype=np.int64)
+
+    def _replay_columnar(self, ops: TickOps, found_out: np.ndarray,
+                         probes_out: np.ndarray) -> None:
+        """Segment loop: classify all remaining sub-ops against the
+        current state, find the first rebuild-threshold crossing via
+        the pending-update cumsum, serve and apply everything up to it
+        in bulk, rebuild exactly there, re-classify, repeat."""
+        j = 0
+        r = 0
+        while True:
+            sub_key = ops.sub_key[j:]
+            sub_ins = ops.sub_ins[j:]
+            sub_pos = ops.sub_pos[j:]
+            eff = self._classify_mutations(sub_ins, sub_key)
+            pend = self.pending_updates + np.cumsum(self._DPEND[eff])
+            bound = self._threshold * max(self._snapshot.size, 1)
+            crossing = pend >= bound
+            fire = bool(crossing.any())
+            if fire:
+                seg = int(np.argmax(crossing)) + 1
+                r_end = int(np.searchsorted(ops.read_pos,
+                                            sub_pos[seg - 1]))
+            else:
+                seg = int(sub_key.size)
+                r_end = int(ops.read_pos.size)
+            self._serve_segment(ops, r, r_end, eff[:seg],
+                                sub_key[:seg], sub_pos[:seg],
+                                found_out, probes_out)
+            j += seg
+            r = r_end
+            if not fire:
+                break
+            self.rebuild()
+
+    def _serve_segment(self, ops: TickOps, r: int, r_end: int,
+                       eff: np.ndarray, sub_key: np.ndarray,
+                       sub_pos: np.ndarray, found_out: np.ndarray,
+                       probes_out: np.ndarray) -> None:
+        """One rebuild-free segment: model-batch all its reads at
+        once (the model is fixed between rebuilds), then walk the
+        reads in chunks that share a mutation prefix, bulk-applying
+        side-table effects between chunks."""
+        if r_end <= r:
+            self._apply_effects(eff, sub_key)
+            return
+        keys = ops.read_keys[r:r_end]
+        found, probes = self._model_lookup(keys)
+        found = np.asarray(found, dtype=bool).copy()
+        probes = np.asarray(probes, dtype=np.int64).copy()
+        kprefix = np.searchsorted(sub_pos, ops.read_pos[r:r_end])
+        cuts = np.nonzero(np.diff(kprefix))[0] + 1
+        starts = np.concatenate([np.zeros(1, dtype=np.int64), cuts])
+        ends = np.concatenate([cuts, np.asarray([kprefix.size],
+                                                dtype=np.int64)])
+        done = 0
+        for cs, ce in zip(starts, ends):
+            upto = int(kprefix[cs])
+            if upto > done:
+                self._apply_effects(eff[done:upto],
+                                    sub_key[done:upto])
+                done = upto
+            self._adjust_reads(keys[cs:ce], found[cs:ce],
+                               probes[cs:ce])
+        if eff.size > done:
+            self._apply_effects(eff[done:], sub_key[done:])
+        found_out[r:r_end] = found
+        probes_out[r:r_end] = probes
+
+    def _classify_mutations(self, sub_ins: np.ndarray,
+                            sub_key: np.ndarray) -> np.ndarray:
+        """Effect of each sub-op under the single-key semantics,
+        resolved against the current state.  Only a key's first
+        occurrence can change state (upsert inserts and re-deletes
+        are no-ops); hazard slices never reach here, so the
+        classification cannot be invalidated mid-segment."""
+        first = first_occurrence(sub_key)
+        in_t = sorted_member(self._tombs, sub_key)
+        in_s = sorted_member(self._snapshot, sub_key)
+        in_d = sorted_member(self._delta, sub_key)
+        in_q = sorted_member(self._quarantine, sub_key)
+        eff = np.full(sub_key.size, EFF_NOOP, dtype=np.int8)
+        ins = sub_ins & first
+        eff[ins & in_t] = EFF_REVIVE
+        eff[ins & ~(in_t | in_s | in_d | in_q)] = EFF_FRESH
+        dels = ~sub_ins & first
+        eff[dels & in_d] = EFF_DROP_DELTA
+        eff[dels & ~in_d & in_q] = EFF_DROP_QUAR
+        eff[dels & ~in_d & ~in_q & in_s & ~in_t] = EFF_TOMB
+        return eff
+
+    def _apply_effects(self, eff: np.ndarray,
+                       sub_key: np.ndarray) -> None:
+        """Bulk-apply classified sub-ops to the side tables.
+
+        Within a hazard-free bulk the per-effect key sets are
+        disjoint from the tables they leave, so set-at-once equals
+        one-at-a-time — and the arrays stay bit-equal to the scalar
+        feed's."""
+        revive = sub_key[eff == EFF_REVIVE]
+        tomb = sub_key[eff == EFF_TOMB]
+        if revive.size or tomb.size:
+            self._tombs = sorted_insert_unique(
+                sorted_remove_present(self._tombs, revive), tomb)
+        fresh = sub_key[eff == EFF_FRESH]
+        drop_d = sub_key[eff == EFF_DROP_DELTA]
+        if fresh.size or drop_d.size:
+            self._delta = sorted_insert_unique(
+                sorted_remove_present(self._delta, drop_d), fresh)
+        drop_q = sub_key[eff == EFF_DROP_QUAR]
+        if drop_q.size:
+            self._quarantine = sorted_remove_present(
+                self._quarantine, drop_q)
+
+    def _adjust_reads(self, keys: np.ndarray, found: np.ndarray,
+                      probes: np.ndarray) -> None:
+        """The post-model steps of :meth:`lookup_batch`, in place on
+        one chunk's slices (same order: tombstones, delta,
+        quarantine)."""
+        if self._tombs.size:
+            idx = np.minimum(np.searchsorted(self._tombs, keys),
+                             self._tombs.size - 1)
+            dead = found & (self._tombs[idx] == keys)
+            probes[found] += 1
+            found[dead] = False
+        side_table_search(self._delta, keys, found, probes)
+        side_table_search(self._quarantine, keys, found, probes)
+
 
 class BinarySearchBackend(ServingBackend):
     """Sorted array + binary search: the model-free baseline.
@@ -321,6 +524,48 @@ class BinarySearchBackend(ServingBackend):
         self._snapshot = np.setdiff1d(
             self._snapshot, np.asarray(keys, dtype=np.int64))
 
+    def _replay_columnar(self, ops: TickOps, found_out: np.ndarray,
+                         probes_out: np.ndarray) -> None:
+        """No side tables and no rebuilds here — the snapshot array
+        is the whole structure — so the replay is one chunk walk:
+        bulk-merge the mutations between reads, serve each read chunk
+        against the current array."""
+        if self._tombs.size or self._delta.size \
+                or self._quarantine.size:
+            # Never populated by this backend's own surface; replay
+            # scalar if a caller somehow seeded them.
+            self._replay_scalar(ops, found_out, probes_out)
+            return
+        if ops.read_pos.size == 0:
+            self._snapshot = sorted_insert(
+                sorted_remove(self._snapshot,
+                              ops.sub_key[~ops.sub_ins]),
+                ops.sub_key[ops.sub_ins])
+            return
+        kprefix = np.searchsorted(ops.sub_pos, ops.read_pos)
+        cuts = np.nonzero(np.diff(kprefix))[0] + 1
+        starts = np.concatenate([np.zeros(1, dtype=np.int64), cuts])
+        ends = np.concatenate([cuts, np.asarray([kprefix.size],
+                                                dtype=np.int64)])
+        done = 0
+
+        def apply(lo: int, hi: int) -> None:
+            keys = ops.sub_key[lo:hi]
+            ins = ops.sub_ins[lo:hi]
+            self._snapshot = sorted_insert(
+                sorted_remove(self._snapshot, keys[~ins]), keys[ins])
+
+        for cs, ce in zip(starts, ends):
+            upto = int(kprefix[cs])
+            if upto > done:
+                apply(done, upto)
+                done = upto
+            f, p = self.lookup_batch(ops.read_keys[cs:ce])
+            found_out[cs:ce] = f
+            probes_out[cs:ce] = p
+        if ops.sub_key.size > done:
+            apply(done, int(ops.sub_key.size))
+
     def _model_lookup(self, keys: np.ndarray):
         n = self._snapshot.size
         lo = np.zeros(keys.size, dtype=np.int64)
@@ -341,6 +586,10 @@ class BTreeBackend(ServingBackend):
 
     name = "btree"
     supports_trim = False
+    #: Native tree inserts are order-dependent structure edits; the
+    #: replay surface walks sub-ops (with gap-batched reads) instead
+    #: of classifying them against a snapshot.
+    _columnar_replay = False
 
     def __init__(self, keys: np.ndarray, rebuild_threshold: float = 0.1,
                  trim_keep_fraction: float | None = None,
@@ -541,6 +790,138 @@ class DynamicBackend(ServingBackend):
             probes[found] += 1
             found[dead] = False
         return found, probes
+
+    def _replay_columnar(self, ops: TickOps, found_out: np.ndarray,
+                         probes_out: np.ndarray) -> None:
+        """Segment loop against the index's own bookkeeping.
+
+        Two distinct crossings bound a segment here: a fresh insert
+        tripping the index's retrain (``delta >= θ·base``, checked
+        inside :meth:`DynamicLearnedIndex.insert`) and a delete
+        tripping this backend's tombstone fold (``tombs >= θ·max(
+        n_keys, 1)``, checked on *every* delete).  Both levels are
+        cumsums of the classified effects, with the fold's ``n_keys``
+        varying as fresh inserts land, so the first crossing of
+        either kind is found in one vector pass."""
+        j = 0
+        r = 0
+        while True:
+            index = self._index
+            base = index.rmi.store.keys
+            delta = index.delta_keys
+            quar = index.quarantine_keys
+            tombs = self._tombs
+            sub_key = ops.sub_key[j:]
+            sub_ins = ops.sub_ins[j:]
+            sub_pos = ops.sub_pos[j:]
+            first = first_occurrence(sub_key)
+            in_t = sorted_member(tombs, sub_key)
+            contains = (sorted_member(base, sub_key)
+                        | sorted_member(delta, sub_key)
+                        | sorted_member(quar, sub_key))
+            eff = np.full(sub_key.size, EFF_NOOP, dtype=np.int8)
+            ins = sub_ins & first
+            eff[ins & in_t] = EFF_REVIVE
+            eff[ins & ~in_t & ~contains] = EFF_FRESH
+            dels = ~sub_ins & first
+            eff[dels & contains & ~in_t] = EFF_TOMB
+            cum_fresh = np.cumsum(eff == EFF_FRESH)
+            # Net tombstone level: folds count tombstones added by
+            # deletes minus those revived by re-inserts.
+            cum_tomb = np.cumsum((eff == EFF_TOMB).astype(np.int64)
+                                 - (eff == EFF_REVIVE))
+            crossing = np.zeros(sub_key.size, dtype=bool)
+            fresh = eff == EFF_FRESH
+            crossing[fresh] = (delta.size + cum_fresh[fresh]
+                               >= self._threshold * base.size)
+            n_keys_i = base.size + delta.size + cum_fresh + quar.size
+            crossing[~sub_ins] = (
+                tombs.size + cum_tomb[~sub_ins]
+                >= self._threshold * np.maximum(n_keys_i[~sub_ins], 1))
+            fire = bool(crossing.any())
+            if fire:
+                seg = int(np.argmax(crossing)) + 1
+                r_end = int(np.searchsorted(ops.read_pos,
+                                            sub_pos[seg - 1]))
+            else:
+                seg = int(sub_key.size)
+                r_end = int(ops.read_pos.size)
+            self._serve_dynamic_segment(
+                ops, r, r_end, eff[:seg], sub_key[:seg],
+                sub_pos[:seg], delta, quar, found_out, probes_out)
+            j += seg
+            r = r_end
+            if not fire:
+                break
+            if ops.sub_ins[j - 1]:
+                # The firing sub-op is the fresh insert whose buffer
+                # append crossed the index's retrain threshold: run
+                # exactly that merge.
+                index.flush()
+            else:
+                # The firing sub-op is a delete tripping the fold in
+                # delete_batch; replicate its compaction verbatim.
+                live = self.live_keys()
+                self._tombs = np.empty(0, dtype=np.int64)
+                self._retrains += index.retrain_count + 1
+                self._build(live)
+
+    def _serve_dynamic_segment(self, ops: TickOps, r: int, r_end: int,
+                               eff: np.ndarray, sub_key: np.ndarray,
+                               sub_pos: np.ndarray, delta: np.ndarray,
+                               quar: np.ndarray, found_out: np.ndarray,
+                               probes_out: np.ndarray) -> None:
+        """One retrain/fold-free segment: batch the RMI probe over
+        all its reads, walk read chunks with growing local delta and
+        tombstone arrays, then commit them (the index absorbs the
+        fresh keys, already screened for absence and threshold)."""
+        seg_fresh = sub_key[eff == EFF_FRESH]
+        if r_end > r:
+            keys = ops.read_keys[r:r_end]
+            probe = self._index.rmi.lookup_batch(keys)
+            found = probe.found.copy()
+            probes = np.asarray(probe.probes, dtype=np.int64).copy()
+            kprefix = np.searchsorted(sub_pos, ops.read_pos[r:r_end])
+            cuts = np.nonzero(np.diff(kprefix))[0] + 1
+            starts = np.concatenate([np.zeros(1, dtype=np.int64),
+                                     cuts])
+            ends = np.concatenate([cuts, np.asarray([kprefix.size],
+                                                    dtype=np.int64)])
+            tombs = self._tombs
+            done = 0
+            for cs, ce in zip(starts, ends):
+                upto = int(kprefix[cs])
+                if upto > done:
+                    chunk_eff = eff[done:upto]
+                    chunk_key = sub_key[done:upto]
+                    delta = sorted_insert_unique(
+                        delta, chunk_key[chunk_eff == EFF_FRESH])
+                    tombs = sorted_insert_unique(
+                        sorted_remove_present(
+                            tombs,
+                            chunk_key[chunk_eff == EFF_REVIVE]),
+                        chunk_key[chunk_eff == EFF_TOMB])
+                    done = upto
+                ck = keys[cs:ce]
+                f = found[cs:ce]
+                p = probes[cs:ce]
+                # Same adjustment order as lookup_batch: the index's
+                # side tables first, the tombstone check last.
+                side_table_search(delta, ck, f, p)
+                side_table_search(quar, ck, f, p)
+                if tombs.size:
+                    idx = np.minimum(np.searchsorted(tombs, ck),
+                                     tombs.size - 1)
+                    dead = f & (tombs[idx] == ck)
+                    p[f] += 1
+                    f[dead] = False
+            found_out[r:r_end] = found
+            probes_out[r:r_end] = probes
+        self._index._absorb_fresh(seg_fresh)
+        self._tombs = sorted_insert_unique(
+            sorted_remove_present(self._tombs,
+                                  sub_key[eff == EFF_REVIVE]),
+            sub_key[eff == EFF_TOMB])
 
 
 BACKENDS: dict[str, type[ServingBackend]] = {

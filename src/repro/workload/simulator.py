@@ -38,9 +38,9 @@ row, percentiles backfilled to the last finite value so a read-free
 tick never feeds NaN into a policy) through two feedback ports:
 
 * ``adversary(observation)`` may return crafted keys; they are
-  injected — one op at a time, so retrain timing stays op-exact —
-  at the start of the *next* tick (an attacker reacting to observed
-  latency);
+  injected at the start of the *next* tick (an attacker reacting to
+  observed latency) — as synthetic poison ops ahead of the tick's
+  stream, so retrain timing stays op-exact on either replay path;
 * ``tuner(observation)`` may return a :class:`TunerDecision`; the
   simulator applies it to the backend's ``set_trim_keep_fraction`` /
   ``set_rebuild_threshold`` hooks and logs the values now in force.
@@ -93,8 +93,13 @@ def last_finite(values: Sequence[float], default: float = 0.0) -> float:
     the JSON payload and into any policy watching the feedback port.
     Falling back to the last finite tick keeps finals — and closed-loop
     observations — well-defined whenever any earlier tick measured.
+
+    Scans the tail by index — no copy of the series — because the
+    feedback ports call this four times per tick over ever-growing
+    series (copying made the observation step O(ticks²) per replay).
     """
-    for value in reversed(list(values)):
+    for i in range(len(values) - 1, -1, -1):
+        value = values[i]
         if math.isfinite(value):
             return float(value)
     return default
@@ -176,6 +181,10 @@ class ServingReport:
     final_n_keys: int
     ops_by_kind: dict[str, int]
     injected_poison: int
+    #: Adversary keys returned after the final tick: no stream was
+    #: left to land them, so the budget ledger reconciles as
+    #: spent == injected_poison + discarded_poison.
+    discarded_poison: int
     wall_seconds: float = field(compare=False)
 
     @property
@@ -202,6 +211,7 @@ class ServingReport:
             "final_n_keys": self.final_n_keys,
             "ops_by_kind": dict(self.ops_by_kind),
             "injected_poison": self.injected_poison,
+            "discarded_poison": self.discarded_poison,
         }
 
 
@@ -232,21 +242,35 @@ class ServingSimulator:
         Optional feedback port: called with a :class:`TickObservation`
         after every tick; returned keys are injected at the start of
         the next tick.  Keys returned after the final tick have no
-        stream left to land in and are discarded.
+        stream left to land in; they are discarded and counted in the
+        report's ``discarded_poison`` (so an adversary's budget ledger
+        always reconciles: spent == injected + discarded).
     tuner:
         Optional defense port: called after every tick (after the
         adversary observes, before its next keys land); a returned
         :class:`TunerDecision` is applied through the backend's tuner
         hooks.
+    columnar:
+        Replay each tick through the backend's columnar
+        ``replay_ops`` fast path (the default) instead of the scalar
+        per-op feed.  The two paths are pinned bit-identical — same
+        series, finals, and retrain indices — by the parity suite;
+        the flag exists so that suite (and anyone debugging a
+        backend) can run the reference path.
     """
 
     def __init__(self, backend: ServingBackend, trace: Trace,
                  tick_ops: int = 200, probe_sample_size: int = 64,
                  tick_sizes: "Sequence[int] | None" = None,
                  adversary: "AdversaryPort | None" = None,
-                 tuner: "TunerPort | None" = None):
+                 tuner: "TunerPort | None" = None,
+                 columnar: bool = True):
         if tick_ops < 1:
             raise ValueError(f"tick_ops must be >= 1: {tick_ops}")
+        if probe_sample_size < 1:
+            raise ValueError(
+                "probe_sample_size must be >= 1 (the amplification "
+                f"baseline is its mean probe cost): {probe_sample_size}")
         self._backend = backend
         self._trace = trace
         self._tick_ops = tick_ops
@@ -264,12 +288,20 @@ class ServingSimulator:
             self._tick_sizes = sizes
         self._adversary = adversary
         self._tuner = tuner
+        self._columnar = columnar
         self._closed_loop = (tick_sizes is not None
                              or adversary is not None
                              or tuner is not None)
         rng = np.random.default_rng(stable_seed_words(
             trace.spec.seed, "probe-sample", trace.spec.digest))
         size = min(probe_sample_size, trace.base_keys.size)
+        if size < 1:
+            # probes.mean() over an empty sample is NaN, and a NaN
+            # baseline silently poisons the whole amplification
+            # series — fail here instead.
+            raise ValueError(
+                "cannot draw an amplification probe sample: the trace "
+                "has no base keys")
         self._probe_sample = rng.choice(trace.base_keys, size=size,
                                         replace=False)
 
@@ -349,50 +381,80 @@ class ServingSimulator:
             last_retrains = retrains
             return obs
 
-        # Process runs of same-kind ops, never across a tick boundary.
-        # Only *stateless* reads are batched (a query run is one
-        # lookup_batch call); state mutations apply strictly one op at
-        # a time, so the replay is invariant under batching and tick
-        # size by construction — a backend's batch-level rebuild check
-        # must never decide retrain timing here.
+        # Columnar (default): each tick — adversary injections
+        # prepended as synthetic poison ops — is one ``replay_ops``
+        # call; the backend applies mutations as classified bulk
+        # set operations and batches reads per rebuild-free segment,
+        # firing every rebuild at the same op index the scalar feed
+        # would.  Scalar (reference): runs of same-kind ops, never
+        # across a tick boundary; only *stateless* reads are batched
+        # (a query run is one lookup_batch call) and state mutations
+        # apply strictly one op at a time.  Both ways the replay is
+        # invariant under batching and tick size — a backend's
+        # batch-level rebuild check never decides retrain timing.
         start = 0
         pending_inject = np.empty(0, dtype=np.int64)
         for tick_index, tick_end in enumerate(bounds):
             injected_this_tick = int(pending_inject.size)
-            for key in pending_inject:
-                backend.insert_batch(key[np.newaxis])
-            injected_total += injected_this_tick
-            pending_inject = np.empty(0, dtype=np.int64)
-            while start < tick_end:
-                kind = kinds[start]
-                stop = start + 1
-                while stop < tick_end and kinds[stop] == kind:
-                    stop += 1
-                run_keys = keys[start:stop]
-                if kind == OP_QUERY:
-                    found, probes = backend.lookup_batch(run_keys)
+            if self._columnar:
+                t_kinds = kinds[start:tick_end]
+                t_keys = keys[start:tick_end]
+                t_aux = aux[start:tick_end]
+                if injected_this_tick:
+                    t_kinds = np.concatenate([
+                        np.full(injected_this_tick, OP_POISON,
+                                dtype=kinds.dtype), t_kinds])
+                    t_keys = np.concatenate([pending_inject, t_keys])
+                    t_aux = np.concatenate([
+                        np.zeros(injected_this_tick, dtype=np.int64),
+                        t_aux])
+                injected_total += injected_this_tick
+                pending_inject = np.empty(0, dtype=np.int64)
+                found, probes = backend.replay_ops(t_kinds, t_keys,
+                                                   t_aux)
+                if probes.size:
                     tick_probes.append(probes)
-                    found_total += int(found.sum())
-                    query_total += int(found.size)
-                elif kind == OP_RANGE:
-                    probes = np.asarray(
-                        [backend.range_scan(int(lo), int(hi))
-                         for lo, hi in zip(run_keys, aux[start:stop])],
-                        dtype=np.int64)
-                    tick_probes.append(probes)
-                elif kind in (OP_INSERT, OP_POISON):
-                    for key in run_keys:
-                        backend.insert_batch(key[np.newaxis])
-                elif kind == OP_DELETE:
-                    for key in run_keys:
-                        backend.delete_batch(key[np.newaxis])
-                elif kind == OP_MODIFY:
-                    for key, new in zip(run_keys, aux[start:stop]):
-                        backend.delete_batch(key[np.newaxis])
-                        backend.insert_batch(new[np.newaxis])
-                else:  # pragma: no cover - generator never emits it
-                    raise ValueError(f"unknown op kind: {kind}")
-                start = stop
+                is_query = t_kinds[(t_kinds == OP_QUERY)
+                                   | (t_kinds == OP_RANGE)] == OP_QUERY
+                found_total += int(found[is_query].sum())
+                query_total += int(is_query.sum())
+                start = tick_end
+            else:
+                for key in pending_inject:
+                    backend.insert_batch(key[np.newaxis])
+                injected_total += injected_this_tick
+                pending_inject = np.empty(0, dtype=np.int64)
+                while start < tick_end:
+                    kind = kinds[start]
+                    stop = start + 1
+                    while stop < tick_end and kinds[stop] == kind:
+                        stop += 1
+                    run_keys = keys[start:stop]
+                    if kind == OP_QUERY:
+                        found, probes = backend.lookup_batch(run_keys)
+                        tick_probes.append(probes)
+                        found_total += int(found.sum())
+                        query_total += int(found.size)
+                    elif kind == OP_RANGE:
+                        probes = np.asarray(
+                            [backend.range_scan(int(lo), int(hi))
+                             for lo, hi in zip(run_keys,
+                                               aux[start:stop])],
+                            dtype=np.int64)
+                        tick_probes.append(probes)
+                    elif kind in (OP_INSERT, OP_POISON):
+                        for key in run_keys:
+                            backend.insert_batch(key[np.newaxis])
+                    elif kind == OP_DELETE:
+                        for key in run_keys:
+                            backend.delete_batch(key[np.newaxis])
+                    elif kind == OP_MODIFY:
+                        for key, new in zip(run_keys, aux[start:stop]):
+                            backend.delete_batch(key[np.newaxis])
+                            backend.insert_batch(new[np.newaxis])
+                    else:  # pragma: no cover
+                        raise ValueError(f"unknown op kind: {kind}")
+                    start = stop
             close_tick(injected_this_tick)
             if self._adversary is not None or self._tuner is not None:
                 obs = observe(tick_index)
@@ -454,4 +516,5 @@ class ServingSimulator:
             final_n_keys=int(backend.n_keys),
             ops_by_kind=trace.counts(),
             injected_poison=injected_total,
+            discarded_poison=int(pending_inject.size),
             wall_seconds=time.perf_counter() - started)
