@@ -24,7 +24,10 @@ Run standalone with::
 or through the bench harness (``pytest benchmarks/ --benchmark-only -s``).
 ``--check [snapshot.json]`` re-measures just the replay throughput and
 exits non-zero when any backend falls more than 30% below the
-committed snapshot — the CI smoke gate.
+committed snapshot, or when the snapshot is missing a checked section
+— the CI smoke gate.  ``--check --sections serving_replay`` narrows
+the gate to a comma-separated subset of sections (the blocking CI
+step checks ``serving_replay`` alone; the full check stays advisory).
 """
 
 import sys
@@ -309,23 +312,51 @@ def run_bench(out_path: str = "BENCH_workload.json") -> str:
 #: from the machine that recorded the snapshot.
 CHECK_TOLERANCE = 0.30
 
+#: The replay sections ``--check`` re-measures.  Each checked section
+#: must exist in the committed snapshot: a missing section means the
+#: snapshot predates the section (or was trimmed), and silently
+#: passing it would let a new serving path ship ungated.
+CHECK_SECTIONS = ("serving_replay", "cluster")
+
+
+def _measure_section(name: str) -> dict:
+    """Fresh numbers for one checkable section (measurer dispatch)."""
+    if name == "serving_replay":
+        return bench_serving_replay()[1]
+    if name == "cluster":
+        return bench_cluster()[1]
+    raise ValueError(
+        f"unknown bench section {name!r}; checkable sections: "
+        f"{', '.join(CHECK_SECTIONS)}")
+
 
 def check_throughput(snapshot_path: str = "BENCH_workload.json",
-                     ) -> int:
+                     sections: "tuple[str, ...] | None" = None) -> int:
     """Fast regression gate: fresh replay throughput vs the snapshot.
 
-    Re-measures only the two replay sections (skipping the grid
-    duels), compares every backend's ``ops_per_second`` against the
-    committed ``BENCH_workload.json``, and returns a non-zero exit
-    code when any backend lost more than ``CHECK_TOLERANCE`` of its
-    recorded throughput.  Keys absent from the snapshot pass — a
-    fresh section can land before its first recording.
+    Re-measures the replay sections (skipping the grid duels),
+    compares every backend's ``ops_per_second`` against the committed
+    ``BENCH_workload.json``, and returns a non-zero exit code when any
+    backend lost more than ``CHECK_TOLERANCE`` of its recorded
+    throughput — or when the snapshot is *missing* a checked section
+    outright (an expected section with no baseline is a check
+    failure, not a free pass).  Individual backends absent from a
+    present section still pass as ``new`` — a fresh backend can land
+    before its first recording.  ``sections`` narrows the gate (the
+    CI blocking step checks ``serving_replay`` alone).
     """
+    sections = tuple(sections) if sections else CHECK_SECTIONS
     committed = io.load_json(snapshot_path)
-    _, replay_record = bench_serving_replay()
-    _, cluster_record = bench_cluster()
-    fresh = {"serving_replay": replay_record,
-             "cluster": cluster_record}
+    missing = [name for name in sections if name not in committed]
+    if missing:
+        print(section("throughput check vs committed snapshot"))
+        print(f"FAIL: snapshot {snapshot_path} is missing expected "
+              f"section(s): {', '.join(missing)}.  Regenerate it with "
+              f"`PYTHONPATH=src python "
+              f"benchmarks/bench_workload_serving.py` and commit the "
+              f"result.")
+        return 1
+    fresh = {name: _measure_section(name) for name in sections}
     failures = []
     rows = []
     for section_name, record in fresh.items():
@@ -370,8 +401,19 @@ def test_workload_serving_bench(once, tmp_path):
 if __name__ == "__main__":
     args = sys.argv[1:]
     if args and args[0] == "--check":
-        snapshot = args[1] if len(args) > 1 else "BENCH_workload.json"
-        raise SystemExit(check_throughput(snapshot))
+        rest = list(args[1:])
+        sections = None
+        if "--sections" in rest:
+            at = rest.index("--sections")
+            if at + 1 >= len(rest):
+                raise SystemExit(
+                    "--sections needs a comma-separated list, e.g. "
+                    "--sections serving_replay,cluster")
+            sections = tuple(s for s in rest[at + 1].split(",") if s)
+            del rest[at:at + 2]
+        snapshot = rest[0] if rest else "BENCH_workload.json"
+        raise SystemExit(check_throughput(snapshot,
+                                          sections=sections))
     out = args[0] if args else "BENCH_workload.json"
     print(run_bench(out))
     print(f"\nwrote {out}")

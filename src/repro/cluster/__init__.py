@@ -3,7 +3,7 @@
 The production-scale layer above :mod:`repro.workload`: one learned
 index per *shard*, a router fanning batched operations out by key
 range, and the cluster-management loop (split/merge rebalancing plus
-an SLO-weighted per-shard defense).  Four modules:
+an SLO-weighted per-shard defense).  Six modules:
 
 * :mod:`repro.cluster.shardmap` — :class:`ShardMap`, the
   content-addressed equal-mass range partition of the key space (a
@@ -19,7 +19,18 @@ an SLO-weighted per-shard defense).  Four modules:
 * :mod:`repro.cluster.simulator` — :class:`ClusterSimulator`, the
   replay loop recording cluster, per-tenant, and per-shard series,
   plus the cluster-aware poison placements on the PR 4 feedback port
-  (``uniform`` / ``concentrated`` / ``hotshard``).
+  (``uniform`` / ``concentrated`` / ``hotshard``);
+* :mod:`repro.cluster.transport` — the cross-process layer: shard
+  replicas as worker processes speaking a versioned columnar batch
+  protocol, with a router-side :class:`TransportBook` of injected
+  latency/failure models, timeout + backoff retry, and failover
+  accounting;
+* :mod:`repro.cluster.replication` — :class:`ReplicaGroup` (k-replica
+  shard groups: broadcast mutations, quorum reads) with
+  :class:`DivergenceDetector` flagging a poisoned replica whose
+  error-bound series drifts from its peers, and
+  :class:`TransportClusterRouter` mounting it all under the unchanged
+  router logic.
 
 The ``cluster`` CLI target
 (:mod:`repro.experiments.cluster_serving`) runs
@@ -28,8 +39,22 @@ these on the :class:`repro.runtime.SweepEngine`.
 """
 
 from .rebalance import RebalanceDecision, Rebalancer, SloWeightedDefense
-from .router import ClusterRouter
+from .replication import (
+    DivergenceConfig,
+    DivergenceDetector,
+    ReplicaGroup,
+    TransportClusterRouter,
+)
+from .router import ClusterRouter, ShardServingError
 from .shardmap import ShardMap
+from .transport import (
+    FaultSpec,
+    ReplicaDeadError,
+    ShardWorkerError,
+    TransportBook,
+    TransportConfig,
+    WorkerClient,
+)
 from .simulator import (
     CLUSTER_ADVERSARIES,
     ClusterAdversary,
@@ -45,6 +70,17 @@ from .simulator import (
 __all__ = [
     "ShardMap",
     "ClusterRouter",
+    "ShardServingError",
+    "TransportClusterRouter",
+    "TransportConfig",
+    "TransportBook",
+    "FaultSpec",
+    "WorkerClient",
+    "ReplicaGroup",
+    "DivergenceConfig",
+    "DivergenceDetector",
+    "ShardWorkerError",
+    "ReplicaDeadError",
     "Rebalancer",
     "RebalanceDecision",
     "SloWeightedDefense",

@@ -26,6 +26,7 @@ The router also owns the two cluster-level books the simulator reads:
 
 from __future__ import annotations
 
+from concurrent.futures import FIRST_EXCEPTION, wait
 from typing import Any
 
 import numpy as np
@@ -42,7 +43,18 @@ from ..workload.trace import (
 )
 from .shardmap import ShardMap
 
-__all__ = ["ClusterRouter"]
+__all__ = ["ClusterRouter", "ShardServingError"]
+
+
+class ShardServingError(RuntimeError):
+    """A shard's replay failed; carries which shard so a fleet
+    operator (or a test) can tell the wedged range from its healthy
+    siblings."""
+
+    def __init__(self, shard: int, cause: BaseException):
+        super().__init__(f"shard {shard}: "
+                         f"{type(cause).__name__}: {cause}")
+        self.shard = shard
 
 
 class ClusterRouter:
@@ -84,7 +96,7 @@ class ClusterRouter:
         self._build_args = dict(build_args)
         keys = np.sort(np.asarray(keys, dtype=np.int64))
         self._shards: "list[ServingBackend | None]" = [
-            self._build_shard(self._keys_in(keys, shard))
+            self._build_shard(self._keys_in(keys, shard), shard=shard)
             for shard in range(shard_map.n_shards)]
         self._tick_loads = np.zeros(shard_map.n_shards, dtype=np.int64)
         self._retrains_migrated = 0
@@ -98,9 +110,25 @@ class ClusterRouter:
         right = int(np.searchsorted(sorted_keys, hi, side="right"))
         return sorted_keys[left:right]
 
+    def _make_backend(self, keys: np.ndarray, threshold: float,
+                      shard: int) -> ServingBackend:
+        """Construct one shard's backend (the transport seam).
+
+        The in-process router builds the PR 3 backend directly;
+        :class:`~repro.cluster.replication.TransportClusterRouter`
+        overrides this single method to spawn a worker-process replica
+        group instead, so every other router code path — migration,
+        fan-out, defense hooks — is shared verbatim between the two.
+        """
+        del shard  # only the transport override cares which range
+        return make_backend(self._backend_name, keys,
+                            rebuild_threshold=threshold,
+                            **self._build_args)
+
     def _build_shard(self, keys: np.ndarray,
                      settings: "tuple[float, float | None] | None"
-                     = None) -> "ServingBackend | None":
+                     = None, shard: int = 0,
+                     ) -> "ServingBackend | None":
         """One shard backend, or ``None`` for a keyless range.
 
         ``settings`` is an optional ``(rebuild_threshold,
@@ -124,9 +152,7 @@ class ClusterRouter:
             return None
         threshold, keep = (settings if settings is not None
                            else (self._threshold, self._keep_fraction))
-        backend = make_backend(self._backend_name, keys,
-                               rebuild_threshold=threshold,
-                               **self._build_args)
+        backend = self._make_backend(keys, threshold, shard)
         # TRIM arms through the live hook (model-free backends reject
         # the constructor argument), and because a backend's *initial*
         # build never screens, an armed shard compacts once right
@@ -254,7 +280,7 @@ class ClusterRouter:
                 # First keys of an unprovisioned range: materialise
                 # the backend over them.
                 self._shards[shard] = self._build_shard(
-                    np.sort(keys[mask]))
+                    np.sort(keys[mask]), shard=int(shard))
             else:
                 self._shards[shard].insert_batch(keys[mask])
 
@@ -379,7 +405,8 @@ class ClusterRouter:
                 if ins.size == 0:
                     return None
                 k = int(ins[0])
-                self._shards[shard] = self._build_shard(ekey[k:k + 1])
+                self._shards[shard] = self._build_shard(
+                    ekey[k:k + 1], shard=shard)
                 backend = self._shards[shard]
                 ek, ekey, eslot = ek[k + 1:], ekey[k + 1:], \
                     eslot[k + 1:]
@@ -392,15 +419,38 @@ class ClusterRouter:
             qmask = ek[reads] == OP_QUERY
             return slots, p, slots[qmask], f[qmask]
 
+        def serve_guarded(shard: int, eidx: np.ndarray,
+                          ) -> "tuple[np.ndarray, ...] | None":
+            try:
+                return serve_shard(shard, eidx)
+            except ShardServingError:
+                raise
+            except Exception as exc:
+                raise ShardServingError(shard, exc) from exc
+
         groups = [(int(s), by_shard[s0:s1])
                   for s, s0, s1 in zip(uniq, starts, bounds)]
         if self._fanout_jobs > 1 and len(groups) > 1:
+            # Collect *all* futures and cancel the still-pending ones
+            # on the first failure: pool.map would tear the context
+            # manager down while sibling shard replays keep mutating
+            # shared maps, and its exception loses which shard died.
             with EXECUTORS[self._fanout_executor](
                     max_workers=self._fanout_jobs) as pool:
-                results = list(pool.map(
-                    lambda g: serve_shard(*g), groups))
+                futures = [pool.submit(serve_guarded, s, eidx)
+                           for s, eidx in groups]
+                done, pending = wait(futures,
+                                     return_when=FIRST_EXCEPTION)
+                failed = next(
+                    (f for f in done
+                     if not f.cancelled() and f.exception()), None)
+                if failed is not None:
+                    for f in pending:
+                        f.cancel()
+                    raise failed.exception()
+                results = [f.result() for f in futures]
         else:
-            results = [serve_shard(*g) for g in groups]
+            results = [serve_guarded(*g) for g in groups]
         for result in results:
             if result is None:
                 continue
@@ -495,7 +545,8 @@ class ClusterRouter:
                                         side="right")) - 1,
                     len(old_settings) - 1)
                 new_shards.append(self._build_shard(
-                    pool[left:right], settings=old_settings[source]))
+                    pool[left:right], settings=old_settings[source],
+                    shard=shard))
         self._map = new_map
         self._shards = new_shards
         self._tick_loads = np.zeros(new_map.n_shards, dtype=np.int64)
@@ -531,3 +582,32 @@ class ClusterRouter:
         """Retarget one shard's compaction trigger."""
         if self._shards[shard] is not None:
             self._shards[shard].set_rebuild_threshold(threshold)
+
+    # ------------------------------------------------------------------
+    # Transport surface (no-op in process; the cross-process router
+    # overrides all four)
+    # ------------------------------------------------------------------
+    def start_tick(self, tick: int) -> None:
+        """Open a tick window on the transport book (no-op here)."""
+
+    def transport_tick_stats(self) -> tuple[int, int, float]:
+        """(degraded replica slots, flagged replicas, injected ms)
+        accumulated since the last call.
+
+        The in-process router has no transport, so the triple is
+        identically zero — which is exactly what keeps its series
+        bit-comparable to a process-transport run with injection off.
+        """
+        return 0, 0, 0.0
+
+    def flagged_replicas(self) -> "list[tuple[int, int]]":
+        """(shard, replica) slots the divergence detector flagged."""
+        return []
+
+    def shard_digests(self) -> "list[str | None]":
+        """Per-shard state digests (``None`` for unprovisioned)."""
+        return [None if s is None else s.state_digest()
+                for s in self._shards]
+
+    def close(self) -> None:
+        """Release shard resources (nothing to release in-process)."""

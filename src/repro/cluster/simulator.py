@@ -85,7 +85,8 @@ __all__ = [
 
 _CLUSTER_SERIES = ("p50", "p95", "p99", "mean_probes", "error_bound",
                    "retrains", "n_keys", "n_shards", "imbalance",
-                   "migrated", "injected")
+                   "migrated", "injected", "degraded", "flagged",
+                   "latency_ms")
 _TENANT_SERIES = ("tenant_p95", "tenant_amplification")
 _SHARD_SERIES = ("shard_loads", "shard_p95", "shard_n_keys")
 
@@ -162,6 +163,12 @@ class ClusterReport:
     final_tenant_p95: tuple[float, ...]
     final_tenant_amplification: tuple[float, ...]
     tenant_slo_violation_fraction: tuple[float, ...]
+    # Transport health (identically zero on the in-process router —
+    # the bit-parity contract with a no-injection process transport):
+    # ticks with at least one degraded replica slot, and replicas the
+    # divergence detector flagged as poisoned.
+    degraded_ticks: int
+    flagged_replicas: int
     wall_seconds: float = field(compare=False)
 
     @property
@@ -198,6 +205,8 @@ class ClusterReport:
             "tenant_slo_violation_fraction": [
                 json_float(v)
                 for v in self.tenant_slo_violation_fraction],
+            "degraded_ticks": self.degraded_ticks,
+            "flagged_replicas": self.flagged_replicas,
         }
 
 
@@ -258,6 +267,11 @@ class ClusterAdversary(AdaptiveAdversary):
                 f"domain [{domain.lo}, {domain.hi}]")
         self._victim = (int(lo), int(hi))
         self._pool = np.empty(0, dtype=np.int64)
+
+    @property
+    def pool(self) -> np.ndarray:
+        """The crafted poison pool (placement-specific, deterministic)."""
+        return self._pool
 
     def _seal_pool(self, pool: np.ndarray) -> None:
         """Install the crafted pool; the ledger follows its size."""
@@ -599,6 +613,16 @@ class ClusterSimulator:
             shard_rows["shard_n_keys"].append(
                 router.shard_n_keys().astype(np.float64))
 
+            # Drain the transport window last so the tick's own
+            # measurement lookups (amplification sampling above) are
+            # charged to the tick they ran in; divergence detection
+            # runs inside this call on the cross-process router.
+            degraded, flagged, latency_ms = \
+                router.transport_tick_stats()
+            series["degraded"].append(float(degraded))
+            series["flagged"].append(float(flagged))
+            series["latency_ms"].append(float(latency_ms))
+
             all_probes.extend(tick_probes)
             tick_probes.clear()
             tick_tenants.clear()
@@ -664,6 +688,7 @@ class ClusterSimulator:
 
         start = 0
         for tick_index, tick_end in enumerate(bounds):
+            router.start_tick(tick_index)
             injected_this_tick = int(pending_inject.size)
             migrated_this_tick = migrated_at_boundary
             migrated_at_boundary = 0
@@ -843,4 +868,8 @@ class ClusterSimulator:
             final_tenant_p95=final_p95,
             final_tenant_amplification=final_amp,
             tenant_slo_violation_fraction=tuple(violations),
+            degraded_ticks=int(np.count_nonzero(
+                np.asarray(series["degraded"]) > 0)),
+            flagged_replicas=(int(series["flagged"][-1])
+                              if series["flagged"] else 0),
             wall_seconds=time.perf_counter() - started)

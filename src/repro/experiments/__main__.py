@@ -91,7 +91,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable
 
@@ -125,6 +125,8 @@ class RunOptions:
     resume: bool = False
     executor: str = "process"
     progress: bool = False
+    transport: str = "inproc"
+    replicas: int = 1
 
     def checkpoint_dir(self, target: str) -> Path | None:
         """Per-target checkpoint directory under ``--out`` (if any)."""
@@ -250,12 +252,23 @@ def _run_closedloop(opts: RunOptions) -> TargetOutput:
 
 
 def _run_cluster(opts: RunOptions) -> TargetOutput:
+    """The sharded grid; ``--transport process`` runs it over worker
+    processes (bit-identical numbers — the parity contract), and with
+    ``--replicas >= 3`` appends the poisoned-replica duel (quorum
+    reads + divergence detection vs naive primary reads)."""
     config = (cluster_serving.full_config() if opts.profile == "full"
               else cluster_serving.quick_config())
+    config = replace(config, transport=opts.transport,
+                     replicas=opts.replicas)
     result = cluster_serving.run(config,
                                  **opts.engine_kwargs("cluster"))
-    return (result.format(), result.to_dict(),
-            cluster_serving.plan_cells(config))
+    text, payload = result.format(), result.to_dict()
+    if opts.transport == "process" and opts.replicas >= 3:
+        duel = cluster_serving.run_poisoned_replica_scenario(
+            replicas=opts.replicas)
+        text = f"{text}\n\n{duel.format()}"
+        payload["replication_duel"] = duel.to_dict()
+    return text, payload, cluster_serving.plan_cells(config)
 
 
 def _run_a1(opts: RunOptions) -> TargetOutput:
@@ -507,6 +520,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--progress", action="store_true",
                         help="print per-cell progress and an ETA to "
                              "stderr (engine-backed targets)")
+    parser.add_argument("--transport", choices=("inproc", "process"),
+                        default="inproc",
+                        help="cluster target: serve shards in-process "
+                             "(default) or as worker processes behind "
+                             "the versioned batch protocol (results "
+                             "are identical)")
+    parser.add_argument("--replicas", type=int, default=1, metavar="K",
+                        help="cluster target with --transport process: "
+                             "worker replicas per shard; >= 3 also "
+                             "runs the poisoned-replica duel")
     args = parser.parse_args(argv)
     if args.quick and args.profile == "full":
         parser.error("--quick contradicts --profile full")
@@ -514,11 +537,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.resume and args.out is None:
         parser.error("--resume requires --out")
+    if args.replicas < 1:
+        parser.error("--replicas must be >= 1")
+    if args.replicas > 1 and args.transport != "process":
+        parser.error("--replicas > 1 requires --transport process")
     if args.out is not None and args.out.exists() and not args.out.is_dir():
         parser.error(f"--out {args.out} exists and is not a directory")
     opts = RunOptions(profile=args.profile, jobs=args.jobs, out=args.out,
                       resume=args.resume, executor=args.executor,
-                      progress=args.progress)
+                      progress=args.progress, transport=args.transport,
+                      replicas=args.replicas)
 
     targets = sorted(_TARGETS) if args.target == "all" else [args.target]
     for name in targets:

@@ -32,12 +32,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 from ..cluster import (
     ClusterRouter,
     ClusterSimulator,
+    ConcentratedClusterAdversary,
+    FaultSpec,
     Rebalancer,
     ShardMap,
     SloWeightedDefense,
+    TransportClusterRouter,
+    TransportConfig,
     make_cluster_adversary,
 )
 from ..io import json_float, parse_json_float
@@ -53,7 +59,9 @@ from .report import (
 
 __all__ = ["ClusterConfig", "ClusterRow", "ClusterResult",
            "plan_cells", "run_cluster_cell", "run", "quick_config",
-           "full_config", "CLUSTER_DEFENSES", "VICTIM_TENANT"]
+           "full_config", "CLUSTER_DEFENSES", "VICTIM_TENANT",
+           "ReplicaDuelArm", "ReplicaDuelResult",
+           "run_poisoned_replica_scenario"]
 
 CLUSTER_DEFENSES = ("static", "managed")
 
@@ -83,6 +91,8 @@ class ClusterConfig:
     slo_p95: float = 5.0
     slo_tier_factor: float = 1.5
     max_shards: int = 12
+    transport: str = "inproc"
+    replicas: int = 1
     seed: int = 23
 
 
@@ -245,6 +255,8 @@ class ClusterResult:
             "n_ops": self.config.n_ops,
             "poison_percentage": self.config.poison_percentage,
             "victim_tenant": VICTIM_TENANT,
+            "transport": self.config.transport,
+            "replicas": self.config.replicas,
             "cells": [
                 {
                     "tenant_layout": r.tenant_layout,
@@ -312,6 +324,8 @@ def plan_cells(config: ClusterConfig) -> list[Cell]:
                   slo_p95=config.slo_p95,
                   slo_tier_factor=config.slo_tier_factor,
                   max_shards=config.max_shards,
+                  transport=config.transport,
+                  replicas=config.replicas,
                   seed=config.seed)
         for layout in config.tenant_layouts
         for n_shards in config.shard_counts
@@ -338,9 +352,20 @@ def run_cluster_cell(cell: Cell) -> CellOutput:
     build_args: dict[str, Any] = {}
     if p["backend"] in ("rmi", "dynamic"):
         build_args["model_size"] = p["model_size"]
-    router = ClusterRouter(shard_map, trace.base_keys, p["backend"],
-                           rebuild_threshold=p["rebuild_threshold"],
-                           **build_args)
+    if p.get("transport", "inproc") == "process":
+        # The cross-process cluster: every shard is a group of
+        # ``replicas`` worker processes behind the wire protocol.
+        # Injection stays off, so the cell's numbers are pinned
+        # bit-identical to the in-process arm (the parity suite's
+        # contract) — the axis measures the transport, not a scenario.
+        router: ClusterRouter = TransportClusterRouter(
+            shard_map, trace.base_keys, p["backend"],
+            rebuild_threshold=p["rebuild_threshold"],
+            replicas=p.get("replicas", 1), **build_args)
+    else:
+        router = ClusterRouter(
+            shard_map, trace.base_keys, p["backend"],
+            rebuild_threshold=p["rebuild_threshold"], **build_args)
 
     budget = max(1, int(p["n_base_keys"] * p["poison_percentage"]
                         / 100.0))
@@ -363,10 +388,14 @@ def run_cluster_cell(cell: Cell) -> CellOutput:
             base_threshold=p["rebuild_threshold"],
             keep_deadband=0.1, keep_gain=0.75)
 
-    report = ClusterSimulator(router, trace, tick_ops=p["tick_ops"],
-                              adversary=adversary,
-                              rebalancer=rebalancer,
-                              defense=defense).run()
+    try:
+        report = ClusterSimulator(router, trace,
+                                  tick_ops=p["tick_ops"],
+                                  adversary=adversary,
+                                  rebalancer=rebalancer,
+                                  defense=defense).run()
+    finally:
+        router.close()
 
     result = report.to_dict()
     result.update({
@@ -389,6 +418,165 @@ def run_cluster_cell(cell: Cell) -> CellOutput:
     return CellOutput(result=result, arrays=arrays)
 
 
+# ----------------------------------------------------------------------
+# The poisoned-replica duel: the replication acceptance scenario
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReplicaDuelArm:
+    """One arm of the poisoned-replica duel."""
+
+    read_mode: str
+    detector: bool
+    flagged: tuple[tuple[int, int], ...]
+    victim_p95: float
+    victim_amplification: float
+    victim_slo_violations: float
+    degraded_ticks: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "read_mode": self.read_mode,
+            "detector": self.detector,
+            "flagged": [list(slot) for slot in self.flagged],
+            "victim_p95": json_float(self.victim_p95),
+            "victim_amplification": json_float(
+                self.victim_amplification),
+            "victim_slo_violations": json_float(
+                self.victim_slo_violations),
+            "degraded_ticks": self.degraded_ticks,
+        }
+
+
+@dataclass(frozen=True)
+class ReplicaDuelResult:
+    """Both arms of the duel, plus the compromise parameters."""
+
+    backend: str
+    replicas: int
+    victim_shard: int
+    poison_budget: int
+    slo_p95: float
+    quorum: ReplicaDuelArm
+    primary: ReplicaDuelArm
+
+    def format(self) -> str:
+        title = (f"replication duel: compromised replica 0 of shard "
+                 f"{self.victim_shard} ({self.backend} backend, "
+                 f"{self.replicas} replicas, {self.poison_budget} "
+                 f"silent poison inserts, victim SLO p95 <= "
+                 f"{self.slo_p95:g})")
+        body = []
+        for label, arm in (("quorum + detector", self.quorum),
+                           ("primary, no detector", self.primary)):
+            flagged = (", ".join(f"s{s}r{r}" for s, r in arm.flagged)
+                       or "-")
+            body.append([label, flagged, f"{arm.victim_p95:.1f}",
+                         format_ratio(arm.victim_amplification),
+                         f"{arm.victim_slo_violations:.0%}",
+                         arm.degraded_ticks])
+        table = render_table(
+            ["arm", "flagged", "victim p95", "victim amp",
+             "slo viol", "degraded ticks"], body)
+        return f"{section(title)}\n{table}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "replicas": self.replicas,
+            "victim_shard": self.victim_shard,
+            "poison_budget": self.poison_budget,
+            "slo_p95": json_float(self.slo_p95),
+            "quorum": self.quorum.to_dict(),
+            "primary": self.primary.to_dict(),
+        }
+
+
+def _poison_doses(pool: np.ndarray, shard: int,
+                  ticks: tuple[int, ...]) -> tuple[FaultSpec, ...]:
+    """Split a crafted pool into one single-tick dose per tick."""
+    parts = np.array_split(np.asarray(pool, dtype=np.int64),
+                           len(ticks))
+    return tuple(
+        FaultSpec(kind="poison", shard=shard, replica=0, tick=tick,
+                  until=tick, keys=tuple(int(k) for k in part))
+        for tick, part in zip(ticks, parts) if part.size)
+
+
+def run_poisoned_replica_scenario(backend: str = "rmi",
+                                  replicas: int = 3,
+                                  seed: int = 23) -> ReplicaDuelResult:
+    """The committed silent-compromise demonstration.
+
+    One replica of the victim tenant's shard is compromised: every
+    early tick it silently absorbs a dose of Algorithm-2 poison
+    (crafted against the victim's sub-CDF) that its peers never see.
+    Reads still come back valid-looking, so byte-level checks can't
+    catch it — the duel measures the two defenses replication buys:
+
+    * **quorum + detector** — quorum reads outvote the poisoned
+      replica's inflated probe costs, and the divergence detector
+      flags and quarantines it once its error-bound series drifts
+      from its peers;
+    * **primary, no detector** — the naive arm trusts replica 0
+      alone, so the victim tenant eats the full poisoned latency.
+
+    Deterministic in ``(backend, replicas, seed)``; the acceptance
+    test pins the detector flagging exactly the compromised slot and
+    the quorum arm holding the victim inside its SLO band.
+    """
+    if backend not in ("rmi", "dynamic"):
+        raise ValueError(
+            "the compromise targets a learned backend: "
+            f"{backend!r}")
+    spec = TraceSpec(
+        n_base_keys=400, n_ops=1_600, query_mix="uniform",
+        insert_fraction=0.04, poison_schedule="none",
+        poison_percentage=0.0, n_tenants=3, tenant_layout="skewed",
+        tenant_skew=0.5, slo_p95=5.0, slo_tier_factor=1.5, seed=seed)
+    trace = generate_trace(spec)
+    shard_map = ShardMap.balanced(trace.base_keys, 2, spec.domain())
+    lo, hi = spec.tenant_ranges()[VICTIM_TENANT]
+    victim_shard = int(shard_map.route(
+        np.asarray([(lo + hi) // 2], dtype=np.int64))[0])
+    crafted = ConcentratedClusterAdversary(
+        trace.base_keys, spec.domain(), 80, seed, (lo, hi),
+        model_size=100)
+    shard_lo, shard_hi = shard_map.shard_range(victim_shard)
+    pool = crafted.pool[(crafted.pool >= shard_lo)
+                        & (crafted.pool <= shard_hi)]
+    faults = _poison_doses(pool, victim_shard, (1, 2, 3, 4))
+
+    def run_arm(read_mode: str, detector: bool) -> ReplicaDuelArm:
+        router = TransportClusterRouter(
+            shard_map, trace.base_keys, backend,
+            transport=TransportConfig(faults=faults),
+            replicas=replicas, read_mode=read_mode,
+            detect_divergence=detector,
+            rebuild_threshold=0.12, model_size=100)
+        try:
+            report = ClusterSimulator(router, trace,
+                                      tick_ops=200).run()
+            flagged = tuple(router.flagged_replicas())
+        finally:
+            router.close()
+        return ReplicaDuelArm(
+            read_mode=read_mode, detector=detector, flagged=flagged,
+            victim_p95=report.final_tenant_p95[VICTIM_TENANT],
+            victim_amplification=report.final_tenant_amplification[
+                VICTIM_TENANT],
+            victim_slo_violations=report.tenant_slo_violation_fraction[
+                VICTIM_TENANT],
+            degraded_ticks=report.degraded_ticks)
+
+    return ReplicaDuelResult(
+        backend=backend, replicas=replicas,
+        victim_shard=victim_shard, poison_budget=int(pool.size),
+        slo_p95=5.0,
+        quorum=run_arm("quorum", True),
+        primary=run_arm("primary", False))
+
+
 def run(config: ClusterConfig | None = None, jobs: int = 1,
         checkpoint_dir: str | Path | None = None, resume: bool = False,
         executor: str = "process", progress=None) -> ClusterResult:
@@ -409,6 +597,8 @@ def run(config: ClusterConfig | None = None, jobs: int = 1,
                 "n_base_keys": config.n_base_keys,
                 "n_ops": config.n_ops,
                 "poison_percentage": config.poison_percentage,
+                "transport": config.transport,
+                "replicas": config.replicas,
                 "seed": config.seed,
             },
         })

@@ -55,6 +55,9 @@ perturbs rebuild timing.
 
 from __future__ import annotations
 
+import hashlib
+import struct
+
 import numpy as np
 
 from ..defense.trim import trim_cdf
@@ -228,6 +231,29 @@ class ServingBackend:
         return np.union1d(
             np.setdiff1d(self._snapshot, self._tombs),
             np.union1d(self._delta, self._quarantine))
+
+    def _digest_parts(self) -> "tuple[np.ndarray, ...]":
+        """The state arrays :meth:`state_digest` hashes, in order."""
+        return (self._snapshot, self._delta, self._tombs,
+                self._quarantine)
+
+    def state_digest(self) -> str:
+        """Content hash of the backend's full serving state.
+
+        Covers the model snapshot and every side table plus the
+        retrain counter, so two backends replaying the same op
+        sequence digest equal iff they ended bit-identical — the
+        cross-process parity suite compares these across the pipe
+        instead of shipping whole arrays.
+        """
+        h = hashlib.sha256()
+        h.update(type(self).__name__.encode())
+        h.update(struct.pack("<qq", self.retrain_count, self.n_keys))
+        for part in self._digest_parts():
+            h.update(np.ascontiguousarray(
+                part, dtype="<i8").tobytes())
+            h.update(b"|")
+        return h.hexdigest()[:16]
 
     def lookup_batch(self, keys: np.ndarray,
                      ) -> tuple[np.ndarray, np.ndarray]:
@@ -734,6 +760,12 @@ class DynamicBackend(ServingBackend):
                 self._index.delta_keys,
                 self._index.quarantine_keys])),
             self._tombs)
+
+    def _digest_parts(self) -> "tuple[np.ndarray, ...]":
+        # Same ownership rule as live_keys: hash the index's own side
+        # tables, not the unused generic delta/quarantine fields.
+        return (self._index.rmi.store.keys, self._index.delta_keys,
+                self._index.quarantine_keys, self._tombs)
 
     def rebuild(self) -> None:
         """Compact and retrain through the index's own screening path.

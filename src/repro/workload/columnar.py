@@ -34,6 +34,7 @@ bit-identical to the scalar path by
 
 from __future__ import annotations
 
+import struct
 from typing import NamedTuple
 
 import numpy as np
@@ -53,6 +54,7 @@ __all__ = [
     "sorted_insert_unique", "sorted_remove_present",
     "EFF_NOOP", "EFF_REVIVE", "EFF_FRESH", "EFF_DROP_DELTA",
     "EFF_DROP_QUAR", "EFF_TOMB",
+    "WIRE_VERSION", "encode_event_batch", "decode_event_batch",
 ]
 
 #: What the scalar single-key call would do to the generic side
@@ -129,6 +131,67 @@ def decompose_ops(kinds: np.ndarray, keys: np.ndarray,
     return TickOps(read_pos=read_pos, read_keys=keys[read_pos],
                    read_is_query=kinds[read_pos] == OP_QUERY,
                    sub_ins=sub_ins, sub_key=sub_key, sub_pos=sub_pos)
+
+
+#: Wire format of a serialized event batch (the cross-process unit of
+#: :meth:`ServingBackend.replay_ops`): a little-endian header
+#: ``magic(4s) version(u8) pad(3) count(u64)`` followed by the three
+#: columns as raw bytes — kinds as ``int8``, keys and aux as
+#: ``int64``.  Bump :data:`WIRE_VERSION` on any layout change; decode
+#: rejects mismatched versions so a stale worker fails loudly instead
+#: of misreading columns.
+WIRE_MAGIC = b"REVB"
+WIRE_VERSION = 1
+_WIRE_HEADER = struct.Struct("<4sB3xQ")
+
+
+def encode_event_batch(kinds: np.ndarray, keys: np.ndarray,
+                       aux: np.ndarray) -> bytes:
+    """Serialize one op slice into the versioned columnar wire form."""
+    kinds = np.ascontiguousarray(kinds, dtype="<i1")
+    keys = np.ascontiguousarray(keys, dtype="<i8")
+    aux = np.ascontiguousarray(aux, dtype="<i8")
+    if not (kinds.size == keys.size == aux.size):
+        raise ValueError(
+            "event batch columns must align: "
+            f"{kinds.size}/{keys.size}/{aux.size}")
+    return (_WIRE_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, kinds.size)
+            + kinds.tobytes() + keys.tobytes() + aux.tobytes())
+
+
+def decode_event_batch(payload: bytes,
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deserialize :func:`encode_event_batch` output.
+
+    Returns fresh (writable) ``(kinds, keys, aux)`` arrays; raises
+    ``ValueError`` on a bad magic, a version mismatch, or a truncated
+    payload.
+    """
+    if len(payload) < _WIRE_HEADER.size:
+        raise ValueError(
+            f"event batch truncated: {len(payload)} bytes")
+    magic, version, count = _WIRE_HEADER.unpack_from(payload)
+    if magic != WIRE_MAGIC:
+        raise ValueError(f"bad event batch magic: {magic!r}")
+    if version != WIRE_VERSION:
+        raise ValueError(
+            f"event batch wire version {version} != "
+            f"supported {WIRE_VERSION}")
+    expected = _WIRE_HEADER.size + count * (1 + 8 + 8)
+    if len(payload) != expected:
+        raise ValueError(
+            f"event batch length {len(payload)} != expected "
+            f"{expected} for {count} events")
+    off = _WIRE_HEADER.size
+    kinds = np.frombuffer(payload, dtype="<i1", count=count,
+                          offset=off).astype(np.int8)
+    off += count
+    keys = np.frombuffer(payload, dtype="<i8", count=count,
+                         offset=off).astype(np.int64)
+    off += 8 * count
+    aux = np.frombuffer(payload, dtype="<i8", count=count,
+                        offset=off).astype(np.int64)
+    return kinds, keys, aux
 
 
 def sorted_member(sorted_arr: np.ndarray,

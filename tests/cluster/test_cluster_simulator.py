@@ -19,7 +19,8 @@ SPEC = TraceSpec(n_base_keys=400, n_ops=1_200, insert_fraction=0.05,
 
 CLUSTER_SERIES = ("p50", "p95", "p99", "mean_probes", "error_bound",
                   "retrains", "n_keys", "n_shards", "imbalance",
-                  "migrated", "injected")
+                  "migrated", "injected", "degraded", "flagged",
+                  "latency_ms")
 
 
 def build(backend="rmi", n_shards=4, spec=SPEC, **sim_kwargs):

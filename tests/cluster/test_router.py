@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterRouter, ShardMap
+from repro.cluster import ClusterRouter, ShardMap, ShardServingError
 from repro.data.keyset import Domain
 from repro.workload import make_backend
 
@@ -228,4 +228,47 @@ class TestDynamicMigration:
         router.split_shard(1)
         assert router.shard(1).quarantine_size > 0
         found, _ = router.lookup_batch(keys)
+        assert found.all()
+
+
+class TestFanOutErrors:
+    """The PR 7 satellite bugfix: a shard failing mid-fan-out must
+    surface as one ShardServingError naming the shard, with the
+    still-pending sibling jobs cancelled — not a bare exception from
+    whichever future happened to be inspected first."""
+
+    @pytest.fixture()
+    def broken_router(self, setup):
+        domain, keys, shard_map = setup
+
+        def run(jobs):
+            router = ClusterRouter(shard_map, keys, "binary",
+                                   fanout_jobs=jobs)
+
+            def explode(kinds, keys, aux):
+                raise RuntimeError("disk on fire")
+
+            router.shard(2).replay_ops = explode
+            n = keys.size
+            kinds = np.zeros(n, dtype=np.int8)  # all queries
+            return router, kinds, keys, np.zeros(n, dtype=np.int64)
+
+        return run
+
+    @pytest.mark.parametrize("jobs", (1, 4))
+    def test_error_names_the_failing_shard(self, broken_router, jobs):
+        router, kinds, keys, aux = broken_router(jobs)
+        with pytest.raises(ShardServingError,
+                           match="shard 2: RuntimeError") as err:
+            router.replay_ops(kinds, keys, aux)
+        assert err.value.shard == 2
+
+    def test_healthy_shards_unaffected_after_the_error(
+            self, broken_router):
+        router, kinds, keys, aux = broken_router(4)
+        with pytest.raises(ShardServingError):
+            router.replay_ops(kinds, keys, aux)
+        shards = router.shard_map.route(keys)
+        healthy = keys[shards != 2]
+        found, _ = router.lookup_batch(healthy)
         assert found.all()

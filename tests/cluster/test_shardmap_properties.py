@@ -135,3 +135,73 @@ class TestBalance:
         edges = m.edges
         assert (keys >= edges[shards]).all()
         assert (keys < edges[shards + 1]).all()
+
+
+class TestDerivationChains:
+    """ISSUE 7 satellite: split-boundary routing after arbitrary
+    merge-then-split derivation chains.
+
+    Every map reachable by split/merge/rebalance steps must keep the
+    routing contract intact at the *boundaries* it accumulated along
+    the way: for any probe key (live keys, every split point, and the
+    keys adjacent to each split), ``route`` places it inside the
+    half-open range ``[edges[s], edges[s+1])`` of the shard it names,
+    and a key equal to a split point lands in the RIGHT-hand shard.
+    This is what makes shard handoff during a merge-then-split
+    rebalance loss-free: no key can fall between shards or be owned
+    by two.
+    """
+
+    @staticmethod
+    def derive(m, keys, chain_seed, n_steps=6):
+        rng = np.random.default_rng(chain_seed)
+        chain = [m]
+        for _ in range(n_steps):
+            action = rng.integers(0, 3)
+            if action == 0:
+                m = m.split(int(rng.integers(0, m.n_shards)), keys)
+            elif action == 1 and m.n_shards > 1:
+                m = m.merge(int(rng.integers(0, m.n_shards - 1)))
+            else:
+                m = m.rebalanced(keys)
+            chain.append(m)
+        return chain
+
+    @staticmethod
+    def probe_keys(m, keys, domain):
+        splits = np.asarray(m.splits, dtype=np.int64)
+        probes = np.concatenate([keys, splits, splits - 1,
+                                 splits + 1])
+        return np.unique(np.clip(probes, domain.lo, domain.hi))
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=CASES, chain_seed=st.integers(0, 2**31 - 1))
+    def test_boundaries_route_consistently_along_the_chain(
+            self, case, chain_seed):
+        keys, domain, m = build(case)
+        for derived in self.derive(m, keys, chain_seed):
+            probes = self.probe_keys(derived, keys, domain)
+            shards = derived.route(probes)
+            edges = derived.edges
+            assert (probes >= edges[shards]).all()
+            assert (probes < edges[shards + 1]).all()
+            # A key exactly on a split belongs to the right-hand
+            # shard: its shard range starts at the split itself.
+            for i, cut in enumerate(derived.splits):
+                owner = int(derived.route(
+                    np.asarray([cut], dtype=np.int64))[0])
+                assert owner == i + 1
+                assert derived.shard_range(owner)[0] == cut
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=CASES, chain_seed=st.integers(0, 2**31 - 1))
+    def test_no_key_lost_or_double_counted_along_the_chain(
+            self, case, chain_seed):
+        keys, domain, m = build(case)
+        for derived in self.derive(m, keys, chain_seed):
+            counts = derived.shard_counts(keys)
+            assert counts.sum() == keys.size
+            routed = derived.route(keys)
+            assert np.array_equal(
+                counts, np.bincount(routed,
+                                    minlength=derived.n_shards))

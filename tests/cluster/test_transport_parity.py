@@ -1,0 +1,82 @@
+"""Process transport == in-process router, bit for bit.
+
+The in-process :class:`ClusterRouter` is the executable spec: with no
+injected latency or faults the :class:`TransportClusterRouter` must
+reproduce its full simulation report, every recorded series, and the
+per-shard state digests, at any replica count.  This is the parity
+contract that lets the scalar path survive as the reference while the
+process path serves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterRouter,
+    ClusterSimulator,
+    Rebalancer,
+    ShardMap,
+    SloWeightedDefense,
+    TransportClusterRouter,
+)
+from repro.workload import TraceSpec, generate_trace
+
+SPEC = TraceSpec(n_base_keys=300, n_ops=800, insert_fraction=0.06,
+                 delete_fraction=0.02, range_fraction=0.05,
+                 n_tenants=2, tenant_layout="ranges", seed=19)
+BUILD = dict(rebuild_threshold=0.15, model_size=60)
+
+
+def simulate(router_cls, managed=False, **router_kwargs):
+    trace = generate_trace(SPEC)
+    shard_map = ShardMap.balanced(trace.base_keys, 3, SPEC.domain())
+    router = router_cls(shard_map, trace.base_keys, "rmi", **BUILD,
+                        **router_kwargs)
+    rebalancer = Rebalancer(max_shards=6) if managed else None
+    defense = (SloWeightedDefense(trace.spec.tenant_slos())
+               if managed else None)
+    try:
+        report = ClusterSimulator(router, trace, tick_ops=200,
+                                  rebalancer=rebalancer,
+                                  defense=defense).run()
+        return report, router.shard_digests()
+    finally:
+        router.close()
+
+
+def assert_reports_equal(process, inproc):
+    p_report, p_digests = process
+    i_report, i_digests = inproc
+    assert p_digests == i_digests
+    assert p_report.to_dict() == i_report.to_dict()
+    assert set(p_report.series) == set(i_report.series)
+    for name, series in i_report.series.items():
+        assert np.array_equal(p_report.series[name], series), name
+    for name, series in i_report.tenant_series.items():
+        assert np.array_equal(p_report.tenant_series[name],
+                              series), name
+
+
+@pytest.mark.parametrize("replicas", (1, 2))
+def test_process_transport_matches_inproc(replicas):
+    process = simulate(TransportClusterRouter, replicas=replicas)
+    inproc = simulate(ClusterRouter)
+    assert_reports_equal(process, inproc)
+
+
+def test_managed_run_parity():
+    """Rebalancer splits/merges and defense tuning drive migrations
+    through the replica groups; state must still track the spec."""
+    process = simulate(TransportClusterRouter, managed=True,
+                       replicas=2)
+    inproc = simulate(ClusterRouter, managed=True)
+    assert_reports_equal(process, inproc)
+
+
+def test_transport_stats_inert_without_injection():
+    report, _ = simulate(TransportClusterRouter, replicas=2)
+    assert report.degraded_ticks == 0
+    assert report.flagged_replicas == 0
+    assert report.series["degraded"].sum() == 0
+    assert report.series["flagged"].sum() == 0
+    assert report.series["latency_ms"].sum() == 0.0

@@ -24,7 +24,8 @@ TINY = cluster_serving.ClusterConfig(
 CLUSTER_ARRAYS = [
     "shard_loads", "shard_n_keys", "shard_p95",
     "tenant_amplification", "tenant_p95",
-    "tick_error_bound", "tick_imbalance", "tick_injected",
+    "tick_degraded", "tick_error_bound", "tick_flagged",
+    "tick_imbalance", "tick_injected", "tick_latency_ms",
     "tick_mean_probes", "tick_migrated", "tick_n_keys",
     "tick_n_shards", "tick_p50", "tick_p95", "tick_p99",
     "tick_retrains"]
@@ -236,3 +237,85 @@ class TestClusterCli:
         after = {p.name: p.stat().st_mtime_ns
                  for p in cells_dir.iterdir()}
         assert after == before
+
+
+MICRO = cluster_serving.ClusterConfig(
+    tenant_layouts=("skewed",),
+    shard_counts=(2,),
+    backends=("rmi",),
+    adversaries=("concentrated",),
+    defenses=("static",),
+    n_base_keys=400,
+    n_ops=800,
+    tick_ops=200)
+
+
+class TestProcessTransportCells:
+    def test_process_cells_match_inproc(self):
+        """Grid parity: with injection off, running the cell grid over
+        worker processes reproduces the in-process rows exactly."""
+        from dataclasses import replace
+
+        inproc = cluster_serving.run(MICRO)
+        process = cluster_serving.run(
+            replace(MICRO, transport="process", replicas=2))
+        assert process.to_dict()["cells"] == inproc.to_dict()["cells"]
+        assert process.to_dict()["transport"] == "process"
+        assert process.to_dict()["replicas"] == 2
+
+
+class TestReplicationDuel:
+    """ISSUE 7 acceptance: with a poisoned replica injected, the
+    divergence detector flags the correct replica and quorum reads
+    keep the victim tenant's p95 inside the SLO band — while the
+    naive primary-read arm (no detector) serves the poisoned model
+    and violates it."""
+
+    @pytest.fixture(scope="class")
+    def duel(self):
+        return cluster_serving.run_poisoned_replica_scenario()
+
+    def test_detector_flags_exactly_the_poisoned_replica(self, duel):
+        assert duel.quorum.flagged == ((duel.victim_shard, 0),)
+        assert duel.primary.flagged == ()
+
+    def test_quorum_holds_the_slo(self, duel):
+        assert duel.quorum.victim_p95 <= duel.slo_p95
+        assert duel.quorum.victim_slo_violations == 0.0
+
+    def test_primary_arm_pays_for_trusting_one_replica(self, duel):
+        assert duel.primary.victim_p95 > duel.quorum.victim_p95
+        assert duel.primary.victim_slo_violations > 0.0
+        assert (duel.primary.victim_amplification
+                > duel.quorum.victim_amplification)
+
+    def test_quarantine_is_recorded_as_degradation(self, duel):
+        assert duel.quorum.degraded_ticks > 0
+        assert duel.primary.degraded_ticks == 0  # nothing detected
+
+    def test_report_round_trips_and_renders(self, duel):
+        payload = json.loads(json.dumps(duel.to_dict()))
+        assert payload["quorum"]["flagged"] == [
+            [duel.victim_shard, 0]]
+        assert payload["poison_budget"] > 0
+        text = duel.format()
+        assert "quorum + detector" in text
+        assert f"s{duel.victim_shard}r0" in text
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            cluster_serving.run_poisoned_replica_scenario(
+                backend="btree")
+
+
+class TestTransportCliValidation:
+    def test_replicas_require_process_transport(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--replicas", "2"])
+        assert "--transport process" in capsys.readouterr().err
+
+    def test_replicas_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--transport", "process",
+                  "--replicas", "0"])
+        assert "--replicas" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""The bench ``--check`` gate (ISSUE 7 satellite).
+
+The regression being pinned: a snapshot *missing* an expected section
+used to make every comparison key "new" and the check exit 0 — a
+freshly added serving path could ship with no throughput gate at all.
+A missing checked section is now a failure with a clear message, and
+``--sections`` narrows the gate (the CI blocking step checks
+``serving_replay`` alone).
+"""
+
+import importlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        return importlib.import_module("bench_workload_serving")
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+MEASURED = {
+    "serving_replay": {"rmi": {"ops_per_second": 1_000.0}},
+    "cluster": {"rmi": {"ops_per_second": 500.0},
+                "wall_seconds": 3.0},
+}
+
+
+@pytest.fixture
+def canned_measurers(bench, monkeypatch):
+    """Replace the real (slow) section measurers with fixed numbers."""
+    monkeypatch.setattr(
+        bench, "bench_serving_replay",
+        lambda: ("", dict(MEASURED["serving_replay"])))
+    monkeypatch.setattr(
+        bench, "bench_cluster",
+        lambda: ("", dict(MEASURED["cluster"])))
+
+
+def snapshot(tmp_path, payload):
+    path = tmp_path / "BENCH.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestMissingSections:
+    def test_complete_snapshot_passes(self, bench, canned_measurers,
+                                      tmp_path):
+        path = snapshot(tmp_path, MEASURED)
+        assert bench.check_throughput(path) == 0
+
+    def test_missing_section_is_a_failure(self, bench,
+                                          canned_measurers,
+                                          tmp_path, capsys):
+        path = snapshot(tmp_path,
+                        {"serving_replay": MEASURED["serving_replay"]})
+        assert bench.check_throughput(path) == 1
+        out = capsys.readouterr().out
+        assert "missing expected section" in out
+        assert "cluster" in out
+        assert "Regenerate" in out
+
+    def test_sections_filter_narrows_the_gate(self, bench,
+                                              canned_measurers,
+                                              tmp_path):
+        """The blocking CI step checks serving_replay alone, so a
+        snapshot without the cluster section must still pass it."""
+        path = snapshot(tmp_path,
+                        {"serving_replay": MEASURED["serving_replay"]})
+        assert bench.check_throughput(
+            path, sections=("serving_replay",)) == 0
+
+    def test_unknown_section_is_loud(self, bench, canned_measurers,
+                                     tmp_path):
+        path = snapshot(tmp_path, {"nope": {}})
+        with pytest.raises(ValueError, match="unknown bench section"):
+            bench.check_throughput(path, sections=("nope",))
+
+
+class TestThresholds:
+    def test_regression_beyond_tolerance_fails(self, bench,
+                                               canned_measurers,
+                                               tmp_path):
+        path = snapshot(tmp_path, {
+            "serving_replay": {"rmi": {"ops_per_second": 10_000.0}},
+            "cluster": MEASURED["cluster"],
+        })
+        assert bench.check_throughput(path) == 1
+
+    def test_within_tolerance_passes(self, bench, canned_measurers,
+                                     tmp_path):
+        path = snapshot(tmp_path, {
+            "serving_replay": {"rmi": {"ops_per_second": 1_100.0}},
+            "cluster": MEASURED["cluster"],
+        })
+        assert bench.check_throughput(path) == 0
+
+    def test_new_backend_in_a_present_section_passes(
+            self, bench, canned_measurers, tmp_path, capsys):
+        """Only whole-section absence fails; a fresh backend inside a
+        recorded section still lands as ``new``."""
+        path = snapshot(tmp_path, {
+            "serving_replay": {"other": {"ops_per_second": 1.0}},
+            "cluster": MEASURED["cluster"],
+        })
+        assert bench.check_throughput(path) == 0
+        assert "new" in capsys.readouterr().out
