@@ -25,18 +25,31 @@ or through the bench harness (``pytest benchmarks/ --benchmark-only -s``).
 ``--check [snapshot.json]`` re-measures just the replay throughput and
 exits non-zero when any backend falls more than 30% below the
 committed snapshot, or when the snapshot is missing a checked section
-— the CI smoke gate.  ``--check --sections serving_replay`` narrows
-the gate to a comma-separated subset of sections (the blocking CI
-step checks ``serving_replay`` alone; the full check stays advisory).
+— the (blocking) CI gate.  ``--check --sections serving_replay``
+narrows the gate to a comma-separated subset of sections.
+
+Regenerating the committed snapshot in place is guarded: the fresh
+numbers must pass the ``--check`` tolerance against the existing file
+or the run exits non-zero with the fresh payload parked at
+``BENCH_workload.rejected.json`` (baseline untouched).
+
+``--trajectory append [--label NAME] [--store DIR] [snapshot]`` copies
+the committed snapshot into the append-only per-PR store
+(``benchmarks/trajectory/``) and re-renders its ops/s sparkline;
+``--trajectory check [--store DIR]`` re-measures and fails when any
+lane drops more than 30% below the *best* snapshot ever recorded —
+the trajectory gate.
 """
 
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro import io
 from repro.data.keyset import Domain
+from repro.observe import gallery, trajectory
 from repro.data.synthetic import uniform_keyset
 from repro.experiments.report import render_table, section
 from repro.index import DynamicLearnedIndex, RecursiveModelIndex
@@ -290,21 +303,34 @@ def bench_cluster() -> tuple[str, dict]:
     return table, record
 
 
-def run_bench(out_path: str = "BENCH_workload.json") -> str:
-    """Run all sections; persist the JSON record; return the tables."""
+def _run_sections() -> tuple[str, dict]:
+    """Measure every section once; return (tables, snapshot payload)."""
     lookup_table, lookup_record = bench_batched_lookup()
     replay_table, replay_record = bench_serving_replay()
     loop_table, loop_record = bench_closed_loop()
     cluster_table, cluster_record = bench_cluster()
-    io.save_json({
+    payload = {
         "schema": BENCH_SCHEMA,
         "batched_lookup": lookup_record,
         "serving_replay": replay_record,
         "closed_loop": loop_record,
         "cluster": cluster_record,
-    }, out_path)
+    }
     return (f"{lookup_table}\n\n{replay_table}\n\n{loop_table}"
-            f"\n\n{cluster_table}")
+            f"\n\n{cluster_table}", payload)
+
+
+def run_bench(out_path: str = "BENCH_workload.json") -> str:
+    """Run all sections; persist the JSON record; return the tables.
+
+    Regeneration in place is guarded: when ``out_path`` already holds
+    a snapshot, the fresh numbers must pass the ``--check`` tolerance
+    against it before the file is replaced — see
+    :func:`_guarded_save`.
+    """
+    tables, payload = _run_sections()
+    _guarded_save(payload, out_path)
+    return tables
 
 
 #: Throughput may regress this far against the committed snapshot
@@ -330,43 +356,30 @@ def _measure_section(name: str) -> dict:
         f"{', '.join(CHECK_SECTIONS)}")
 
 
-def check_throughput(snapshot_path: str = "BENCH_workload.json",
-                     sections: "tuple[str, ...] | None" = None) -> int:
-    """Fast regression gate: fresh replay throughput vs the snapshot.
+def _compare_ops(baseline: dict, fresh: dict,
+                 sections: "tuple[str, ...]",
+                 ) -> "tuple[list[list[str]], list[tuple]]":
+    """Per-backend ops/s comparison shared by every gate.
 
-    Re-measures the replay sections (skipping the grid duels),
-    compares every backend's ``ops_per_second`` against the committed
-    ``BENCH_workload.json``, and returns a non-zero exit code when any
-    backend lost more than ``CHECK_TOLERANCE`` of its recorded
-    throughput — or when the snapshot is *missing* a checked section
-    outright (an expected section with no baseline is a check
-    failure, not a free pass).  Individual backends absent from a
-    present section still pass as ``new`` — a fresh backend can land
-    before its first recording.  ``sections`` narrows the gate (the
-    CI blocking step checks ``serving_replay`` alone).
+    Returns (table rows, failures).  A backend present in ``fresh``
+    but absent from ``baseline`` passes as ``new`` — a fresh backend
+    can land before its first recording; one that lost more than
+    ``CHECK_TOLERANCE`` of its baseline throughput is a failure.
     """
-    sections = tuple(sections) if sections else CHECK_SECTIONS
-    committed = io.load_json(snapshot_path)
-    missing = [name for name in sections if name not in committed]
-    if missing:
-        print(section("throughput check vs committed snapshot"))
-        print(f"FAIL: snapshot {snapshot_path} is missing expected "
-              f"section(s): {', '.join(missing)}.  Regenerate it with "
-              f"`PYTHONPATH=src python "
-              f"benchmarks/bench_workload_serving.py` and commit the "
-              f"result.")
-        return 1
-    fresh = {name: _measure_section(name) for name in sections}
     failures = []
     rows = []
-    for section_name, record in fresh.items():
-        baseline = committed.get(section_name, {})
+    for section_name in sections:
+        record = fresh.get(section_name, {})
+        if not isinstance(record, dict):
+            continue
+        recorded_section = baseline.get(section_name, {})
         for backend, stats in record.items():
             if not isinstance(stats, dict) \
                     or "ops_per_second" not in stats:
                 continue
-            recorded = baseline.get(backend, {}) \
-                if isinstance(baseline.get(backend), dict) else {}
+            recorded = recorded_section.get(backend, {}) \
+                if isinstance(recorded_section.get(backend), dict) \
+                else {}
             recorded_ops = recorded.get("ops_per_second")
             measured = stats["ops_per_second"]
             if recorded_ops is None:
@@ -381,6 +394,69 @@ def check_throughput(snapshot_path: str = "BENCH_workload.json",
                          f"{ratio:.2f}x {verdict}"])
             if verdict == "REGRESSED":
                 failures.append((section_name, backend, ratio))
+    return rows, failures
+
+
+def _guarded_save(payload: dict, out_path: str) -> None:
+    """Replace a committed snapshot only when the fresh numbers pass.
+
+    Regenerating ``BENCH_workload.json`` in place used to be able to
+    silently lower the bar: a slow machine rewriting the snapshot 40%
+    down would make every later ``--check`` pass trivially.  Now a
+    fresh payload must clear the same tolerance as ``--check``
+    against the existing file before it may replace it; on failure
+    the fresh numbers are parked at ``<out stem>.rejected.json``, the
+    committed baseline stays untouched, and the run exits non-zero.
+    (``io.save_json`` writes through a temp file + ``os.replace``, so
+    a passing replacement is atomic as well.)
+    """
+    out = Path(out_path)
+    if out.exists():
+        committed = io.load_json(out_path)
+        rows, failures = _compare_ops(committed, payload,
+                                      CHECK_SECTIONS)
+        if failures:
+            rejected = out.with_name(out.stem + ".rejected.json")
+            io.save_json(payload, rejected)
+            print(section("snapshot regeneration guard"))
+            print(render_table(["section", "backend", "recorded",
+                                "measured", "verdict"], rows))
+            print(f"\nFAIL: fresh numbers regressed more than "
+                  f"{CHECK_TOLERANCE:.0%} below the committed "
+                  f"snapshot; kept {out_path}, parked the fresh "
+                  f"payload at {rejected}")
+            raise SystemExit(1)
+    io.save_json(payload, out_path)
+
+
+def check_throughput(snapshot_path: str = "BENCH_workload.json",
+                     sections: "tuple[str, ...] | None" = None) -> int:
+    """Fast regression gate: fresh replay throughput vs the snapshot.
+
+    Re-measures the replay sections (skipping the grid duels),
+    compares every backend's ``ops_per_second`` against the committed
+    ``BENCH_workload.json``, and returns a non-zero exit code when any
+    backend lost more than ``CHECK_TOLERANCE`` of its recorded
+    throughput — or when the snapshot is *missing* a checked section
+    outright (an expected section with no baseline is a check
+    failure, not a free pass).  Individual backends absent from a
+    present section still pass as ``new`` — a fresh backend can land
+    before its first recording.  ``sections`` narrows the gate (the
+    quickest CI step checks ``serving_replay`` alone).
+    """
+    sections = tuple(sections) if sections else CHECK_SECTIONS
+    committed = io.load_json(snapshot_path)
+    missing = [name for name in sections if name not in committed]
+    if missing:
+        print(section("throughput check vs committed snapshot"))
+        print(f"FAIL: snapshot {snapshot_path} is missing expected "
+              f"section(s): {', '.join(missing)}.  Regenerate it with "
+              f"`PYTHONPATH=src python "
+              f"benchmarks/bench_workload_serving.py` and commit the "
+              f"result.")
+        return 1
+    fresh = {name: _measure_section(name) for name in sections}
+    rows, failures = _compare_ops(committed, fresh, sections)
     print(section("throughput check vs committed snapshot"))
     print(render_table(["section", "backend", "recorded",
                         "measured", "verdict"], rows))
@@ -392,27 +468,114 @@ def check_throughput(snapshot_path: str = "BENCH_workload.json",
     return 0
 
 
+def trajectory_append(snapshot_path: str = "BENCH_workload.json",
+                      store_dir: "str | None" = None,
+                      label: str = "snapshot") -> int:
+    """Append the committed snapshot to the trajectory store.
+
+    Copies the snapshot in under the next append-only index, then
+    re-renders the ops/s-over-PRs sparkline (``trajectory.svg``) next
+    to the store so the gallery stays current.
+    """
+    store = Path(store_dir) if store_dir else trajectory.DEFAULT_STORE
+    target = trajectory.append(snapshot_path, store_dir=store,
+                               label=label)
+    print(f"appended {target}")
+    svg = gallery.trajectory_figure(store)
+    if svg is not None:
+        figure = store / "trajectory.svg"
+        figure.write_text(svg)
+        print(f"rendered {figure}")
+    return 0
+
+
+def trajectory_check(store_dir: "str | None" = None,
+                     sections: "tuple[str, ...] | None" = None) -> int:
+    """The trajectory gate: fresh throughput vs the *best* snapshot.
+
+    Unlike ``--check`` (which diffs against the one committed
+    snapshot), this gate re-measures and compares against the best
+    ops/s each lane ever recorded across the whole append-only store
+    — so a weak snapshot recorded on a slow runner can never lower
+    the bar.  An empty store passes trivially.
+    """
+    sections = tuple(sections) if sections else CHECK_SECTIONS
+    store = Path(store_dir) if store_dir else trajectory.DEFAULT_STORE
+    best = trajectory.best_ops(store, sections=sections)
+    if not best:
+        print(section("trajectory gate"))
+        print(f"OK: no snapshots under {store} — nothing to gate "
+              f"against")
+        return 0
+    baseline: dict = {}
+    for lane, ops in best.items():
+        section_name, backend = lane.split("/", 1)
+        baseline.setdefault(section_name, {})[backend] = {
+            "ops_per_second": ops}
+    fresh = {name: _measure_section(name) for name in sections}
+    rows, failures = _compare_ops(baseline, fresh, sections)
+    print(section(f"trajectory gate — fresh vs best of "
+                  f"{len(trajectory.list_snapshots(store))} "
+                  f"snapshot(s)"))
+    print(render_table(["section", "backend", "best", "measured",
+                        "verdict"], rows))
+    if failures:
+        print(f"\nFAIL: {len(failures)} backend(s) regressed more "
+              f"than {CHECK_TOLERANCE:.0%} below the best recorded "
+              f"snapshot")
+        return 1
+    print("\nOK: throughput within tolerance of the best snapshot")
+    return 0
+
+
 def test_workload_serving_bench(once, tmp_path):
     table = once(lambda: run_bench(str(tmp_path / "BENCH.json")))
     print()
     print(table)
 
 
+def _pop_option(rest: "list[str]", flag: str,
+                example: str) -> "str | None":
+    """Extract ``flag VALUE`` from an argument list, if present."""
+    if flag not in rest:
+        return None
+    at = rest.index(flag)
+    if at + 1 >= len(rest):
+        raise SystemExit(f"{flag} needs a value, e.g. {flag} {example}")
+    value = rest[at + 1]
+    del rest[at:at + 2]
+    return value
+
+
 if __name__ == "__main__":
     args = sys.argv[1:]
     if args and args[0] == "--check":
         rest = list(args[1:])
-        sections = None
-        if "--sections" in rest:
-            at = rest.index("--sections")
-            if at + 1 >= len(rest):
-                raise SystemExit(
-                    "--sections needs a comma-separated list, e.g. "
-                    "--sections serving_replay,cluster")
-            sections = tuple(s for s in rest[at + 1].split(",") if s)
-            del rest[at:at + 2]
+        raw = _pop_option(rest, "--sections", "serving_replay,cluster")
+        sections = (tuple(s for s in raw.split(",") if s)
+                    if raw is not None else None)
         snapshot = rest[0] if rest else "BENCH_workload.json"
         raise SystemExit(check_throughput(snapshot,
+                                          sections=sections))
+    if args and args[0] == "--trajectory":
+        rest = list(args[1:])
+        mode = rest.pop(0) if rest and not rest[0].startswith("-") \
+            else "check"
+        if mode not in ("append", "check"):
+            raise SystemExit(
+                f"--trajectory mode must be 'append' or 'check', "
+                f"got {mode!r}")
+        store = _pop_option(rest, "--store", "benchmarks/trajectory")
+        if mode == "append":
+            label = _pop_option(rest, "--label", "pr8") or "snapshot"
+            snapshot = rest[0] if rest else "BENCH_workload.json"
+            raise SystemExit(trajectory_append(snapshot,
+                                               store_dir=store,
+                                               label=label))
+        raw = _pop_option(rest, "--sections", "serving_replay,cluster")
+        sections = (tuple(s for s in raw.split(",") if s)
+                    if raw is not None else None)
+        raise SystemExit(trajectory_check(store_dir=store,
                                           sections=sections))
     out = args[0] if args else "BENCH_workload.json"
     print(run_bench(out))

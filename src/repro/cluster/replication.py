@@ -402,6 +402,12 @@ class TransportClusterRouter(ClusterRouter):
     def book(self) -> TransportBook:
         return self._book
 
+    def set_metrics(self, metrics) -> None:
+        # Replica groups have no registry of their own; the book
+        # carries it for every WorkerClient under this router.
+        super().set_metrics(metrics)
+        self._book.set_metrics(metrics)
+
     def _make_backend(self, keys: np.ndarray, threshold: float,
                       shard: int) -> ReplicaGroup:
         group = ReplicaGroup(

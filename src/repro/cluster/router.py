@@ -26,6 +26,7 @@ The router also owns the two cluster-level books the simulator reads:
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_EXCEPTION, wait
 from typing import Any
 
@@ -94,6 +95,7 @@ class ClusterRouter:
         self._fanout_jobs = int(fanout_jobs)
         self._fanout_executor = fanout_executor
         self._build_args = dict(build_args)
+        self._metrics = None  # before _build_shard, which reads it
         keys = np.sort(np.asarray(keys, dtype=np.int64))
         self._shards: "list[ServingBackend | None]" = [
             self._build_shard(self._keys_in(keys, shard), shard=shard)
@@ -101,6 +103,22 @@ class ClusterRouter:
         self._tick_loads = np.zeros(shard_map.n_shards, dtype=np.int64)
         self._retrains_migrated = 0
         self._keys_migrated_total = 0
+
+    # ------------------------------------------------------------------
+    def set_metrics(self, metrics) -> None:
+        """Attach a :class:`repro.observe.MetricsRegistry`.
+
+        Forwarded to every provisioned shard backend (and, on the
+        transport router, to the book) so the columnar stage timers
+        and transport counters land in one registry.  Shards built
+        later — migration splits, first-insert materialisation —
+        inherit it through :meth:`_build_shard`.
+        """
+        self._metrics = metrics
+        for backend in self._shards:
+            if backend is not None \
+                    and hasattr(backend, "set_metrics"):
+                backend.set_metrics(metrics)
 
     # ------------------------------------------------------------------
     def _keys_in(self, sorted_keys: np.ndarray,
@@ -163,6 +181,9 @@ class ClusterRouter:
         if keep is not None and keep < 1.0 and backend.supports_trim:
             backend.set_trim_keep_fraction(keep)
             backend.rebuild()
+        if self._metrics is not None \
+                and hasattr(backend, "set_metrics"):
+            backend.set_metrics(self._metrics)
         return backend
 
     # ------------------------------------------------------------------
@@ -430,6 +451,12 @@ class ClusterRouter:
 
         groups = [(int(s), by_shard[s0:s1])
                   for s, s0, s1 in zip(uniq, starts, bounds)]
+        metrics = self._metrics
+        fanout_started = (time.perf_counter()
+                          if metrics is not None else 0.0)
+        if metrics is not None:
+            metrics.inc("router.events", int(key_arr.size))
+            metrics.inc("router.shard_batches", len(groups))
         if self._fanout_jobs > 1 and len(groups) > 1:
             # Collect *all* futures and cancel the still-pending ones
             # on the first failure: pool.map would tear the context
@@ -451,6 +478,9 @@ class ClusterRouter:
                 results = [f.result() for f in futures]
         else:
             results = [serve_guarded(*g) for g in groups]
+        if metrics is not None:
+            metrics.observe("router.fanout",
+                            time.perf_counter() - fanout_started)
         for result in results:
             if result is None:
                 continue

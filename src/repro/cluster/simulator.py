@@ -14,8 +14,12 @@ boundaries, and records three families of series:
   amplification against per-tenant probe samples, the series SLO
   compliance is judged on;
 * **per-shard** (2D, ``ticks × max-shards``, NaN-padded on topology
-  changes) — load, probe p95, and live keys per shard, the series
-  that shows a hot shard heating up and a split cooling it.
+  changes) — load, probe p95, live keys per shard, and the shard
+  map's interior split-point positions (``shard_split_points``; a
+  map with *k* shards fills *k−1* columns, the rest NaN like any
+  other absent shard column) — the series that show a hot shard
+  heating up, a split cooling it, and a concentrated attack
+  dragging the partition boundaries toward the victim's range.
 
 All metrics are deterministic cost proxies (probe counts, key
 counts), so a cluster cell keeps the jobs/executor parity guarantee
@@ -61,6 +65,8 @@ from ..core.rmi_attack import poison_rmi
 from ..core.threat_model import RMIAttackerCapability
 from ..data.keyset import Domain, KeySet
 from ..io import json_float
+from ..observe.metrics import MetricsRegistry
+from ..observe.metrics import active as observe_active
 from ..runtime import stable_seed_words
 from ..workload.closedloop import AdaptiveAdversary
 from ..workload.simulator import TickObservation, last_finite
@@ -88,7 +94,8 @@ _CLUSTER_SERIES = ("p50", "p95", "p99", "mean_probes", "error_bound",
                    "migrated", "injected", "degraded", "flagged",
                    "latency_ms")
 _TENANT_SERIES = ("tenant_p95", "tenant_amplification")
-_SHARD_SERIES = ("shard_loads", "shard_p95", "shard_n_keys")
+_SHARD_SERIES = ("shard_loads", "shard_p95", "shard_n_keys",
+                 "shard_split_points")
 
 
 @dataclass(frozen=True)
@@ -476,7 +483,8 @@ class ClusterSimulator:
                  adversary: "ClusterAdversaryPort | None" = None,
                  rebalancer: "Rebalancer | None" = None,
                  defense: "SloWeightedDefense | None" = None,
-                 columnar: bool = True):
+                 columnar: bool = True,
+                 metrics: "MetricsRegistry | None" = None):
         if tick_ops < 1:
             raise ValueError(f"tick_ops must be >= 1: {tick_ops}")
         if probe_sample_size < 1:
@@ -493,6 +501,13 @@ class ClusterSimulator:
         self._rebalancer = rebalancer
         self._defense = defense
         self._columnar = bool(columnar)
+        # Opt-in instrumentation (explicit registry wins, else the
+        # process-installed one); forwarded to the router so shard
+        # backends and the transport book report into the same sink.
+        self._metrics = (metrics if metrics is not None
+                         else observe_active())
+        if self._metrics is not None:
+            router.set_metrics(self._metrics)
         self._n_tenants = self._spec.n_tenants
         tenants = self._spec.tenant_of(trace.base_keys)
         self._samples: list[np.ndarray] = []
@@ -612,6 +627,12 @@ class ClusterSimulator:
             shard_rows["shard_p95"].append(shard_p95)
             shard_rows["shard_n_keys"].append(
                 router.shard_n_keys().astype(np.float64))
+            # Interior split positions as of this tick's map: the
+            # first-class drift channel (k shards fill k-1 columns;
+            # the NaN padding below aligns it with shard_loads).
+            shard_rows["shard_split_points"].append(
+                np.asarray(router.shard_map.splits,
+                           dtype=np.float64))
 
             # Drain the transport window last so the tick's own
             # measurement lookups (amplification sampling above) are
@@ -687,7 +708,11 @@ class ClusterSimulator:
                 router.set_shard_rebuild_threshold(shard, threshold)
 
         start = 0
+        metrics = self._metrics
         for tick_index, tick_end in enumerate(bounds):
+            tick_started = (time.perf_counter()
+                            if metrics is not None else 0.0)
+            tick_start_op = start
             router.start_tick(tick_index)
             injected_this_tick = int(pending_inject.size)
             migrated_this_tick = migrated_at_boundary
@@ -769,6 +794,20 @@ class ClusterSimulator:
                     start = stop
 
             close_tick(injected_this_tick, migrated_this_tick)
+            if metrics is not None:
+                metrics.observe("cluster.tick",
+                                time.perf_counter() - tick_started)
+                metrics.inc("cluster.ticks")
+                metrics.inc("cluster.ops",
+                            int(tick_end - tick_start_op)
+                            + injected_this_tick)
+                metrics.trace(
+                    "cluster.tick", tick=tick_index,
+                    ops=int(tick_end - tick_start_op),
+                    injected=injected_this_tick,
+                    migrated=migrated_this_tick,
+                    n_shards=int(series["n_shards"][-1]),
+                    retrains=int(series["retrains"][-1]))
             needs_ports = (self._adversary is not None
                            or self._defense is not None
                            or self._rebalancer is not None)

@@ -40,6 +40,7 @@ import json
 import multiprocessing as mp
 import struct
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -396,6 +397,11 @@ class TransportBook:
     def __init__(self, config: TransportConfig):
         self._cfg = config
         self._tick = 0
+        #: Optional :class:`repro.observe.MetricsRegistry`; clients
+        #: read it for the encode/rpc/decode/retry stage timers.
+        #: Counters and timings are commutative, so one registry is
+        #: safe across the router's thread fan-out.
+        self.metrics = None
         self._lock = threading.Lock()
         self._seq: "dict[tuple[int, int], int]" = {}
         self._dead: "dict[tuple[int, int], int]" = {}
@@ -411,6 +417,14 @@ class TransportBook:
     @property
     def tick(self) -> int:
         return self._tick
+
+    def set_metrics(self, metrics) -> None:
+        """Attach an opt-in metrics registry (None detaches).
+
+        Timings are wall-clock-only observability; nothing recorded
+        here can change replies, retry decisions, or digests.
+        """
+        self.metrics = metrics
 
     def start_tick(self, tick: int) -> None:
         with self._lock:
@@ -583,18 +597,31 @@ class WorkerClient:
         cfg = book.config
         if self._closed or book.is_dead(self._shard, self._replica):
             raise ReplicaDeadError(self._shard, self._replica)
+        metrics = book.metrics
         for attempt in range(cfg.failover_budget):
             if not book.plan_attempt(self._shard, self._replica,
                                      attempt):
+                if metrics is not None:
+                    metrics.inc("transport.retries")
                 continue  # injected timeout consumed this attempt
             seq = self._seq
             self._seq += 1
+            rpc_started = (time.perf_counter()
+                           if metrics is not None else 0.0)
             try:
                 self._conn.send_bytes(_frame(code, seq, body))
                 rcode, rseq, rbody = self._recv(cfg.wall_timeout_s)
             except (EOFError, OSError, TimeoutError):
                 book.note_trouble(self._shard, self._replica)
+                if metrics is not None:
+                    metrics.inc("transport.retries")
+                    metrics.observe("transport.retry",
+                                    time.perf_counter() - rpc_started)
                 continue  # real failure: worker gone or wedged
+            if metrics is not None:
+                metrics.observe("transport.rpc",
+                                time.perf_counter() - rpc_started)
+                metrics.inc("transport.calls")
             if rcode == REPLY_ERR:
                 raise ShardWorkerError(self._shard, rbody.decode())
             if rseq != seq:
@@ -609,17 +636,40 @@ class WorkerClient:
     # -- typed wrappers ------------------------------------------------
     def replay(self, kinds: np.ndarray, keys: np.ndarray,
                aux: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        body = self.call(MSG_REPLAY,
-                         encode_event_batch(kinds, keys, aux))
+        metrics = self._book.metrics
+        started = (time.perf_counter()
+                   if metrics is not None else 0.0)
+        payload = encode_event_batch(kinds, keys, aux)
+        if metrics is not None:
+            metrics.observe("transport.encode",
+                            time.perf_counter() - started)
+        body = self.call(MSG_REPLAY, payload)
+        started = (time.perf_counter()
+                   if metrics is not None else 0.0)
         found, off = _unpack_bool(body, 0)
         probes, _ = _unpack_i64(body, off)
+        if metrics is not None:
+            metrics.observe("transport.decode",
+                            time.perf_counter() - started)
         return found, probes
 
     def lookup(self, keys: np.ndarray,
                ) -> tuple[np.ndarray, np.ndarray]:
-        body = self.call(MSG_LOOKUP, _pack_i64(keys))
+        metrics = self._book.metrics
+        started = (time.perf_counter()
+                   if metrics is not None else 0.0)
+        payload = _pack_i64(keys)
+        if metrics is not None:
+            metrics.observe("transport.encode",
+                            time.perf_counter() - started)
+        body = self.call(MSG_LOOKUP, payload)
+        started = (time.perf_counter()
+                   if metrics is not None else 0.0)
         found, off = _unpack_bool(body, 0)
         probes, _ = _unpack_i64(body, off)
+        if metrics is not None:
+            metrics.observe("transport.decode",
+                            time.perf_counter() - started)
         return found, probes
 
     def insert(self, keys: np.ndarray) -> None:

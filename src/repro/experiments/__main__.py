@@ -54,9 +54,22 @@ workload, closedloop, cluster, and every ablation a1-a11):
 ``--resume``
     With ``--out``, reuse completed cells from a previous (possibly
     interrupted) run instead of recomputing them.
+``--instrument``
+    Opt-in observability: install a
+    :class:`repro.observe.MetricsRegistry` for the duration of each
+    target and attach its profile (deterministic counters + trace
+    event count, wall-clock stage timings) to ``result.json`` under
+    the sibling ``instrument`` key.  The ``result`` payload is
+    byte-identical with or without the flag.
 
 Targets that are not sweeps ignore ``--jobs``/``--executor``/
 ``--resume`` and simply skip the ``result.json`` payload.
+
+The ``report`` pseudo-target runs nothing: with ``--out DIR`` it
+renders deterministic SVG figure galleries from every
+``DIR/<target>/result.json`` already on disk (plus the bench
+trajectory sparkline when ``benchmarks/trajectory/`` exists) — see
+:mod:`repro.observe.gallery`.
 
 Result schema (``repro.experiments.result/v2``)
 -----------------------------------------------
@@ -95,7 +108,8 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable
 
-from .. import io
+from .. import io, observe
+from ..observe import gallery
 from ..runtime import EXECUTORS, CheckpointStore
 from . import (
     ablations,
@@ -473,11 +487,19 @@ def _collect_artifacts(out_dir: Path,
 
 
 def _write_result(target: str, opts: RunOptions,
-                  payload: dict[str, Any], plan: list[Any]) -> None:
-    """Emit ``<out>/<target>/result.json`` with the stable schema."""
+                  payload: dict[str, Any], plan: list[Any],
+                  registry: "observe.MetricsRegistry | None" = None,
+                  ) -> None:
+    """Emit ``<out>/<target>/result.json`` with the stable schema.
+
+    With ``--instrument``, the registry's profile lands under the
+    sibling ``instrument`` key — outside ``result``, which is the
+    payload the jobs-parity CI check compares, because the timing
+    half of the profile is wall-clock and run-specific.
+    """
     out_dir = opts.checkpoint_dir(target)
     out_dir.mkdir(parents=True, exist_ok=True)
-    io.save_json({
+    document = {
         "schema": RESULT_SCHEMA,
         "target": target,
         "profile": opts.profile,
@@ -485,7 +507,10 @@ def _write_result(target: str, opts: RunOptions,
         "executor": opts.executor,
         "result": payload,
         "artifacts": _collect_artifacts(out_dir, plan),
-    }, out_dir / "result.json")
+    }
+    if registry is not None:
+        document["instrument"] = registry.to_profile()
+    io.save_json(document, out_dir / "result.json")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -494,8 +519,11 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.experiments",
         description="Reproduce a figure or ablation of the paper.")
     parser.add_argument("target",
-                        choices=sorted(_TARGETS) + ["all"],
-                        help="which experiment to run")
+                        choices=sorted(_TARGETS) + ["all", "report"],
+                        help="which experiment to run; 'report' "
+                             "renders SVG figure galleries from an "
+                             "existing --out tree instead of running "
+                             "anything")
     parser.add_argument("--profile", choices=("quick", "full"),
                         default="quick",
                         help="quick (scaled, default) or full grids")
@@ -530,6 +558,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="cluster target with --transport process: "
                              "worker replicas per shard; >= 3 also "
                              "runs the poisoned-replica duel")
+    parser.add_argument("--instrument", action="store_true",
+                        help="record counters/stage timings/trace "
+                             "events while running and attach the "
+                             "profile to result.json under the "
+                             "'instrument' key (results themselves "
+                             "are unchanged)")
     args = parser.parse_args(argv)
     if args.quick and args.profile == "full":
         parser.error("--quick contradicts --profile full")
@@ -548,13 +582,28 @@ def main(argv: list[str] | None = None) -> int:
                       progress=args.progress, transport=args.transport,
                       replicas=args.replicas)
 
+    if args.target == "report":
+        if args.out is None:
+            parser.error("report requires --out")
+        for path in gallery.render_out_tree(args.out):
+            print(path)
+        return 0
+
     targets = sorted(_TARGETS) if args.target == "all" else [args.target]
     for name in targets:
-        text, payload, plan = _TARGETS[name](opts)
+        # One registry per target, so an "all" run profiles each
+        # experiment separately instead of blending them.
+        if args.instrument:
+            registry = observe.MetricsRegistry()
+            with observe.installed(registry):
+                text, payload, plan = _TARGETS[name](opts)
+        else:
+            registry = None
+            text, payload, plan = _TARGETS[name](opts)
         print(text)
         print()
         if opts.out is not None and payload is not None:
-            _write_result(name, opts, payload, plan)
+            _write_result(name, opts, payload, plan, registry=registry)
     return 0
 
 

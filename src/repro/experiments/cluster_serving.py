@@ -23,7 +23,8 @@ Cells are engine-backed (checkpoint, resume, process/thread fan-out,
 jobs parity) and persist their full series — cluster channels as 1D
 ``tick_*`` arrays, per-tenant and per-shard channels as 2D arrays
 (``tenant_p95``, ``tenant_amplification``, ``shard_loads``,
-``shard_p95``, ``shard_n_keys``) — as ``.npz`` artifacts.
+``shard_p95``, ``shard_n_keys``, ``shard_split_points``) — as
+``.npz`` artifacts.
 """
 
 from __future__ import annotations

@@ -1,0 +1,129 @@
+"""Append-only store of per-PR bench snapshots.
+
+``benchmarks/trajectory/`` holds numbered copies of the committed
+``BENCH_workload.json`` — one per PR that chose to record itself —
+named ``NNNN-label.json`` so plain lexicographic order is the PR
+order.  The store is append-only by construction: :func:`append`
+always allocates the next index and refuses to overwrite, so history
+can only grow and the ops/s trajectory across PRs stays diffable in
+git instead of being recoverable only from archaeology.
+
+Two consumers:
+
+* the gallery renders an ops/s-over-PRs sparkline per
+  ``section/backend`` lane (:func:`ops_series`), and
+* the bench ``--trajectory check`` gate compares fresh numbers
+  against the **best** prior snapshot per lane (:func:`best_ops`) —
+  a real trajectory gate, not a single-snapshot diff, so a slow
+  runner recording a weak snapshot can never lower the bar.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Mapping
+
+from .. import io
+
+__all__ = [
+    "append",
+    "best_ops",
+    "lane_key",
+    "list_snapshots",
+    "ops_series",
+]
+
+#: Default store location, relative to the repository root.
+DEFAULT_STORE = Path("benchmarks") / "trajectory"
+
+_SNAPSHOT_RE = re.compile(r"^(\d{4})-[\w.-]+\.json$")
+
+
+def list_snapshots(store_dir: "str | Path" = DEFAULT_STORE) -> "list[Path]":
+    """Snapshot files in append (= lexicographic) order."""
+    store = Path(store_dir)
+    if not store.is_dir():
+        return []
+    return sorted(p for p in store.iterdir()
+                  if _SNAPSHOT_RE.match(p.name))
+
+
+def append(snapshot_path: "str | Path",
+           store_dir: "str | Path" = DEFAULT_STORE,
+           label: str = "snapshot") -> Path:
+    """Copy a bench snapshot into the store under the next index.
+
+    Never overwrites: the new file gets index ``len(existing) + 1``
+    checked against the directory, and a collision is an error — the
+    store only grows.
+    """
+    payload = io.load_json(snapshot_path)
+    if "schema" not in payload:
+        raise ValueError(
+            f"{snapshot_path} does not look like a bench snapshot "
+            f"(no 'schema' key)")
+    label = re.sub(r"[^\w.-]+", "-", label).strip("-") or "snapshot"
+    store = Path(store_dir)
+    store.mkdir(parents=True, exist_ok=True)
+    existing = list_snapshots(store)
+    index = 1
+    if existing:
+        index = int(_SNAPSHOT_RE.match(existing[-1].name).group(1)) + 1
+    target = store / f"{index:04d}-{label}.json"
+    if target.exists():
+        raise FileExistsError(
+            f"trajectory store already has {target}; the store is "
+            f"append-only")
+    io.save_json(payload, target)
+    return target
+
+
+def lane_key(section: str, backend: str) -> str:
+    """One sparkline lane / gate lane per ``section/backend``."""
+    return f"{section}/{backend}"
+
+
+def _lanes(payload: Mapping, sections: "tuple[str, ...]") -> dict:
+    """``lane -> ops_per_second`` for one snapshot payload."""
+    lanes: dict[str, float] = {}
+    for section in sections:
+        record = payload.get(section)
+        if not isinstance(record, Mapping):
+            continue
+        for backend, stats in record.items():
+            if isinstance(stats, Mapping) \
+                    and "ops_per_second" in stats:
+                ops = io.parse_json_float(stats["ops_per_second"])
+                lanes[lane_key(section, backend)] = float(ops)
+    return lanes
+
+
+def ops_series(store_dir: "str | Path" = DEFAULT_STORE,
+               sections: "tuple[str, ...]" = ("serving_replay",
+                                              "cluster"),
+               ) -> "dict[str, list[float]]":
+    """Per-lane ops/s across snapshots, NaN where a lane is absent.
+
+    Every lane's list has one entry per snapshot, in store order —
+    exactly the shape the sparkline renderer wants (NaN breaks the
+    line for PRs that predate a section).
+    """
+    snapshots = [_lanes(io.load_json(path), sections)
+                 for path in list_snapshots(store_dir)]
+    lanes = sorted({lane for snap in snapshots for lane in snap})
+    return {lane: [snap.get(lane, float("nan")) for snap in snapshots]
+            for lane in lanes}
+
+
+def best_ops(store_dir: "str | Path" = DEFAULT_STORE,
+             sections: "tuple[str, ...]" = ("serving_replay",
+                                            "cluster"),
+             ) -> "dict[str, float]":
+    """Best recorded ops/s per lane across the whole store."""
+    best: dict[str, float] = {}
+    for path in list_snapshots(store_dir):
+        for lane, ops in _lanes(io.load_json(path), sections).items():
+            if ops == ops and ops > best.get(lane, float("-inf")):
+                best[lane] = ops
+    return best

@@ -55,6 +55,8 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..observe.metrics import MetricsRegistry
+from ..observe.metrics import active as observe_active
 from .cell import Cell
 from .checkpoint import CheckpointStore
 
@@ -164,7 +166,8 @@ class SweepEngine:
     def __init__(self, runner: CellRunner, jobs: int = 1,
                  checkpoint: CheckpointStore | None = None,
                  resume: bool = False, executor: str = "process",
-                 progress: "ProgressCallback | None" = None):
+                 progress: "ProgressCallback | None" = None,
+                 metrics: "MetricsRegistry | None" = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if resume and checkpoint is None:
@@ -179,6 +182,11 @@ class SweepEngine:
         self._resume = resume
         self._executor = executor
         self._progress = progress
+        # Opt-in observability: wall-clock flows only into the
+        # registry (like SweepStats, never into results), so the
+        # determinism contract above is untouched.
+        self._metrics = (metrics if metrics is not None
+                         else observe_active())
         self.last_stats: SweepStats | None = None
 
     # ------------------------------------------------------------------
@@ -194,6 +202,7 @@ class SweepEngine:
         cell was computed this run or resumed from disk.
         """
         outputs: dict[int, CellOutput] = {}
+        metrics = self._metrics
         started = time.monotonic()
 
         # Identical cells (same digest) are computed once and shared.
@@ -250,8 +259,13 @@ class SweepEngine:
 
         if self._jobs == 1 or len(todo) <= 1:
             for position, index in enumerate(todo):
+                cell_started = (time.perf_counter()
+                                if metrics is not None else 0.0)
                 outputs[index] = self._finish(
                     cells[index], _coerce(self._runner(cells[index])))
+                if metrics is not None:
+                    metrics.observe("engine.cell",
+                                    time.perf_counter() - cell_started)
                 computed_so_far += 1
                 tick(cells[index], remaining=len(todo) - position - 1)
             used_jobs = 1
@@ -285,6 +299,12 @@ class SweepEngine:
             total=len(cells), reused=reused,
             computed=len(cells) - reused - len(duplicates),
             jobs=used_jobs, executor=used_executor)
+        if metrics is not None:
+            metrics.observe("engine.run", time.monotonic() - started)
+            metrics.inc("engine.cells_total", self.last_stats.total)
+            metrics.inc("engine.cells_reused", self.last_stats.reused)
+            metrics.inc("engine.cells_computed",
+                        self.last_stats.computed)
         return [outputs[index] for index in range(len(cells))]
 
     # ------------------------------------------------------------------

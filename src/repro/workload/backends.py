@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import time
 
 import numpy as np
 
@@ -127,6 +128,7 @@ class ServingBackend:
         self._tombs = np.empty(0, dtype=np.int64)
         self._quarantine = np.empty(0, dtype=np.int64)
         self._retrains = 0
+        self._metrics = None
         self._build(self._snapshot)
 
     # -- validation ----------------------------------------------------
@@ -146,6 +148,18 @@ class ServingBackend:
         if not 0.0 < fraction <= 1.0:
             raise ValueError(
                 f"trim keep fraction must be in (0, 1]: {fraction}")
+
+    # -- instrumentation ----------------------------------------------
+    def set_metrics(self, metrics) -> None:
+        """Attach a :class:`repro.observe.MetricsRegistry`.
+
+        Opt-in: with no registry attached (the default), every stage
+        hook below is a single ``is None`` check.  The registry only
+        ever receives wall-clock observations and commutative
+        counters, so attaching one cannot change any recorded series
+        or digest.
+        """
+        self._metrics = metrics
 
     # -- subclass surface ---------------------------------------------
     def _build(self, keys: np.ndarray) -> None:
@@ -367,7 +381,13 @@ class ServingBackend:
         generated traces never produce one, the guard is for direct
         API users and property tests.
         """
+        metrics = self._metrics
+        started = time.perf_counter() if metrics is not None else 0.0
         ops = decompose_ops(kinds, keys, aux)
+        if metrics is not None:
+            metrics.observe("columnar.decompose",
+                            time.perf_counter() - started)
+            metrics.inc("columnar.ops", int(kinds.size))
         found = np.zeros(ops.read_pos.size, dtype=bool)
         probes = np.zeros(ops.read_pos.size, dtype=np.int64)
         if not self._columnar_replay or ops.hazard:
@@ -407,13 +427,19 @@ class ServingBackend:
         current state, find the first rebuild-threshold crossing via
         the pending-update cumsum, serve and apply everything up to it
         in bulk, rebuild exactly there, re-classify, repeat."""
+        metrics = self._metrics
         j = 0
         r = 0
         while True:
             sub_key = ops.sub_key[j:]
             sub_ins = ops.sub_ins[j:]
             sub_pos = ops.sub_pos[j:]
+            started = (time.perf_counter() if metrics is not None
+                       else 0.0)
             eff = self._classify_mutations(sub_ins, sub_key)
+            if metrics is not None:
+                metrics.observe("columnar.classify",
+                                time.perf_counter() - started)
             pend = self.pending_updates + np.cumsum(self._DPEND[eff])
             bound = self._threshold * max(self._snapshot.size, 1)
             crossing = pend >= bound
@@ -445,8 +471,13 @@ class ServingBackend:
         if r_end <= r:
             self._apply_effects(eff, sub_key)
             return
+        metrics = self._metrics
         keys = ops.read_keys[r:r_end]
+        started = time.perf_counter() if metrics is not None else 0.0
         found, probes = self._model_lookup(keys)
+        if metrics is not None:
+            metrics.observe("columnar.model_lookup",
+                            time.perf_counter() - started)
         found = np.asarray(found, dtype=bool).copy()
         probes = np.asarray(probes, dtype=np.int64).copy()
         kprefix = np.searchsorted(sub_pos, ops.read_pos[r:r_end])
@@ -455,16 +486,23 @@ class ServingBackend:
         ends = np.concatenate([cuts, np.asarray([kprefix.size],
                                                 dtype=np.int64)])
         done = 0
+        adjust_seconds = 0.0
         for cs, ce in zip(starts, ends):
             upto = int(kprefix[cs])
             if upto > done:
                 self._apply_effects(eff[done:upto],
                                     sub_key[done:upto])
                 done = upto
+            started = (time.perf_counter() if metrics is not None
+                       else 0.0)
             self._adjust_reads(keys[cs:ce], found[cs:ce],
                                probes[cs:ce])
+            if metrics is not None:
+                adjust_seconds += time.perf_counter() - started
         if eff.size > done:
             self._apply_effects(eff[done:], sub_key[done:])
+        if metrics is not None:
+            metrics.observe("columnar.adjust", adjust_seconds)
         found_out[r:r_end] = found
         probes_out[r:r_end] = probes
 
@@ -846,6 +884,9 @@ class DynamicBackend(ServingBackend):
             sub_key = ops.sub_key[j:]
             sub_ins = ops.sub_ins[j:]
             sub_pos = ops.sub_pos[j:]
+            metrics = self._metrics
+            started = (time.perf_counter() if metrics is not None
+                       else 0.0)
             first = first_occurrence(sub_key)
             in_t = sorted_member(tombs, sub_key)
             contains = (sorted_member(base, sub_key)
@@ -870,6 +911,9 @@ class DynamicBackend(ServingBackend):
             crossing[~sub_ins] = (
                 tombs.size + cum_tomb[~sub_ins]
                 >= self._threshold * np.maximum(n_keys_i[~sub_ins], 1))
+            if metrics is not None:
+                metrics.observe("columnar.classify",
+                                time.perf_counter() - started)
             fire = bool(crossing.any())
             if fire:
                 seg = int(np.argmax(crossing)) + 1
@@ -908,9 +952,15 @@ class DynamicBackend(ServingBackend):
         tombstone arrays, then commit them (the index absorbs the
         fresh keys, already screened for absence and threshold)."""
         seg_fresh = sub_key[eff == EFF_FRESH]
+        metrics = self._metrics
         if r_end > r:
             keys = ops.read_keys[r:r_end]
+            started = (time.perf_counter() if metrics is not None
+                       else 0.0)
             probe = self._index.rmi.lookup_batch(keys)
+            if metrics is not None:
+                metrics.observe("columnar.model_lookup",
+                                time.perf_counter() - started)
             found = probe.found.copy()
             probes = np.asarray(probe.probes, dtype=np.int64).copy()
             kprefix = np.searchsorted(sub_pos, ops.read_pos[r:r_end])
@@ -921,6 +971,7 @@ class DynamicBackend(ServingBackend):
                                                     dtype=np.int64)])
             tombs = self._tombs
             done = 0
+            adjust_seconds = 0.0
             for cs, ce in zip(starts, ends):
                 upto = int(kprefix[cs])
                 if upto > done:
@@ -937,6 +988,8 @@ class DynamicBackend(ServingBackend):
                 ck = keys[cs:ce]
                 f = found[cs:ce]
                 p = probes[cs:ce]
+                started = (time.perf_counter() if metrics is not None
+                           else 0.0)
                 # Same adjustment order as lookup_batch: the index's
                 # side tables first, the tombstone check last.
                 side_table_search(delta, ck, f, p)
@@ -947,6 +1000,10 @@ class DynamicBackend(ServingBackend):
                     dead = f & (tombs[idx] == ck)
                     p[f] += 1
                     f[dead] = False
+                if metrics is not None:
+                    adjust_seconds += time.perf_counter() - started
+            if metrics is not None:
+                metrics.observe("columnar.adjust", adjust_seconds)
             found_out[r:r_end] = found
             probes_out[r:r_end] = probes
         self._index._absorb_fresh(seg_fresh)

@@ -63,6 +63,8 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..io import json_float
+from ..observe.metrics import MetricsRegistry
+from ..observe.metrics import active as observe_active
 from ..runtime import stable_seed_words
 from .backends import ServingBackend
 from .trace import (
@@ -264,7 +266,8 @@ class ServingSimulator:
                  tick_sizes: "Sequence[int] | None" = None,
                  adversary: "AdversaryPort | None" = None,
                  tuner: "TunerPort | None" = None,
-                 columnar: bool = True):
+                 columnar: bool = True,
+                 metrics: "MetricsRegistry | None" = None):
         if tick_ops < 1:
             raise ValueError(f"tick_ops must be >= 1: {tick_ops}")
         if probe_sample_size < 1:
@@ -289,6 +292,13 @@ class ServingSimulator:
         self._adversary = adversary
         self._tuner = tuner
         self._columnar = columnar
+        # Opt-in instrumentation: an explicit registry wins, else the
+        # process-installed one (``repro.observe.install``), else off
+        # — in which case every hook below is one ``is None`` check.
+        self._metrics = (metrics if metrics is not None
+                         else observe_active())
+        if self._metrics is not None:
+            backend.set_metrics(self._metrics)
         self._closed_loop = (tick_sizes is not None
                              or adversary is not None
                              or tuner is not None)
@@ -394,7 +404,11 @@ class ServingSimulator:
         # batch-level rebuild check never decides retrain timing.
         start = 0
         pending_inject = np.empty(0, dtype=np.int64)
+        metrics = self._metrics
         for tick_index, tick_end in enumerate(bounds):
+            tick_started = (time.perf_counter()
+                            if metrics is not None else 0.0)
+            tick_start_op = start
             injected_this_tick = int(pending_inject.size)
             if self._columnar:
                 t_kinds = kinds[start:tick_end]
@@ -456,6 +470,19 @@ class ServingSimulator:
                         raise ValueError(f"unknown op kind: {kind}")
                     start = stop
             close_tick(injected_this_tick)
+            if metrics is not None:
+                metrics.observe("serving.tick",
+                                time.perf_counter() - tick_started)
+                metrics.inc("serving.ticks")
+                metrics.inc("serving.ops",
+                            int(tick_end - tick_start_op)
+                            + injected_this_tick)
+                metrics.trace(
+                    "serving.tick", tick=tick_index,
+                    ops=int(tick_end - tick_start_op),
+                    injected=injected_this_tick,
+                    retrains=int(series["retrains"][-1]),
+                    n_keys=int(series["n_keys"][-1]))
             if self._adversary is not None or self._tuner is not None:
                 obs = observe(tick_index)
                 if self._tuner is not None:

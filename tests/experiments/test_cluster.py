@@ -23,6 +23,7 @@ TINY = cluster_serving.ClusterConfig(
 
 CLUSTER_ARRAYS = [
     "shard_loads", "shard_n_keys", "shard_p95",
+    "shard_split_points",
     "tenant_amplification", "tenant_p95",
     "tick_degraded", "tick_error_bound", "tick_flagged",
     "tick_imbalance", "tick_injected", "tick_latency_ms",

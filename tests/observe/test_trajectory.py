@@ -1,0 +1,116 @@
+"""The append-only trajectory store and its sparkline feed."""
+
+import pytest
+
+from repro import io
+from repro.observe import gallery, trajectory
+
+
+def _snapshot(serving_ops: float, cluster_ops: "float | None" = None,
+              ) -> dict:
+    payload = {
+        "schema": "repro.bench.workload/v1",
+        "serving_replay": {"rmi": {"ops_per_second": serving_ops}},
+    }
+    if cluster_ops is not None:
+        payload["cluster"] = {
+            "rmi": {"ops_per_second": cluster_ops},
+            "wall_seconds": 2.0}
+    return payload
+
+
+def _write(tmp_path, payload, name="BENCH.json"):
+    path = tmp_path / name
+    io.save_json(payload, path)
+    return path
+
+
+class TestAppend:
+    def test_indices_grow_lexicographically(self, tmp_path):
+        store = tmp_path / "store"
+        src = _write(tmp_path, _snapshot(1000.0))
+        first = trajectory.append(src, store_dir=store, label="pr-1")
+        second = trajectory.append(src, store_dir=store, label="pr-2")
+        assert first.name == "0001-pr-1.json"
+        assert second.name == "0002-pr-2.json"
+        assert trajectory.list_snapshots(store) == [first, second]
+
+    def test_label_is_sanitized(self, tmp_path):
+        store = tmp_path / "store"
+        src = _write(tmp_path, _snapshot(1.0))
+        path = trajectory.append(src, store_dir=store,
+                                 label="PR 8: observe/figures!")
+        assert path.name == "0001-PR-8-observe-figures.json"
+
+    def test_appending_preserves_the_payload(self, tmp_path):
+        store = tmp_path / "store"
+        payload = _snapshot(123.0, 45.0)
+        path = trajectory.append(_write(tmp_path, payload),
+                                 store_dir=store)
+        assert io.load_json(path) == payload
+
+    def test_non_snapshot_payload_is_rejected(self, tmp_path):
+        src = _write(tmp_path, {"serving_replay": {}})
+        with pytest.raises(ValueError, match="schema"):
+            trajectory.append(src, store_dir=tmp_path / "store")
+
+    def test_stray_files_are_ignored(self, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "README.md").write_text("not a snapshot\n")
+        (store / "trajectory.svg").write_text("<svg/>\n")
+        src = _write(tmp_path, _snapshot(1.0))
+        path = trajectory.append(src, store_dir=store)
+        assert path.name == "0001-snapshot.json"
+        assert trajectory.list_snapshots(store) == [path]
+
+
+class TestSeries:
+    def test_ops_series_pads_missing_lanes_with_nan(self, tmp_path):
+        store = tmp_path / "store"
+        trajectory.append(_write(tmp_path, _snapshot(1000.0)),
+                          store_dir=store, label="a")
+        trajectory.append(
+            _write(tmp_path, _snapshot(1100.0, 500.0)),
+            store_dir=store, label="b")
+        series = trajectory.ops_series(store)
+        assert series["serving_replay/rmi"] == [1000.0, 1100.0]
+        cluster = series["cluster/rmi"]
+        assert cluster[0] != cluster[0]  # NaN: lane predates section
+        assert cluster[1] == 500.0
+
+    def test_best_ops_takes_the_maximum_per_lane(self, tmp_path):
+        store = tmp_path / "store"
+        for ops in (1000.0, 1400.0, 900.0):
+            trajectory.append(_write(tmp_path, _snapshot(ops)),
+                              store_dir=store, label=f"v{ops:.0f}")
+        assert trajectory.best_ops(store) \
+            == {"serving_replay/rmi": 1400.0}
+
+    def test_empty_store_is_empty_everything(self, tmp_path):
+        store = tmp_path / "missing"
+        assert trajectory.list_snapshots(store) == []
+        assert trajectory.ops_series(store) == {}
+        assert trajectory.best_ops(store) == {}
+
+
+class TestSparkline:
+    def test_figure_renders_one_row_per_lane(self, tmp_path):
+        store = tmp_path / "store"
+        trajectory.append(
+            _write(tmp_path, _snapshot(1000.0, 500.0)),
+            store_dir=store)
+        svg = gallery.trajectory_figure(store)
+        assert svg is not None
+        assert "serving_replay/rmi" in svg
+        assert "cluster/rmi" in svg
+
+    def test_empty_store_renders_nothing(self, tmp_path):
+        assert gallery.trajectory_figure(tmp_path / "missing") is None
+
+    def test_figure_is_deterministic(self, tmp_path):
+        store = tmp_path / "store"
+        trajectory.append(_write(tmp_path, _snapshot(1000.0)),
+                          store_dir=store)
+        assert gallery.trajectory_figure(store) \
+            == gallery.trajectory_figure(store)

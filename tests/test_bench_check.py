@@ -113,3 +113,112 @@ class TestThresholds:
         })
         assert bench.check_throughput(path) == 0
         assert "new" in capsys.readouterr().out
+
+
+def fresh_payload(serving_ops, cluster_ops):
+    return {
+        "schema": "repro.bench.workload/v1",
+        "serving_replay": {"rmi": {"ops_per_second": serving_ops}},
+        "cluster": {"rmi": {"ops_per_second": cluster_ops},
+                    "wall_seconds": 3.0},
+    }
+
+
+class TestRegenerationGuard:
+    """Regenerating BENCH_workload.json in place may not lower the bar
+    (ISSUE 8 satellite): a regressed re-measurement leaves the
+    committed file untouched and exits non-zero."""
+
+    def test_fresh_path_saves_unguarded(self, bench, tmp_path):
+        out = tmp_path / "BENCH.json"
+        bench._guarded_save(fresh_payload(1_000.0, 500.0), str(out))
+        assert json.loads(out.read_text())["schema"] \
+            == bench.BENCH_SCHEMA
+
+    def test_regressed_regeneration_keeps_the_baseline(
+            self, bench, tmp_path, capsys):
+        out = tmp_path / "BENCH.json"
+        committed = fresh_payload(10_000.0, 500.0)
+        out.write_text(json.dumps(committed))
+        regressed = fresh_payload(1_000.0, 500.0)  # -90% serving
+        with pytest.raises(SystemExit) as exc:
+            bench._guarded_save(regressed, str(out))
+        assert exc.value.code == 1
+        # Baseline untouched; fresh numbers parked for inspection.
+        assert json.loads(out.read_text()) == committed
+        rejected = tmp_path / "BENCH.rejected.json"
+        assert json.loads(rejected.read_text()) == regressed
+        assert "regeneration guard" in capsys.readouterr().out
+
+    def test_passing_regeneration_replaces(self, bench, tmp_path):
+        out = tmp_path / "BENCH.json"
+        out.write_text(json.dumps(fresh_payload(1_000.0, 500.0)))
+        improved = fresh_payload(1_200.0, 600.0)
+        bench._guarded_save(improved, str(out))
+        assert json.loads(out.read_text()) == improved
+        assert not (tmp_path / "BENCH.rejected.json").exists()
+
+    def test_run_bench_routes_through_the_guard(self, bench,
+                                                tmp_path,
+                                                monkeypatch):
+        out = tmp_path / "BENCH.json"
+        committed = fresh_payload(10_000.0, 500.0)
+        out.write_text(json.dumps(committed))
+        monkeypatch.setattr(
+            bench, "_run_sections",
+            lambda: ("tables", fresh_payload(1_000.0, 500.0)))
+        with pytest.raises(SystemExit):
+            bench.run_bench(str(out))
+        assert json.loads(out.read_text()) == committed
+
+
+class TestTrajectoryGate:
+    """--trajectory check compares fresh numbers against the *best*
+    snapshot in the append-only store."""
+
+    def _store(self, bench, tmp_path, *payloads):
+        from repro.observe import trajectory
+        store = tmp_path / "store"
+        for i, payload in enumerate(payloads):
+            src = tmp_path / f"src{i}.json"
+            src.write_text(json.dumps(payload))
+            trajectory.append(src, store_dir=store, label=f"pr{i}")
+        return store
+
+    def test_empty_store_passes(self, bench, canned_measurers,
+                                tmp_path, capsys):
+        assert bench.trajectory_check(
+            store_dir=str(tmp_path / "missing")) == 0
+        assert "nothing to gate against" in capsys.readouterr().out
+
+    def test_regression_against_best_fails(self, bench,
+                                           canned_measurers,
+                                           tmp_path, capsys):
+        # Weakest-first history: the gate must pick the 10k snapshot,
+        # not the latest one, so measured 1k (-90%) fails.
+        store = self._store(
+            bench, tmp_path,
+            fresh_payload(10_000.0, 500.0),
+            fresh_payload(1_000.0, 500.0))
+        assert bench.trajectory_check(store_dir=str(store)) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_within_tolerance_of_best_passes(self, bench,
+                                             canned_measurers,
+                                             tmp_path):
+        store = self._store(bench, tmp_path,
+                            fresh_payload(1_100.0, 550.0))
+        assert bench.trajectory_check(store_dir=str(store)) == 0
+
+    def test_append_records_and_renders(self, bench, tmp_path,
+                                        capsys):
+        src = tmp_path / "BENCH.json"
+        src.write_text(json.dumps(fresh_payload(1_000.0, 500.0)))
+        store = tmp_path / "store"
+        assert bench.trajectory_append(str(src),
+                                       store_dir=str(store),
+                                       label="pr8") == 0
+        assert (store / "0001-pr8.json").exists()
+        svg = (store / "trajectory.svg").read_text()
+        assert svg.startswith("<svg")
+        assert "serving_replay/rmi" in svg
