@@ -14,10 +14,12 @@ import numpy as np
 from repro.core import greedy_delete, greedy_modify, greedy_poison
 from repro.data import Domain, uniform_keyset
 from repro.experiments import format_ratio, render_table, section
+from repro.runtime import stable_seed_words
 
 
 def main() -> None:
-    rng = np.random.default_rng(17)
+    rng = np.random.default_rng(
+        stable_seed_words("adversary-showdown", 17))
     keys = uniform_keyset(2_000, Domain.of_size(20_000), rng)
     budget = 200  # 10%
     print(section(f"keyset: {keys.n} uniform keys; budget: {budget} "

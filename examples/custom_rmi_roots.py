@@ -21,10 +21,12 @@ from repro.index import (
     PiecewiseLinearRoot,
     RecursiveModelIndex,
 )
+from repro.runtime import stable_seed_words
 
 
 def main() -> None:
-    rng = np.random.default_rng(5)
+    rng = np.random.default_rng(
+        stable_seed_words("custom-rmi-roots", 5))
     keys = lognormal_keyset(5_000, Domain.of_size(500_000), rng)
     print(section(f"log-normal keyset: {keys.n} keys over a "
                   f"{keys.m:,}-value universe"))

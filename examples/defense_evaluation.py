@@ -24,10 +24,12 @@ from repro.defense import (
     trim_regression,
 )
 from repro.experiments import format_ratio, render_table, section
+from repro.runtime import stable_seed_words
 
 
 def main() -> None:
-    rng = np.random.default_rng(3)
+    rng = np.random.default_rng(
+        stable_seed_words("defense-evaluation", 3))
     keys = uniform_keyset(1_000, Domain.of_size(10_000), rng)
     attack = greedy_poison(keys, 150)
     poisoned = keys.insert(attack.poison_keys)

@@ -16,10 +16,12 @@ from repro.core import RMIAttackerCapability, poison_rmi
 from repro.data import osm_school_latitudes
 from repro.experiments import render_table, section
 from repro.index import BTree, RecursiveModelIndex
+from repro.runtime import stable_seed_words
 
 
 def main() -> None:
-    rng = np.random.default_rng(21)
+    rng = np.random.default_rng(
+        stable_seed_words("geolocation-vs-btree", 21))
     latitudes = osm_school_latitudes(rng, n=20_000)
     print(section(f"OSM school latitudes (simulated): {latitudes.n} "
                   f"keys, density {latitudes.density:.1%}"))

@@ -13,10 +13,12 @@ import numpy as np
 from repro.core import fit_cdf_regression, greedy_poison
 from repro.data import Domain, uniform_keyset
 from repro.index import LinearLearnedIndex
+from repro.runtime import stable_seed_words
 
 
 def main() -> None:
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(
+        stable_seed_words("quickstart", 0))
     keys = uniform_keyset(1_000, Domain.of_size(10_000), rng)
     print(f"legitimate keyset: {keys}")
 

@@ -18,10 +18,12 @@ from repro.core import RMIAttackerCapability, poison_rmi, summarize
 from repro.data import miami_salaries
 from repro.experiments import format_ratio, render_table, section
 from repro.index import RecursiveModelIndex
+from repro.runtime import stable_seed_words
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
+    rng = np.random.default_rng(
+        stable_seed_words("salary-poisoning", 7))
     salaries = miami_salaries(rng)
     print(section("Miami-Dade salaries (simulated): "
                   f"{salaries.n} unique keys, density "

@@ -20,10 +20,12 @@ from repro.core import (
 from repro.data import Domain, uniform_keyset
 from repro.experiments import format_ratio, render_table, section
 from repro.index import DynamicLearnedIndex
+from repro.runtime import stable_seed_words
 
 
 def main() -> None:
-    rng = np.random.default_rng(9)
+    rng = np.random.default_rng(
+        stable_seed_words("update-channel-attack", 9))
     keys = uniform_keyset(5_000, Domain.of_size(100_000), rng)
     n_models = 50
     print(section(f"live index: {keys.n} keys, {n_models} second-stage "

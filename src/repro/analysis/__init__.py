@@ -1,0 +1,51 @@
+"""repro.analysis — the repo's self-hosted static analysis layer.
+
+An AST linter that encodes this codebase's own reproduction
+invariants as named rules (REP001-REP007) and runs over ``src`` +
+``tests`` as a blocking CI gate::
+
+    PYTHONPATH=src python -m repro.analysis --check src tests
+
+See :mod:`repro.analysis.rules` for the rule catalogue,
+:mod:`repro.analysis.pragmas` for the ``# repro: allow[REPnnn] --
+reason`` escape hatch, and :mod:`repro.analysis.engine` for the
+baseline (grandfathered findings) machinery.
+"""
+
+from .engine import (
+    BASELINE_SCHEMA,
+    DEFAULT_BASELINE,
+    Finding,
+    LintConfig,
+    baseline_delta,
+    iter_python_files,
+    lint_file,
+    load_baseline,
+    run_paths,
+    write_baseline,
+)
+from .pragmas import Pragma, collect_pragmas, format_pragma, \
+    parse_pragma
+from .rules import RULES, DispatchBinding, KeyBinding, \
+    default_bindings
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_BASELINE",
+    "DispatchBinding",
+    "Finding",
+    "KeyBinding",
+    "LintConfig",
+    "Pragma",
+    "RULES",
+    "baseline_delta",
+    "collect_pragmas",
+    "default_bindings",
+    "format_pragma",
+    "iter_python_files",
+    "lint_file",
+    "load_baseline",
+    "parse_pragma",
+    "run_paths",
+    "write_baseline",
+]

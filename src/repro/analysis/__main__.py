@@ -1,0 +1,88 @@
+"""CLI of the self-hosted determinism/concurrency/contract linter.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis --check src tests
+    PYTHONPATH=src python -m repro.analysis --list-rules
+    PYTHONPATH=src python -m repro.analysis --update-baseline src tests
+
+``--check`` is the CI gate: exit 1 when any finding is not covered by
+the committed baseline (``.repro-analysis-baseline.json``).  Stale
+baseline entries (fixed findings still listed) are reported but do
+not fail the gate — run ``--update-baseline`` to shrink the file;
+growing it is also explicit, never implicit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import engine, rules
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro's determinism, concurrency, and "
+                    "wire-contract linter (rules REP001-REP007)")
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to lint "
+                             "(default: src tests)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate mode: exit 1 on any finding not "
+                             "in the baseline")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: "
+                             f"{engine.DEFAULT_BASELINE})")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current "
+                             "findings (explicit grandfathering; "
+                             "review the diff before committing)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(rules.RULES):
+            doc = (rules.RULES[rule_id].__doc__
+                   or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{rule_id}  {summary}")
+        print("REP000  malformed pragma / unparseable file "
+              "(engine-level, not suppressible)")
+        return 0
+
+    baseline_path = args.baseline if args.baseline is not None \
+        else engine.DEFAULT_BASELINE
+    findings = engine.run_paths(args.paths)
+
+    if args.update_baseline:
+        engine.write_baseline(baseline_path, findings)
+        print(f"baseline rewritten: {len(findings)} findings -> "
+              f"{baseline_path}")
+        return 0
+
+    baseline = engine.load_baseline(baseline_path)
+    new, stale = engine.baseline_delta(findings, baseline)
+    baselined = len(findings) - len(new)
+    for finding in new:
+        print(finding.render())
+    for path, rule_id, line in stale:
+        print(f"stale baseline entry (fixed? run "
+              f"--update-baseline): {path}:{line}: {rule_id}",
+              file=sys.stderr)
+    print(f"{len(findings)} findings ({len(new)} new, "
+          f"{baselined} baselined, {len(stale)} stale baseline "
+          f"entries) over {len(args.paths)} path(s)",
+          file=sys.stderr)
+    if args.check and new:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # |head closed the pipe; not an error
+        sys.exit(0)

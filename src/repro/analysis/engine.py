@@ -1,0 +1,198 @@
+"""Linter engine: file walking, pragma filtering, baseline diffs.
+
+The engine is rule-agnostic: it parses each file once, hands the
+tree to every enabled rule (:mod:`repro.analysis.rules`), filters
+the findings through the ``# repro: allow[...]`` pragmas, and diffs
+the survivors against the committed baseline file so the CI gate
+fails only on *new* violations — grandfathered findings stay listed
+until someone fixes them, but never grow silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import rules as rules_mod
+from .pragmas import collect_pragmas
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintConfig",
+    "baseline_delta",
+    "iter_python_files",
+    "lint_file",
+    "load_baseline",
+    "run_paths",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA = "repro.analysis.baseline/v1"
+
+#: Committed at the repo root; the CI gate diffs against it.
+DEFAULT_BASELINE = Path(".repro-analysis-baseline.json")
+
+#: Directory names never walked into.  ``fixtures`` keeps the rule
+#: corpus (known-bad files under ``tests/analysis/fixtures/``) out of
+#: the self-hosted run — the corpus tests lint those files
+#: explicitly, one at a time.
+SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".hypothesis", ".pytest_cache",
+    ".benchmarks", "fixtures", "build", "dist",
+})
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def key(self) -> tuple:
+        """Baseline identity — message text excluded so rewording a
+        diagnostic does not churn the baseline."""
+        return (self.path, self.rule, self.line)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-rule path scoping, overridable for fixture tests.
+
+    Scopes are posix-relpath prefixes; ``("",)`` scopes a rule to
+    every file (the prefix of everything), ``()`` disables it.  The
+    defaults encode *this* repository's layout and conventions.
+    """
+
+    enabled: tuple = ()  # () = every registered rule
+    #: REP001 skips tests: a literal ``default_rng(0)`` is fine for
+    #: test data, the hazard is one-off seeds on reproduction paths.
+    rep001_exclude: tuple = ("tests/",)
+    #: REP003 applies only to the deterministic tick paths.
+    rep003_scope: tuple = ("src/repro/workload/", "src/repro/cluster/")
+    #: REP004's ``json.dumps`` half applies to library code, where
+    #: every emitted document is canonical.
+    rep004_json_scope: tuple = ("src/",)
+    #: REP005 watches parity/report assertions.
+    rep005_scope: tuple = ("tests/", "src/repro/experiments/")
+    #: REP007 module bindings; ``None`` loads the declarations from
+    #: :mod:`repro.contracts` (the self-hosted default).
+    contract_bindings: "tuple | None" = None
+    exclude_dirs: frozenset = field(default=SKIP_DIRS)
+
+    def in_scope(self, relpath: str, prefixes: tuple) -> bool:
+        return any(relpath.startswith(p) for p in prefixes)
+
+
+def iter_python_files(paths, config: LintConfig):
+    """Yield every ``.py`` file under the given files/directories."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: "
+                                    f"{raw}")
+        for file in sorted(path.rglob("*.py")):
+            if any(part in config.exclude_dirs
+                   for part in file.parts):
+                continue
+            yield file
+
+
+def _relpath(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(path, config: LintConfig = LintConfig(),
+              relpath: "str | None" = None) -> "list[Finding]":
+    """Lint one file; pragma-suppressed findings are dropped."""
+    path = Path(path)
+    relpath = relpath if relpath is not None else _relpath(path)
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    covers, malformed = collect_pragmas(source)
+    findings = [
+        Finding(relpath, lineno, "REP000", error)
+        for lineno, error in malformed]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        findings.append(Finding(
+            relpath, exc.lineno or 1, "REP000",
+            f"file does not parse: {exc.msg}"))
+        return sorted(findings)
+    enabled = config.enabled or tuple(sorted(rules_mod.RULES))
+    for rule_id in enabled:
+        rule = rules_mod.RULES[rule_id]
+        for lineno, fired_rule, message in rule(
+                tree, relpath, lines, config):
+            pragma = covers.get(lineno)
+            if pragma is not None and pragma.allows(fired_rule):
+                continue
+            findings.append(
+                Finding(relpath, lineno, fired_rule, message))
+    return sorted(set(findings))
+
+
+def run_paths(paths, config: LintConfig = LintConfig(),
+              ) -> "list[Finding]":
+    """Lint every python file under ``paths``; sorted findings."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths, config):
+        findings.extend(lint_file(file, config))
+    return sorted(findings)
+
+
+# ---------------------------------------------------------------------
+# Baseline: grandfathered findings the gate tolerates (and no more)
+# ---------------------------------------------------------------------
+def load_baseline(path) -> "set[tuple]":
+    """Load the committed baseline; a missing file is empty."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline schema {payload.get('schema')!r} != "
+            f"{BASELINE_SCHEMA!r}")
+    return {(f["path"], f["rule"], f["line"])
+            for f in payload["findings"]}
+
+
+def write_baseline(path, findings) -> None:
+    """Write the baseline for the given findings, atomically enough
+    for a file that only changes by explicit ``--update-baseline``."""
+    entries = sorted({f.key() for f in findings})
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"path": p, "rule": r, "line": n}
+            for p, r, n in entries],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def baseline_delta(findings, baseline: "set[tuple]",
+                   ) -> "tuple[list[Finding], list[tuple]]":
+    """Split findings into (new, stale-baseline-entries)."""
+    current = {f.key() for f in findings}
+    new = [f for f in findings if f.key() not in baseline]
+    stale = sorted(baseline - current)
+    return new, stale

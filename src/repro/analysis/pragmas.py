@@ -1,0 +1,120 @@
+"""The ``# repro: allow[...]`` escape hatch.
+
+A finding is suppressed by an *allow pragma* naming its rule, either
+on the offending line itself or on a comment-only line immediately
+above it (for lines with no room left)::
+
+    value = time.time()  # repro: allow[REP003] -- demo wall clock
+
+    # repro: allow[REP001,REP002] -- fixture exercises both rules
+    seed = hash(np.random.rand())
+
+The reason after ``--`` is mandatory: an unexplained suppression is
+itself a finding (rule ``REP000``), as is any comment that starts
+with the ``repro:`` marker but fails to parse — a typo'd pragma must
+not silently suppress nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = [
+    "PRAGMA_MARKER",
+    "Pragma",
+    "collect_pragmas",
+    "format_pragma",
+    "parse_pragma",
+]
+
+PRAGMA_MARKER = re.compile(r"#\s*repro:\s*(?P<body>.*)$")
+_ALLOW = re.compile(
+    r"^allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*))?$")
+RULE_ID = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed allow pragma."""
+
+    rules: frozenset
+    reason: str
+
+    def allows(self, rule: str) -> bool:
+        return rule in self.rules
+
+
+def format_pragma(rules, reason: str) -> str:
+    """Render the canonical pragma comment for a set of rule ids."""
+    ids = sorted(set(rules))
+    for rule in ids:
+        if not RULE_ID.match(rule):
+            raise ValueError(f"not a rule id: {rule!r}")
+    reason = " ".join(str(reason).split())
+    if not reason:
+        raise ValueError("a pragma reason is mandatory")
+    return f"# repro: allow[{','.join(ids)}] -- {reason}"
+
+
+def parse_pragma(line: str) -> "Pragma | str | None":
+    """Parse one source line.
+
+    Returns a :class:`Pragma`, ``None`` when the line carries no
+    ``repro:`` marker, or an error string when the marker is present
+    but malformed (unknown directive, bad rule id, missing reason).
+    """
+    marker = PRAGMA_MARKER.search(line)
+    if marker is None:
+        return None
+    body = marker.group("body").strip()
+    allow = _ALLOW.match(body)
+    if allow is None:
+        return f"unparseable repro pragma: {body!r}"
+    rules = [part.strip() for part in
+             allow.group("rules").split(",") if part.strip()]
+    if not rules:
+        return "pragma allows no rules"
+    bad = [rule for rule in rules if not RULE_ID.match(rule)]
+    if bad:
+        return f"bad rule ids in pragma: {bad}"
+    reason = (allow.group("reason") or "").strip()
+    if not reason:
+        return ("pragma is missing its '-- reason'; unexplained "
+                "suppressions are findings themselves")
+    return Pragma(rules=frozenset(rules), reason=reason)
+
+
+def collect_pragmas(source: str) -> tuple[dict, list]:
+    """Map line numbers to the pragma that covers them.
+
+    Only real ``COMMENT`` tokens are considered (a pragma-shaped
+    string literal or docstring line is prose, not a directive).  A
+    pragma trailing code covers its own line; a pragma on a
+    comment-only line covers the next line.  Returns ``(covers,
+    malformed)`` where ``covers`` maps 1-based line numbers to
+    :class:`Pragma` and ``malformed`` is a list of ``(line, error)``
+    pairs.
+    """
+    covers: dict[int, Pragma] = {}
+    malformed: list[tuple[int, str]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return covers, malformed  # the engine reports parse errors
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        parsed = parse_pragma(token.string)
+        if parsed is None:
+            continue
+        lineno = token.start[0]
+        if isinstance(parsed, str):
+            malformed.append((lineno, parsed))
+            continue
+        code = token.line[:token.start[1]].strip()
+        covers[lineno if code else lineno + 1] = parsed
+    return covers, malformed

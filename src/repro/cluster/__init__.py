@@ -47,14 +47,6 @@ from .replication import (
 )
 from .router import ClusterRouter, ShardServingError
 from .shardmap import ShardMap
-from .transport import (
-    FaultSpec,
-    ReplicaDeadError,
-    ShardWorkerError,
-    TransportBook,
-    TransportConfig,
-    WorkerClient,
-)
 from .simulator import (
     CLUSTER_ADVERSARIES,
     ClusterAdversary,
@@ -65,6 +57,14 @@ from .simulator import (
     HotShardAdversary,
     UniformClusterAdversary,
     make_cluster_adversary,
+)
+from .transport import (
+    FaultSpec,
+    ReplicaDeadError,
+    ShardWorkerError,
+    TransportBook,
+    TransportConfig,
+    WorkerClient,
 )
 
 __all__ = [

@@ -911,4 +911,5 @@ class ClusterSimulator:
                 np.asarray(series["degraded"]) > 0)),
             flagged_replicas=(int(series["flagged"][-1])
                               if series["flagged"] else 0),
+            # repro: allow[REP003] -- wall_seconds is an advisory stats field, never compared or digested
             wall_seconds=time.perf_counter() - started)

@@ -45,6 +45,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import (
+    FRAME as _FRAME,
+    MSG_DELETE,
+    MSG_DIGEST,
+    MSG_INSERT,
+    MSG_LIVE_KEYS,
+    MSG_LOOKUP,
+    MSG_RANGE,
+    MSG_REBUILD,
+    MSG_REPLAY,
+    MSG_SET_KEEP,
+    MSG_SET_THRESHOLD,
+    MSG_SHUTDOWN,
+    MSG_STATS,
+    PROTOCOL_VERSION,
+    REPLY_ERR,
+    REPLY_OK,
+    ContractViolation,
+)
 from ..runtime.cell import stable_seed_words
 from ..workload.backends import ServingBackend, make_backend
 from ..workload.columnar import decode_event_batch, encode_event_batch
@@ -56,33 +75,15 @@ __all__ = [
     "shard_worker_main",
 ]
 
-#: Version byte carried by every frame (and by the build spec).  Bump
-#: on any message-layout change; both sides reject a mismatch.
-PROTOCOL_VERSION = 1
-
-_FRAME = struct.Struct("<BBQ")  # version, code, seq
-
-# Request codes -------------------------------------------------------
-MSG_REPLAY = 1       # body: encoded event batch -> found + probes
-MSG_LOOKUP = 2       # body: i64 keys            -> found + probes
-MSG_INSERT = 3       # body: i64 keys            -> ()
-MSG_DELETE = 4       # body: i64 keys            -> ()
-MSG_RANGE = 5        # body: (lo, hi)            -> i64 cost
-MSG_STATS = 6        # body: ()                  -> WorkerStats
-MSG_LIVE_KEYS = 7    # body: ()                  -> i64 keys
-MSG_SET_KEEP = 8     # body: f64 (NaN = None)    -> ()
-MSG_SET_THRESHOLD = 9  # body: f64               -> ()
-MSG_REBUILD = 10     # body: ()                  -> ()
-MSG_DIGEST = 11      # body: ()                  -> utf-8 digest
-MSG_SHUTDOWN = 12    # body: ()                  -> () then exit
-# Reply codes ---------------------------------------------------------
-REPLY_OK = 100
-REPLY_ERR = 101      # body: utf-8 "<Type>: <message>"
+# The frame header layout, the message-code registry, and the protocol
+# version are declared once in :mod:`repro.contracts`; this module
+# implements both endpoints and re-exports the names its established
+# importers use.
 
 _STATS = struct.Struct("<qqqqddd")
 
 
-class ProtocolError(RuntimeError):
+class ProtocolError(ContractViolation):
     """Malformed or version-mismatched frame on the shard wire."""
 
 

@@ -1,0 +1,216 @@
+"""Declarative wire and payload contracts, shared by writers,
+readers, and the :mod:`repro.analysis` linter.
+
+Every byte- or key-level agreement between a producer and a consumer
+in this repo used to live as string literals duplicated at both ends:
+the ``repro.experiments.result/v2`` document keys (written by
+:func:`repro.experiments.__main__._write_result`, read back by
+:mod:`repro.observe.gallery` and the CI parity scripts), the shard
+frame protocol header and message codes
+(:mod:`repro.cluster.transport`), and the ``REVB`` columnar event
+batch header (:mod:`repro.workload.columnar`).  History shows those
+literals drift silently — PR 7's fan-out race was only visible
+because a reader happened to crash.  This module is the single
+declaration:
+
+* the **runtime** validates against it at load/decode time — loading
+  a result tree or decoding a frame with unknown or missing keys
+  raises :class:`ContractViolation` (a ``ValueError``) naming the
+  offending keys;
+* the **linter**'s REP007 rule cross-checks the string literals each
+  writer emits and each reader consumes against the same
+  declarations, so a drifted key fails CI before it fails a replay.
+
+Nothing here imports numpy — the contract layer must stay importable
+from the lint CLI and from worker processes alike.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "ARTIFACT_KEYS",
+    "ContractViolation",
+    "FRAME",
+    "MSG_DELETE",
+    "MSG_DIGEST",
+    "MSG_INSERT",
+    "MSG_LIVE_KEYS",
+    "MSG_LOOKUP",
+    "MSG_RANGE",
+    "MSG_REBUILD",
+    "MSG_REPLAY",
+    "MSG_SET_KEEP",
+    "MSG_SET_THRESHOLD",
+    "MSG_SHUTDOWN",
+    "MSG_STATS",
+    "PROTOCOL_VERSION",
+    "REPLY_CODES",
+    "REPLY_ERR",
+    "REPLY_OK",
+    "REQUEST_CODES",
+    "RESULT_OPTIONAL_KEYS",
+    "RESULT_REQUIRED_KEYS",
+    "RESULT_SCHEMA",
+    "WIRE_HEADER",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "validate_artifact_entry",
+    "validate_result",
+]
+
+
+class ContractViolation(ValueError):
+    """A payload, frame, or document broke a declared contract.
+
+    Subclasses ``ValueError`` so pre-existing defensive ``except
+    ValueError`` readers keep working; raised with the offending
+    key/field names so the failure is actionable without a debugger.
+    """
+
+
+# ---------------------------------------------------------------------
+# repro.experiments.result/v2 — the sweep result document
+# ---------------------------------------------------------------------
+RESULT_SCHEMA = "repro.experiments.result/v2"
+
+#: Top-level keys every result/v2 document must carry.
+RESULT_REQUIRED_KEYS = (
+    "schema",
+    "target",
+    "profile",
+    "jobs",
+    "executor",
+    "result",
+    "artifacts",
+)
+
+#: Top-level keys a result/v2 document may carry.  ``instrument`` is
+#: the opt-in observability profile — wall-clock, never compared by
+#: the jobs-parity gates.
+RESULT_OPTIONAL_KEYS = ("instrument",)
+
+#: Keys of one entry in the ``artifacts`` manifest.
+ARTIFACT_KEYS = ("file", "arrays")
+
+
+def validate_artifact_entry(entry: object,
+                            where: str = "artifacts entry") -> dict:
+    """Check one manifest entry; return it or raise loudly."""
+    if not isinstance(entry, dict):
+        raise ContractViolation(
+            f"{where}: expected an object, got "
+            f"{type(entry).__name__}")
+    missing = [k for k in ARTIFACT_KEYS if k not in entry]
+    unknown = [k for k in entry if k not in ARTIFACT_KEYS]
+    if missing or unknown:
+        raise ContractViolation(
+            f"{where}: missing keys {missing}, unknown keys "
+            f"{unknown}; declared keys are {list(ARTIFACT_KEYS)}")
+    return entry
+
+
+def validate_result(payload: object) -> dict:
+    """Validate a result/v2 document tree; return it or raise.
+
+    Both ends call this: the CLI writer immediately before
+    ``result.json`` is saved, and every reader (the gallery renderer,
+    tests, CI scripts) immediately after loading — so a key added on
+    one side only fails at the first run, not at the first consumer
+    that happens to touch it.
+    """
+    if not isinstance(payload, dict):
+        raise ContractViolation(
+            f"result document: expected an object, got "
+            f"{type(payload).__name__}")
+    schema = payload.get("schema")
+    if schema != RESULT_SCHEMA:
+        raise ContractViolation(
+            f"result document schema {schema!r} != declared "
+            f"{RESULT_SCHEMA!r}")
+    allowed = set(RESULT_REQUIRED_KEYS) | set(RESULT_OPTIONAL_KEYS)
+    missing = [k for k in RESULT_REQUIRED_KEYS if k not in payload]
+    unknown = [k for k in payload if k not in allowed]
+    if missing or unknown:
+        raise ContractViolation(
+            f"result document: missing keys {missing}, unknown keys "
+            f"{unknown}; declared keys are "
+            f"{sorted(allowed)}")
+    artifacts = payload["artifacts"]
+    if not isinstance(artifacts, list):
+        raise ContractViolation(
+            f"result document: 'artifacts' must be a list, got "
+            f"{type(artifacts).__name__}")
+    for i, entry in enumerate(artifacts):
+        validate_artifact_entry(entry, where=f"artifacts[{i}]")
+    return payload
+
+
+# ---------------------------------------------------------------------
+# Shard frame protocol (repro.cluster.transport)
+# ---------------------------------------------------------------------
+#: Version byte carried by every frame (and by the build spec).  Bump
+#: on any message-layout change; both sides reject a mismatch.
+PROTOCOL_VERSION = 1
+
+#: Frame header: little-endian ``version(u8) code(u8) seq(u64)``.
+FRAME = struct.Struct("<BBQ")
+
+# Request codes — every one must have a worker dispatch arm and a
+# client wrapper; REP007 cross-checks both directions.
+MSG_REPLAY = 1       # body: encoded event batch -> found + probes
+MSG_LOOKUP = 2       # body: i64 keys            -> found + probes
+MSG_INSERT = 3       # body: i64 keys            -> ()
+MSG_DELETE = 4       # body: i64 keys            -> ()
+MSG_RANGE = 5        # body: (lo, hi)            -> i64 cost
+MSG_STATS = 6        # body: ()                  -> WorkerStats
+MSG_LIVE_KEYS = 7    # body: ()                  -> i64 keys
+MSG_SET_KEEP = 8     # body: f64 (NaN = None)    -> ()
+MSG_SET_THRESHOLD = 9  # body: f64               -> ()
+MSG_REBUILD = 10     # body: ()                  -> ()
+MSG_DIGEST = 11      # body: ()                  -> utf-8 digest
+MSG_SHUTDOWN = 12    # body: ()                  -> () then exit
+
+REQUEST_CODES = {
+    "MSG_REPLAY": MSG_REPLAY,
+    "MSG_LOOKUP": MSG_LOOKUP,
+    "MSG_INSERT": MSG_INSERT,
+    "MSG_DELETE": MSG_DELETE,
+    "MSG_RANGE": MSG_RANGE,
+    "MSG_STATS": MSG_STATS,
+    "MSG_LIVE_KEYS": MSG_LIVE_KEYS,
+    "MSG_SET_KEEP": MSG_SET_KEEP,
+    "MSG_SET_THRESHOLD": MSG_SET_THRESHOLD,
+    "MSG_REBUILD": MSG_REBUILD,
+    "MSG_DIGEST": MSG_DIGEST,
+    "MSG_SHUTDOWN": MSG_SHUTDOWN,
+}
+
+# Reply codes.
+REPLY_OK = 100
+REPLY_ERR = 101      # body: utf-8 "<Type>: <message>"
+
+REPLY_CODES = {
+    "REPLY_OK": REPLY_OK,
+    "REPLY_ERR": REPLY_ERR,
+}
+
+if len(set(REQUEST_CODES.values())) != len(REQUEST_CODES) or \
+        set(REQUEST_CODES.values()) & set(REPLY_CODES.values()):
+    raise AssertionError("frame message codes must be unique")
+
+
+# ---------------------------------------------------------------------
+# REVB columnar event batch (repro.workload.columnar)
+# ---------------------------------------------------------------------
+#: Wire format of a serialized event batch (the cross-process unit of
+#: ``ServingBackend.replay_ops``): a little-endian header
+#: ``magic(4s) version(u8) pad(3) count(u64)`` followed by the three
+#: columns as raw bytes — kinds as ``int8``, keys and aux as
+#: ``int64``.  Bump :data:`WIRE_VERSION` on any layout change; decode
+#: rejects mismatched versions so a stale worker fails loudly instead
+#: of misreading columns.
+WIRE_MAGIC = b"REVB"
+WIRE_VERSION = 1
+WIRE_HEADER = struct.Struct("<4sB3xQ")

@@ -28,7 +28,6 @@ from .deletion import (
     optimal_single_deletion,
 )
 from .exceptions import KeySpaceExhausted
-from .polynomial import PolynomialFit, PolynomialModel, fit_polynomial_cdf
 from .greedy import GreedyResult, greedy_poison, poison_budget
 from .metrics import BoxplotSummary, ratio_loss, summarize
 from .modification import (
@@ -36,6 +35,7 @@ from .modification import (
     best_modification,
     greedy_modify,
 )
+from .polynomial import PolynomialFit, PolynomialModel, fit_polynomial_cdf
 from .rmi_attack import ModelPoisonReport, RMIAttackResult, poison_rmi
 from .sequences import (
     GapStructure,

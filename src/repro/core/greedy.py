@@ -18,8 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.keyset import KeySet
-from .cdf_regression import fit_cdf_regression
 from ._fastpath import GreedyWorkspace
+from .cdf_regression import fit_cdf_regression
 from .exceptions import KeySpaceExhausted
 from .single_point import optimal_single_point
 

@@ -109,6 +109,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from .. import io, observe
+from ..contracts import RESULT_SCHEMA, validate_result
 from ..observe import gallery
 from ..runtime import EXECUTORS, CheckpointStore
 from . import (
@@ -125,7 +126,6 @@ from . import (
 from .regression_sweep import fig5_config, fig8_config, run_sweep
 from .regression_sweep import plan_cells as plan_regression
 
-RESULT_SCHEMA = "repro.experiments.result/v2"
 BENCH_SCHEMA = "repro.bench.workload/v1"
 
 
@@ -510,6 +510,9 @@ def _write_result(target: str, opts: RunOptions,
     }
     if registry is not None:
         document["instrument"] = registry.to_profile()
+    # Writer-side contract check: a document this CLI cannot itself
+    # re-load through the declared schema never reaches disk.
+    validate_result(document)
     io.save_json(document, out_dir / "result.json")
 
 

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-import numpy as np
 
 from ..io import json_float, parse_json_float
 from ..runtime import Cell, CellOutput, CheckpointStore, SweepEngine

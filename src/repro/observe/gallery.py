@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Mapping
+from typing import Mapping
 
 import numpy as np
 
 from .. import io
+from ..contracts import validate_result
 from . import figures, trajectory
 
 __all__ = [
@@ -136,16 +137,22 @@ def render_result_gallery(target_dir: "str | Path",
                           ) -> "list[Path]":
     """Render ``<target_dir>/figures/`` from its result.json.
 
-    Unknown targets render an empty list (no figures dir) — the
-    ``report`` CLI walks every result.json under ``--out`` and only
-    the targets with a figure recipe produce galleries.
+    The document is validated against the declared
+    ``repro.experiments.result/v2`` contract before anything is read
+    from it — unknown or missing keys raise
+    :class:`~repro.contracts.ContractViolation` instead of surfacing
+    as a KeyError three readers later.  Unknown *targets* render an
+    empty list (no figures dir) — the ``report`` CLI walks every
+    result.json under ``--out`` and only the targets with a figure
+    recipe produce galleries.
     """
     target_dir = Path(target_dir)
-    payload = json.loads((target_dir / "result.json").read_text())
-    target = payload.get("target", "")
+    payload = validate_result(
+        json.loads((target_dir / "result.json").read_text()))
+    target = payload["target"]
     if target not in ("closedloop", "cluster", "workload"):
         return []
-    manifest = sorted(payload.get("artifacts", []),
+    manifest = sorted(payload["artifacts"],
                       key=lambda entry: entry["file"])
     figures_dir = target_dir / "figures"
     figures_dir.mkdir(parents=True, exist_ok=True)

@@ -34,11 +34,16 @@ bit-identical to the scalar path by
 
 from __future__ import annotations
 
-import struct
 from typing import NamedTuple
 
 import numpy as np
 
+from ..contracts import (
+    WIRE_HEADER as _WIRE_HEADER,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    ContractViolation,
+)
 from .trace import (
     OP_DELETE,
     OP_INSERT,
@@ -133,16 +138,10 @@ def decompose_ops(kinds: np.ndarray, keys: np.ndarray,
                    sub_ins=sub_ins, sub_key=sub_key, sub_pos=sub_pos)
 
 
-#: Wire format of a serialized event batch (the cross-process unit of
-#: :meth:`ServingBackend.replay_ops`): a little-endian header
-#: ``magic(4s) version(u8) pad(3) count(u64)`` followed by the three
-#: columns as raw bytes — kinds as ``int8``, keys and aux as
-#: ``int64``.  Bump :data:`WIRE_VERSION` on any layout change; decode
-#: rejects mismatched versions so a stale worker fails loudly instead
-#: of misreading columns.
-WIRE_MAGIC = b"REVB"
-WIRE_VERSION = 1
-_WIRE_HEADER = struct.Struct("<4sB3xQ")
+# The REVB wire layout itself is declared once in
+# :mod:`repro.contracts` (WIRE_MAGIC / WIRE_VERSION / WIRE_HEADER);
+# this module owns the encode/decode implementation and re-exports
+# the constants for its established importers.
 
 
 def encode_event_batch(kinds: np.ndarray, keys: np.ndarray,
@@ -168,18 +167,19 @@ def decode_event_batch(payload: bytes,
     payload.
     """
     if len(payload) < _WIRE_HEADER.size:
-        raise ValueError(
+        raise ContractViolation(
             f"event batch truncated: {len(payload)} bytes")
     magic, version, count = _WIRE_HEADER.unpack_from(payload)
     if magic != WIRE_MAGIC:
-        raise ValueError(f"bad event batch magic: {magic!r}")
+        raise ContractViolation(
+            f"bad event batch magic: {magic!r}")
     if version != WIRE_VERSION:
-        raise ValueError(
+        raise ContractViolation(
             f"event batch wire version {version} != "
             f"supported {WIRE_VERSION}")
     expected = _WIRE_HEADER.size + count * (1 + 8 + 8)
     if len(payload) != expected:
-        raise ValueError(
+        raise ContractViolation(
             f"event batch length {len(payload)} != expected "
             f"{expected} for {count} events")
     off = _WIRE_HEADER.size

@@ -544,4 +544,5 @@ class ServingSimulator:
             ops_by_kind=trace.counts(),
             injected_poison=injected_total,
             discarded_poison=int(pending_inject.size),
+            # repro: allow[REP003] -- wall_seconds is an advisory stats field, never compared or digested
             wall_seconds=time.perf_counter() - started)

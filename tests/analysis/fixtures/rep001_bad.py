@@ -1,0 +1,14 @@
+"""Known-bad REP001 corpus: ambient and one-off-literal RNG."""
+
+import random
+
+import numpy as np
+
+
+def sample():
+    random.seed(42)
+    x = random.random()
+    rng = np.random.default_rng()
+    rng2 = np.random.default_rng(1234)
+    noise = np.random.normal(0.0, 1.0)
+    return x, rng, rng2, noise

@@ -1,0 +1,13 @@
+"""Known-clean REP001 twin: every seed is derived, never ambient."""
+
+import numpy as np
+
+from repro.runtime import stable_seed_words
+
+
+def sample(config):
+    rng = np.random.default_rng(stable_seed_words("demo", 1))
+    other = np.random.default_rng(config.seed)
+    gen = np.random.Generator(np.random.PCG64(
+        np.random.SeedSequence(stable_seed_words("demo", 2))))
+    return rng, other, gen

@@ -1,0 +1,5 @@
+"""Known-bad REP002 corpus: builtin hash() on a seed path."""
+
+
+def seed_for(name):
+    return hash(name) % 2**32

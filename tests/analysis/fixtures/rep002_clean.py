@@ -1,0 +1,11 @@
+"""Known-clean REP002 twin: CRC-backed stable hashing.
+
+A ``.hash(...)`` *method* is fine — only the salted builtin is a
+hazard.
+"""
+
+from repro.runtime import stable_text_hash
+
+
+def seed_for(name, hasher):
+    return stable_text_hash(name) ^ hasher.hash(name)

@@ -1,0 +1,9 @@
+"""Known-bad REP003 corpus: wall clock leaking into tick results."""
+
+import time
+
+
+def run_tick(events):
+    cost = time.perf_counter()
+    deadline = time.time() + 5.0
+    return {"cost": cost, "deadline": deadline}

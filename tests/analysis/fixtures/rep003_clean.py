@@ -1,0 +1,11 @@
+"""Known-clean REP003 twin: timer anchors and observe() sinks."""
+
+import time
+
+
+def run_tick(events, metrics):
+    started = time.perf_counter()
+    cost = sum(event.weight for event in events)
+    metrics.observe(time.perf_counter() - started)
+    tick_seconds = time.perf_counter() - started
+    return cost, tick_seconds

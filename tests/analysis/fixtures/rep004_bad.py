@@ -1,0 +1,11 @@
+"""Known-bad REP004 corpus: unsorted iteration into digests."""
+
+import hashlib
+import json
+
+
+def fingerprint(payload, tags):
+    blob = json.dumps(payload)
+    digest = hashlib.sha256(",".join(tags.keys()).encode())
+    token = hashlib.sha256(str({1, 2, 3}).encode())
+    return blob, digest.hexdigest(), token.hexdigest()

@@ -1,0 +1,12 @@
+"""Known-clean REP004 twin: canonical JSON, sorted digest input."""
+
+import hashlib
+import json
+
+
+def fingerprint(payload, tags):
+    blob = json.dumps(payload, sort_keys=True)
+    digest = hashlib.sha256(
+        ",".join(sorted(tags.keys())).encode())
+    width = len(payload.keys())
+    return blob, digest.hexdigest(), width

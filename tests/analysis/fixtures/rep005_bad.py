@@ -1,0 +1,6 @@
+"""Known-bad REP005 corpus: bare float equality in assertions."""
+
+
+def check(report):
+    assert report.ratio == 0.42
+    assert report.error != 1.5

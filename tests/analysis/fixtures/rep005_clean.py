@@ -1,0 +1,9 @@
+"""Known-clean REP005 twin: integral floats and tolerances only."""
+
+import math
+
+
+def check(report):
+    assert report.count == 3
+    assert report.scale == 2.0
+    assert math.isclose(report.ratio, 0.42, rel_tol=1e-9)

@@ -1,0 +1,16 @@
+"""Known-bad REP006 corpus: mutation outside the owning lock."""
+
+import threading
+
+
+class Book:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = []
+
+    def record(self, item):
+        with self._lock:
+            self._entries.append(item)
+
+    def reset(self):
+        self._entries.clear()

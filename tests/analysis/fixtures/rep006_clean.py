@@ -1,0 +1,17 @@
+"""Known-clean REP006 twin: every mutation holds the lock."""
+
+import threading
+
+
+class Book:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = []
+
+    def record(self, item):
+        with self._lock:
+            self._entries.append(item)
+
+    def reset(self):
+        with self._lock:
+            self._entries.clear()

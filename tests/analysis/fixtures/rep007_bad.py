@@ -1,0 +1,23 @@
+"""Known-bad REP007 corpus: reader keys drifting from contract.
+
+The test binds ``payload`` to the key universe {schema, target,
+profile} and ``MSG_`` to the registry {MSG_PING, MSG_STOP}.
+"""
+
+MSG_PING = 1
+MSG_DRIFT = 99
+
+
+def load(payload):
+    target = payload["target"]
+    extra = payload["tarmac"]
+    profile = payload.get("profle")
+    return target, extra, profile
+
+
+def dispatch(code):
+    if code == MSG_PING:
+        return "ping"
+    if code == MSG_DRIFT:
+        return "drift"
+    return None

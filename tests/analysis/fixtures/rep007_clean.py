@@ -1,0 +1,18 @@
+"""Known-clean REP007 twin: keys and codes match the contract."""
+
+MSG_PING = 1
+MSG_STOP = 2
+
+
+def load(payload):
+    target = payload["target"]
+    profile = payload.get("profile")
+    return target, profile
+
+
+def dispatch(code):
+    if code == MSG_PING:
+        return "ping"
+    if code == MSG_STOP:
+        return "stop"
+    return None

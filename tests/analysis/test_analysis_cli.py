@@ -1,0 +1,87 @@
+"""CLI behavior of ``python -m repro.analysis`` and the self-hosted
+gate over the real tree."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import BASELINE_SCHEMA
+from repro.analysis.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _tree(tmp_path, monkeypatch, source):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "mod.py").write_text(source)
+
+
+class TestGate:
+    def test_clean_tree_exits_zero(self, tmp_path, monkeypatch,
+                                   capsys):
+        _tree(tmp_path, monkeypatch, "x = 1\n")
+        assert main(["--check", "src"]) == 0
+        assert "0 new" in capsys.readouterr().err
+
+    def test_new_finding_fails_check(self, tmp_path, monkeypatch,
+                                     capsys):
+        _tree(tmp_path, monkeypatch, "x = hash('x')\n")
+        assert main(["--check", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "src/mod.py:1: REP002" in out
+
+    def test_without_check_reports_but_exits_zero(
+            self, tmp_path, monkeypatch):
+        _tree(tmp_path, monkeypatch, "x = hash('x')\n")
+        assert main(["src"]) == 0
+
+    def test_baselined_finding_passes_then_stale(
+            self, tmp_path, monkeypatch, capsys):
+        _tree(tmp_path, monkeypatch, "x = hash('x')\n")
+        assert main(["--update-baseline", "src"]) == 0
+        payload = json.loads(Path(
+            ".repro-analysis-baseline.json").read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        assert payload["findings"] == [
+            {"path": "src/mod.py", "rule": "REP002", "line": 1}]
+        assert main(["--check", "src"]) == 0
+
+        # the violation gets fixed: entry goes stale, gate stays 0
+        (tmp_path / "src" / "mod.py").write_text("x = 1\n")
+        capsys.readouterr()
+        assert main(["--check", "src"]) == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+
+        # shrinking the baseline is explicit
+        assert main(["--update-baseline", "src"]) == 0
+        payload = json.loads(Path(
+            ".repro-analysis-baseline.json").read_text())
+        assert payload["findings"] == []
+
+    def test_custom_baseline_path(self, tmp_path, monkeypatch):
+        _tree(tmp_path, monkeypatch, "x = hash('x')\n")
+        assert main(["--update-baseline", "--baseline", "b.json",
+                     "src"]) == 0
+        assert Path("b.json").exists()
+        assert main(["--check", "--baseline", "b.json", "src"]) == 0
+
+
+def test_list_rules_covers_the_catalogue(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REP000", "REP001", "REP002", "REP003",
+                    "REP004", "REP005", "REP006", "REP007"):
+        assert rule_id in out
+
+
+def test_self_hosted_gate_is_green(monkeypatch, capsys):
+    """The shipped tree passes its own linter with a zero delta —
+    the exact command CI runs."""
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["--check", "src", "tests", "examples",
+                 "benchmarks"]) == 0
+    err = capsys.readouterr().err
+    assert "0 new" in err
+    assert "0 stale" in err

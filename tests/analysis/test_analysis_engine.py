@@ -1,0 +1,121 @@
+"""Engine mechanics: walking, pragma filtering, and the baseline
+add/remove lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Finding, LintConfig, baseline_delta, \
+    iter_python_files, lint_file, load_baseline, write_baseline
+
+
+def _write(tmp_path, name, source):
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+class TestLintFile:
+    def test_clean_file_has_no_findings(self, tmp_path):
+        target = _write(tmp_path, "ok.py", "x = 1\n")
+        assert lint_file(target, relpath="ok.py") == []
+
+    def test_findings_are_sorted_and_deduplicated(self, tmp_path):
+        target = _write(
+            tmp_path, "two.py",
+            "b = hash('b')\na = hash('a') + hash('a')\n")
+        findings = lint_file(target, relpath="two.py")
+        assert [(f.line, f.rule) for f in findings] \
+            == [(1, "REP002"), (2, "REP002")]
+
+    def test_pragma_on_preceding_line_suppresses(self, tmp_path):
+        target = _write(
+            tmp_path, "covered.py",
+            "# repro: allow[REP002] -- exercised on purpose\n"
+            "a = hash('a')\n")
+        assert lint_file(target, relpath="covered.py") == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self, tmp_path):
+        target = _write(
+            tmp_path, "wrong.py",
+            "a = hash('a')  # repro: allow[REP001] -- wrong rule\n")
+        findings = lint_file(target, relpath="wrong.py")
+        assert [f.rule for f in findings] == ["REP002"]
+
+    def test_malformed_pragma_is_rep000(self, tmp_path):
+        target = _write(
+            tmp_path, "typo.py",
+            "a = 1  # repro: allow[REP002]\n")
+        findings = lint_file(target, relpath="typo.py")
+        assert [f.rule for f in findings] == ["REP000"]
+        assert "reason" in findings[0].message
+
+    def test_unparseable_file_is_rep000(self, tmp_path):
+        target = _write(tmp_path, "broken.py", "def oops(:\n")
+        findings = lint_file(target, relpath="broken.py")
+        assert [f.rule for f in findings] == ["REP000"]
+        assert "parse" in findings[0].message
+
+
+class TestWalk:
+    def test_skips_fixture_and_cache_dirs(self, tmp_path):
+        _write(tmp_path, "pkg/mod.py", "x = 1\n")
+        _write(tmp_path, "pkg/fixtures/bad.py", "x = hash(1)\n")
+        _write(tmp_path, "pkg/__pycache__/mod.py", "x = 1\n")
+        files = list(iter_python_files([tmp_path], LintConfig()))
+        assert [f.name for f in files] == ["mod.py"]
+        assert "fixtures" not in {p.parent.name for p in files}
+
+    def test_explicit_file_always_linted(self, tmp_path):
+        bad = _write(tmp_path, "fixtures/bad.py", "x = 1\n")
+        files = list(iter_python_files([bad], LintConfig()))
+        assert files == [bad]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files(["no/such/dir"], LintConfig()))
+
+
+class TestBaselineLifecycle:
+    F1 = Finding("a.py", 3, "REP002", "msg")
+    F2 = Finding("b.py", 7, "REP005", "msg")
+
+    def test_round_trip_and_delta_empty(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self.F1, self.F2])
+        baseline = load_baseline(path)
+        new, stale = baseline_delta([self.F1, self.F2], baseline)
+        assert new == [] and stale == []
+
+    def test_new_finding_is_new_not_baselined(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self.F1])
+        new, stale = baseline_delta(
+            [self.F1, self.F2], load_baseline(path))
+        assert new == [self.F2]
+        assert stale == []
+
+    def test_fixed_finding_goes_stale(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self.F1, self.F2])
+        new, stale = baseline_delta([self.F2], load_baseline(path))
+        assert new == []
+        assert stale == [("a.py", "REP002", 3)]
+
+    def test_reworded_message_does_not_churn(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [self.F1])
+        reworded = Finding("a.py", 3, "REP002", "new wording")
+        new, stale = baseline_delta([reworded], load_baseline(path))
+        assert new == [] and stale == []
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"schema": "something/else", '
+                        '"findings": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)

@@ -1,0 +1,102 @@
+"""Pragma parsing: the escape hatch must round-trip and must never
+silently swallow a typo."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import Pragma, collect_pragmas, format_pragma, \
+    parse_pragma
+
+RULE_IDS = st.integers(min_value=0, max_value=999).map(
+    lambda n: f"REP{n:03d}")
+REASONS = st.text(min_size=1).filter(lambda s: s.split())
+
+
+class TestParse:
+    def test_trailing_pragma(self):
+        parsed = parse_pragma(
+            "x = time.time()  # repro: allow[REP003] -- demo clock")
+        assert isinstance(parsed, Pragma)
+        assert parsed.rules == frozenset({"REP003"})
+        assert parsed.reason == "demo clock"
+
+    def test_multiple_rules(self):
+        parsed = parse_pragma(
+            "# repro: allow[REP001,REP002] -- fixture needs both")
+        assert parsed.rules == frozenset({"REP001", "REP002"})
+        assert parsed.allows("REP001")
+        assert not parsed.allows("REP003")
+
+    def test_non_pragma_comment_is_none(self):
+        assert parse_pragma("# plain comment") is None
+        assert parse_pragma("x = 1") is None
+
+    @pytest.mark.parametrize("line", [
+        "# repro: allow[REP001]",          # missing reason
+        "# repro: allow[] -- reason",      # empty rule list
+        "# repro: allow[REPX] -- reason",  # bad rule id
+        "# repro: allwo[REP001] -- r",     # typo'd directive
+        "# repro: disable REP001",         # unknown directive
+    ])
+    def test_malformed_pragma_is_an_error_string(self, line):
+        parsed = parse_pragma(line)
+        assert isinstance(parsed, str), line
+
+
+class TestFormat:
+    def test_canonical_rendering(self):
+        assert format_pragma(["REP002", "REP001"], "  two\nrules ") \
+            == "# repro: allow[REP001,REP002] -- two rules"
+
+    def test_rejects_bad_rule_id(self):
+        with pytest.raises(ValueError, match="rule id"):
+            format_pragma(["nope"], "reason")
+
+    def test_rejects_empty_reason(self):
+        with pytest.raises(ValueError, match="reason"):
+            format_pragma(["REP001"], "   ")
+
+
+@given(rules=st.lists(RULE_IDS, min_size=1, max_size=8),
+       reason=REASONS)
+def test_format_parse_round_trip(rules, reason):
+    """format_pragma output always parses back to the same pragma."""
+    line = format_pragma(rules, reason)
+    parsed = parse_pragma(line)
+    assert isinstance(parsed, Pragma), line
+    assert parsed.rules == frozenset(rules)
+    assert parsed.reason == " ".join(reason.split())
+    # ...whether trailing code or on a comment-only line:
+    trailing = parse_pragma(f"value = compute()  {line}")
+    assert trailing == parsed
+
+
+class TestCollect:
+    def test_trailing_covers_own_line_comment_covers_next(self):
+        source = (
+            "x = 1  # repro: allow[REP001] -- trailing\n"
+            "# repro: allow[REP002] -- standalone\n"
+            "y = 2\n")
+        covers, malformed = collect_pragmas(source)
+        assert malformed == []
+        assert covers[1].rules == frozenset({"REP001"})
+        assert covers[3].rules == frozenset({"REP002"})
+        assert 2 not in covers
+
+    def test_docstring_mention_is_not_a_pragma(self):
+        source = (
+            '"""Docs show `# repro: allow[REP001] -- why`."""\n'
+            "s = '# repro: allow[broken'\n")
+        covers, malformed = collect_pragmas(source)
+        assert covers == {}
+        assert malformed == []
+
+    def test_malformed_comment_is_reported_with_its_line(self):
+        source = "z = 3\nq = 4  # repro: allow[REP001]\n"
+        covers, malformed = collect_pragmas(source)
+        assert covers == {}
+        assert [line for line, _ in malformed] == [2]
+        assert "reason" in malformed[0][1]

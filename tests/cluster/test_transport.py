@@ -25,14 +25,13 @@ from repro.cluster.transport import (
     encode_build_spec,
     spawn_context,
 )
-from repro.data.keyset import Domain
 from repro.workload import TraceSpec, generate_trace, make_backend
 from repro.workload.columnar import (
     WIRE_VERSION,
     decode_event_batch,
     encode_event_batch,
 )
-from repro.workload.trace import OP_INSERT, OP_QUERY
+from repro.workload.trace import OP_QUERY
 
 KEYS = np.arange(10, 810, 2, dtype=np.int64)
 

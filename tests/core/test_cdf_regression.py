@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import LinearModel, fit_cdf_regression, mse_of
-from repro.data import Domain, KeySet
+from repro.data import KeySet
 
 
 class TestLinearModel:

@@ -11,7 +11,7 @@ from repro.core.single_point import (
     _interior_endpoints_raw,
     _poisoning_losses_raw,
 )
-from repro.data import Domain, KeySet, uniform_keyset
+from repro.data import Domain, uniform_keyset
 
 
 class TestWorkspaceBasics:

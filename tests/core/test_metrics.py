@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import BoxplotSummary, ratio_loss, summarize
+from repro.core import ratio_loss, summarize
 
 
 class TestRatioLoss:

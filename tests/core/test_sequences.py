@@ -1,7 +1,6 @@
 """Unit tests for gap structure and discrete derivatives."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

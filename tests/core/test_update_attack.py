@@ -1,10 +1,9 @@
 """Tests for poisoning through the update channel (Sec. VI extension)."""
 
-import numpy as np
 import pytest
 
-from repro.core import greedy_poison, poison_via_updates
-from repro.data import Domain, KeySet, uniform_keyset
+from repro.core import poison_via_updates
+from repro.data import Domain, uniform_keyset
 from repro.index import DynamicLearnedIndex
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import greedy_poison
-from repro.data import Domain, KeySet, uniform_keyset
+from repro.data import Domain, uniform_keyset
 from repro.defense import trim_cdf, trim_regression
 
 

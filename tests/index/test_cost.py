@@ -1,6 +1,5 @@
 """Unit tests for the lookup-cost comparison harness."""
 
-import numpy as np
 import pytest
 
 from repro.core import greedy_poison

@@ -1,6 +1,5 @@
 """Unit tests for the storage accounting module."""
 
-import numpy as np
 import pytest
 
 from repro.data import Domain, uniform_keyset

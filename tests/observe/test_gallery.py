@@ -121,10 +121,22 @@ class TestGalleryContents:
     def test_unknown_target_renders_nothing(self, tmp_path):
         target_dir = tmp_path / "fig5"
         target_dir.mkdir()
-        io.save_json({"target": "fig5", "artifacts": []},
+        io.save_json({"schema": "repro.experiments.result/v2",
+                      "target": "fig5", "profile": "quick",
+                      "jobs": 1, "executor": "process",
+                      "result": {}, "artifacts": []},
                      target_dir / "result.json")
         assert gallery.render_result_gallery(target_dir) == []
         assert not (target_dir / "figures").exists()
+
+    def test_contract_violation_is_a_named_error(self, tmp_path):
+        from repro.contracts import ContractViolation
+        target_dir = tmp_path / "fig5"
+        target_dir.mkdir()
+        io.save_json({"target": "fig5", "artifacts": []},
+                     target_dir / "result.json")
+        with pytest.raises(ContractViolation, match="schema"):
+            gallery.render_result_gallery(target_dir)
 
     def test_render_out_tree_walks_every_target(self, tmp_path):
         _write_target(tmp_path, "closedloop",

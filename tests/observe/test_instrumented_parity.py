@@ -10,7 +10,6 @@ and keep passing).
 """
 
 import numpy as np
-import pytest
 
 from repro import observe
 from repro.cluster import ClusterRouter, ClusterSimulator, ShardMap

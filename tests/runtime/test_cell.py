@@ -12,6 +12,7 @@ class TestCanonicalisation:
         b = Cell.make("exp", n_keys=100, alpha=2.0)
         assert a == b
         assert a.digest == b.digest
+        # repro: allow[REP002] -- contrasts builtin hash with stable_text_hash on purpose
         assert hash(a) == hash(b)
 
     def test_numpy_scalars_coerced(self):

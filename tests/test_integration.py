@@ -1,7 +1,6 @@
 """Cross-module integration tests: the full attack-to-impact pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     RMIAttackerCapability,

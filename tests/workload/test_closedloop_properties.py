@@ -23,6 +23,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.data.keyset import Domain
 from repro.workload import (
     ADVERSARIES,
     ARRIVALS,
@@ -31,7 +32,6 @@ from repro.workload import (
     make_adversary,
     make_arrival,
 )
-from repro.data.keyset import Domain
 
 DOMAIN = Domain.of_size(5_000)
 BASE = np.arange(10, 5_000, 9, dtype=np.int64)
