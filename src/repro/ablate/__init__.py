@@ -1,0 +1,78 @@
+"""repro.ablate — leave-one-out defense-ablation grids.
+
+Which defense layer is actually load-bearing?  The repo grew a stack
+of them — TRIM screening, the quarantine side list, retrain deferral,
+SLO-weighted per-shard tuning, the rebalancer, migration
+re-screening, and (over replication) quorum reads with divergence
+detection — and every committed experiment runs them together.  This
+package measures each layer's marginal value the standard ML-paper
+way: run the all-on baseline, remove exactly one component at a
+time, run the all-off floor, and rank the components by how much
+victim damage their removal re-admits.
+
+* :mod:`~repro.ablate.components` — the declarative registry of
+  toggleable components and their per-scenario applicability;
+* :mod:`~repro.ablate.plan` — the engine-backed leave-one-out grid
+  (baseline / one-offs / floor) over the committed drip and cluster
+  scenarios;
+* :mod:`~repro.ablate.importance` — metric deltas, harmful flags,
+  and the deterministic importance ranking.
+
+CLI: ``python -m repro.experiments ablate --quick``.
+"""
+
+from .components import (
+    COMPONENT_NAMES,
+    COMPONENTS,
+    SCENARIOS,
+    ComponentSpec,
+    applicable_components,
+    component,
+)
+from .importance import (
+    HARM_TOLERANCE,
+    AblationReport,
+    ComponentImportance,
+    MetricSummary,
+    build_report,
+    format_reports,
+    rank_components,
+    to_section,
+)
+from .plan import (
+    AblateConfig,
+    AblateResult,
+    AblateRow,
+    full_config,
+    plan_cells,
+    quick_config,
+    run,
+    run_ablate_cell,
+    variant_names,
+)
+
+__all__ = [
+    "AblateConfig",
+    "AblateResult",
+    "AblateRow",
+    "AblationReport",
+    "COMPONENTS",
+    "COMPONENT_NAMES",
+    "ComponentImportance",
+    "ComponentSpec",
+    "HARM_TOLERANCE",
+    "MetricSummary",
+    "SCENARIOS",
+    "applicable_components",
+    "build_report",
+    "component",
+    "format_reports",
+    "full_config",
+    "plan_cells",
+    "quick_config",
+    "rank_components",
+    "run",
+    "run_ablate_cell",
+    "to_section",
+    "variant_names",
+]

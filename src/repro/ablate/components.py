@@ -1,0 +1,175 @@
+"""The declarative registry of toggleable defense components.
+
+Every defense the repo composed across PRs 4-8 is named here once,
+with the scenarios it applies to and (for the replication layer) the
+transport it requires.  The leave-one-out plan builder in
+:mod:`repro.ablate.plan` consumes nothing but this registry: adding a
+new defense row makes it an ablation axis automatically, which is the
+whole point of the subsystem — every future scenario answers "which
+defense matters here" without hand-built grids.
+
+Each :class:`ComponentSpec` maps onto an existing config seam; no
+component introduces new behaviour, only the ability to *remove* one
+layer while the rest of the stack stays exactly as the baseline runs
+it:
+
+========================  ============================================
+component                 seam it toggles
+========================  ============================================
+``trim``                  TRIM keep-fraction screening
+                          (:class:`~repro.workload.closedloop.TrimAutoTuner`
+                          keep rule; ``SloWeightedDefense(trim=...)``)
+``quarantine``            the quarantine side list
+                          (``quarantine_rejects`` on the backends and
+                          :class:`~repro.index.dynamic.DynamicLearnedIndex`)
+``deferral``              rebuild-threshold deferral (the tuner's
+                          churn-burst boost; ``SloWeightedDefense
+                          (deferral=...)``)
+``slo_weighting``         SLO-pressure weighting of per-shard tuning
+                          (``SloWeightedDefense(slo_weighting=...)``)
+``rebalancer``            split/merge topology management
+                          (:class:`~repro.cluster.rebalance.Rebalancer`)
+``migration_rescreen``    migration rebuilds re-screen their training
+                          set (``ClusterRouter(migration_rescreen=...)``
+                          / ``sanitize_initial``)
+``quorum``                quorum reads + divergence detection
+                          (:class:`~repro.cluster.replication.TransportClusterRouter`
+                          ``read_mode``/``detect_divergence``)
+========================  ============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "COMPONENTS",
+    "COMPONENT_NAMES",
+    "ComponentSpec",
+    "SCENARIOS",
+    "applicable_components",
+    "component",
+]
+
+#: The scenarios the grid knows: the closed-loop drip-escalation duel
+#: and the sharded multi-tenant victim scenario.
+SCENARIOS = ("drip", "cluster")
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One toggleable defense layer.
+
+    ``scenarios`` lists where the component exists at all;
+    ``min_replicas`` > 1 marks a replication-layer component that is
+    only meaningful when the cluster scenario runs over the process
+    transport with at least that many replicas per shard.
+    """
+
+    name: str
+    title: str
+    scenarios: tuple[str, ...]
+    description: str
+    min_replicas: int = 1
+
+    def applicable(self, scenario: str, transport: str = "inproc",
+                   replicas: int = 1) -> bool:
+        """Whether this component is a live axis of ``scenario``."""
+        if scenario not in self.scenarios:
+            return False
+        if self.min_replicas > 1:
+            return (transport == "process"
+                    and replicas >= self.min_replicas)
+        return True
+
+    def requires(self) -> str:
+        """Human-readable applicability tag for the registry table."""
+        if self.min_replicas > 1:
+            return (f"--transport process "
+                    f"--replicas>={self.min_replicas}")
+        return "-"
+
+
+COMPONENTS: tuple[ComponentSpec, ...] = (
+    ComponentSpec(
+        name="trim",
+        title="TRIM screen",
+        scenarios=("drip", "cluster"),
+        description="keep-fraction screening of every retrain's "
+                    "training set"),
+    ComponentSpec(
+        name="quarantine",
+        title="quarantine side list",
+        scenarios=("drip", "cluster"),
+        description="TRIM rejects served from a binary-searched side "
+                    "list instead of being dropped"),
+    ComponentSpec(
+        name="deferral",
+        title="rebuild-threshold deferral",
+        scenarios=("drip", "cluster"),
+        description="churn-burst retrain deferral via the tuner's "
+                    "threshold boost"),
+    ComponentSpec(
+        name="slo_weighting",
+        title="SLO-weighted defense",
+        scenarios=("cluster",),
+        description="per-shard tuning pressure from tenant SLO "
+                    "ratios"),
+    ComponentSpec(
+        name="rebalancer",
+        title="rebalancer",
+        scenarios=("cluster",),
+        description="hot-shard split / cold-pair merge topology "
+                    "management"),
+    ComponentSpec(
+        name="migration_rescreen",
+        title="migration re-screening",
+        scenarios=("cluster",),
+        description="migration rebuilds re-screen their training set "
+                    "(sanitize_initial)"),
+    ComponentSpec(
+        name="quorum",
+        title="quorum reads + divergence detector",
+        scenarios=("cluster",),
+        description="replica quorum reads with error-bound "
+                    "divergence detection",
+        min_replicas=3),
+)
+
+COMPONENT_NAMES: tuple[str, ...] = tuple(
+    spec.name for spec in COMPONENTS)
+
+if len(set(COMPONENT_NAMES)) != len(COMPONENT_NAMES):
+    raise AssertionError("component names must be unique")
+
+
+def component(name: str) -> ComponentSpec:
+    """Look up one registered component by name."""
+    for spec in COMPONENTS:
+        if spec.name == name:
+            return spec
+    raise ValueError(
+        f"unknown defense component {name!r}; known: "
+        f"{list(COMPONENT_NAMES)}")
+
+
+def applicable_components(scenario: str, transport: str = "inproc",
+                          replicas: int = 1,
+                          components: "tuple[str, ...] | None" = None,
+                          ) -> tuple[ComponentSpec, ...]:
+    """The registry rows live in ``scenario``, in registry order.
+
+    ``components`` optionally restricts the result to a named subset
+    (the ``--components`` CLI filter); unknown names raise through
+    :func:`component` so a typo fails before any cell runs.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; known: {list(SCENARIOS)}")
+    if components is not None:
+        for name in components:
+            component(name)  # raises on unknown names
+    return tuple(
+        spec for spec in COMPONENTS
+        if spec.applicable(scenario, transport, replicas)
+        and (components is None or spec.name in components))

@@ -1,0 +1,242 @@
+"""Leave-one-out importance: metric deltas, ranks, harmful flags.
+
+The grid in :mod:`repro.ablate.plan` runs an all-on **baseline**, one
+**one-off** cell per applicable component, and an all-off **floor**.
+This module turns those observed metrics into the ranked
+per-component report:
+
+* a component's **score** is the victim-amplification delta its
+  removal causes (``one_off - baseline``): how much attack damage
+  the component was absorbing.  Positive = protective, the larger
+  the more load-bearing;
+* ``p95_delta`` and ``slo_delta`` are the same removal deltas on the
+  victim-facing p95 probe count and the SLO-violation fraction
+  (NaN where a scenario has no SLO notion, e.g. the single-tenant
+  drip loop);
+* a component is flagged **harmful** when removing it *improved*
+  amplification by more than :data:`HARM_TOLERANCE` — the screen
+  that quarantines more legitimate neighbours than poison;
+* the **rank** is deterministic: descending score, then descending
+  p95 delta, then component name — so equal measurements always
+  report in the same order.
+
+Everything here is pure arithmetic over floats the cells already
+emitted; no cell re-runs, no randomness, no clocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..experiments.report import (
+    DuelRow,
+    format_ratio,
+    render_duel,
+    render_table,
+    section,
+)
+from ..io import json_float
+
+__all__ = [
+    "HARM_TOLERANCE",
+    "AblationReport",
+    "ComponentImportance",
+    "MetricSummary",
+    "build_report",
+    "format_reports",
+    "rank_components",
+    "to_section",
+]
+
+#: Amplification improvement a removal must show before the removed
+#: component is flagged harmful.  Deterministic replays make the
+#: deltas exact, but a literal-zero cutoff would let a measurement
+#: at the resolution floor flip the flag; half a percent of clean
+#: latency is the smallest effect worth reporting.
+HARM_TOLERANCE = 0.005
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """The victim-facing metrics of one grid cell."""
+
+    amplification: float
+    p95: float
+    slo_violations: float  # NaN where the scenario has no SLO
+
+    def to_metrics(self) -> dict:
+        """JSON-safe dict under the declared metric keys."""
+        metrics = {
+            "amplification": json_float(self.amplification),
+            "p95": json_float(self.p95),
+            "slo_violations": json_float(self.slo_violations),
+        }
+        return metrics
+
+
+@dataclass(frozen=True)
+class ComponentImportance:
+    """One component's leave-one-out deltas and rank."""
+
+    component: str
+    title: str
+    rank: int
+    score: float
+    amplification_delta: float
+    p95_delta: float
+    slo_delta: float
+    harmful: bool
+
+
+def _delta(one_off: float, baseline: float) -> float:
+    """Removal delta; NaN when either side is unobserved."""
+    if math.isnan(one_off) or math.isnan(baseline):
+        return float("nan")
+    return float(one_off) - float(baseline)
+
+
+def _rank_key(entry: ComponentImportance) -> tuple:
+    """Descending score, then descending p95 delta, then name.
+
+    NaN sorts like negative infinity in both numeric keys, so an
+    unobserved delta can never outrank a measured one and the order
+    stays total (deterministic tie-break on the component name).
+    """
+    score = entry.score if not math.isnan(entry.score) \
+        else float("-inf")
+    p95 = entry.p95_delta if not math.isnan(entry.p95_delta) \
+        else float("-inf")
+    return (-score, -p95, entry.component)
+
+
+def rank_components(entries: "list[ComponentImportance]",
+                    ) -> tuple[ComponentImportance, ...]:
+    """Assign 1-based ranks in the deterministic report order."""
+    ordered = sorted(entries, key=_rank_key)
+    return tuple(
+        ComponentImportance(
+            component=e.component, title=e.title, rank=i + 1,
+            score=e.score, amplification_delta=e.amplification_delta,
+            p95_delta=e.p95_delta, slo_delta=e.slo_delta,
+            harmful=e.harmful)
+        for i, e in enumerate(ordered))
+
+
+def build_report(scenario: str, baseline: MetricSummary,
+                 floor: MetricSummary,
+                 one_offs: "list[tuple[str, str, MetricSummary]]",
+                 ) -> "AblationReport":
+    """Deltas + ranks from (name, title, metrics) one-off cells."""
+    entries = []
+    for name, title, metrics in one_offs:
+        score = _delta(metrics.amplification, baseline.amplification)
+        entries.append(ComponentImportance(
+            component=name, title=title, rank=0, score=score,
+            amplification_delta=score,
+            p95_delta=_delta(metrics.p95, baseline.p95),
+            slo_delta=_delta(metrics.slo_violations,
+                             baseline.slo_violations),
+            harmful=(not math.isnan(score)
+                     and score < -HARM_TOLERANCE)))
+    return AblationReport(scenario=scenario, baseline=baseline,
+                          floor=floor,
+                          components=rank_components(entries))
+
+
+@dataclass(frozen=True)
+class AblationReport:
+    """One scenario's ranked leave-one-out result."""
+
+    scenario: str
+    baseline: MetricSummary
+    floor: MetricSummary
+    components: tuple[ComponentImportance, ...]
+
+    def component(self, name: str) -> ComponentImportance:
+        """The named component's entry (KeyError when absent)."""
+        for entry in self.components:
+            if entry.component == name:
+                return entry
+        raise KeyError(
+            f"component {name!r} not in the {self.scenario} report")
+
+    def stack_protects(self) -> float:
+        """Floor-minus-baseline amplification: what all-on buys."""
+        return _delta(self.floor.amplification,
+                      self.baseline.amplification)
+
+    def duel_rows(self) -> list[DuelRow]:
+        """One duel row per component: removal damage vs baseline."""
+        return [DuelRow(group=(self.scenario, entry.component),
+                        gap=entry.score, recovered=None)
+                for entry in self.components]
+
+    def format(self) -> str:
+        """The ranked importance table of this scenario."""
+        title = (f"defense ablation: {self.scenario} scenario "
+                 f"(baseline amp "
+                 f"{format_ratio(self.baseline.amplification)}, "
+                 f"floor amp "
+                 f"{format_ratio(self.floor.amplification)})")
+        body = []
+        for entry in self.components:
+            slo = ("-" if math.isnan(entry.slo_delta)
+                   else f"{entry.slo_delta:+.0%}")
+            body.append([
+                entry.rank, entry.component,
+                f"{entry.score:+.3f}",
+                f"{entry.p95_delta:+.1f}", slo,
+                ("harmful" if entry.harmful else "-")])
+        table = render_table(
+            ["rank", "component", "amp delta", "p95 delta",
+             "slo delta", "flag"], body)
+        return f"{section(title)}\n{table}"
+
+
+def format_reports(reports: "list[AblationReport]") -> str:
+    """All scenarios' tables plus the shared duel rendering."""
+    blocks = [report.format() for report in reports]
+    duel_rows = [row for report in reports
+                 for row in report.duel_rows()]
+    duel = render_duel(
+        "duel: component removed vs all-on baseline "
+        "(victim amplification delta)",
+        ["scenario", "component"], duel_rows,
+        gap_header="removal cost")
+    if duel:
+        blocks.append(duel)
+    return "\n\n".join(blocks)
+
+
+def to_section(reports: "list[AblationReport]") -> dict:
+    """The ``ablation`` result section, under the declared keys.
+
+    The key sets are declared in :mod:`repro.contracts`
+    (``ABLATION_*``) and cross-checked by the REP007 linter rule on
+    this writer and on the gallery reader.
+    """
+    scenarios = []
+    for report in reports:
+        rows = []
+        for entry in report.components:
+            row = {
+                "component": entry.component,
+                "rank": entry.rank,
+                "score": json_float(entry.score),
+                "amplification_delta": json_float(
+                    entry.amplification_delta),
+                "p95_delta": json_float(entry.p95_delta),
+                "slo_delta": json_float(entry.slo_delta),
+                "harmful": entry.harmful,
+            }
+            rows.append(row)
+        block = {
+            "scenario": report.scenario,
+            "baseline": report.baseline.to_metrics(),
+            "floor": report.floor.to_metrics(),
+            "components": rows,
+        }
+        scenarios.append(block)
+    ablation = {"scenarios": scenarios}
+    return ablation

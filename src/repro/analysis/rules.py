@@ -476,14 +476,34 @@ def default_bindings() -> tuple:
     artifact_keys = frozenset(contracts.ARTIFACT_KEYS)
     request_names = frozenset(contracts.REQUEST_CODES)
     reply_names = frozenset(contracts.REPLY_CODES)
+    ablation_keys = frozenset(contracts.ABLATION_KEYS)
+    scenario_keys = frozenset(contracts.ABLATION_SCENARIO_KEYS)
+    metric_keys = frozenset(contracts.ABLATION_METRIC_KEYS)
+    component_keys = frozenset(contracts.ABLATION_COMPONENT_KEYS)
     return (
         ("src/repro/observe/gallery.py", (
             KeyBinding("payload", result_keys, "result/v2"),
             KeyBinding("entry", artifact_keys,
                        "result/v2 artifacts"),
+            KeyBinding("ablation", ablation_keys,
+                       "result ablation section"),
+            KeyBinding("scenario_entry", scenario_keys,
+                       "ablation scenario entry"),
+            KeyBinding("component_entry", component_keys,
+                       "ablation component entry"),
         )),
         ("src/repro/experiments/__main__.py", (
             KeyBinding("document", result_keys, "result/v2"),
+        )),
+        ("src/repro/ablate/importance.py", (
+            KeyBinding("ablation", ablation_keys,
+                       "result ablation section"),
+            KeyBinding("block", scenario_keys,
+                       "ablation scenario entry"),
+            KeyBinding("metrics", metric_keys,
+                       "ablation metric summary"),
+            KeyBinding("row", component_keys,
+                       "ablation component entry"),
         )),
         ("src/repro/cluster/transport.py", (
             DispatchBinding("MSG_", request_names,

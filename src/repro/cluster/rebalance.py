@@ -194,6 +194,9 @@ class SloWeightedDefense:
                  keep_floor: float = 0.7,
                  deferral_threshold: float = 0.5,
                  amp_slo: float = 1.1,
+                 trim: bool = True,
+                 deferral: bool = True,
+                 slo_weighting: bool = True,
                  **tuner_kwargs):
         slos = np.asarray(tenant_slos, dtype=np.float64)
         if slos.size == 0 or (slos <= 0).any():
@@ -218,6 +221,17 @@ class SloWeightedDefense:
         self._keep_floor = float(keep_floor)
         self._deferral_threshold = float(deferral_threshold)
         self._amp_slo = float(amp_slo)
+        # Ablation seams, all armed by default.  ``trim`` off forces
+        # keep=None (screen disarmed everywhere); ``deferral`` off
+        # pins the per-shard tuner's threshold boost to 1x and skips
+        # the pressure-driven deferral raise; ``slo_weighting`` off
+        # skips the whole pressure block, leaving each shard with its
+        # neutral tuner decision.
+        self._trim = bool(trim)
+        self._deferral = bool(deferral)
+        self._slo_weighting = bool(slo_weighting)
+        if not self._deferral:
+            tuner_kwargs.setdefault("boost", 1.0)
         self._tuner_kwargs = dict(tuner_kwargs,
                                   base_threshold=base_threshold)
         self._tuners: dict[int, TrimAutoTuner] = {}
@@ -280,8 +294,10 @@ class SloWeightedDefense:
         of SLO weighting.
         """
         decision = self._tuner_for(shard, n_shards)(observation)
-        keep = decision.keep_fraction
+        keep = decision.keep_fraction if self._trim else None
         threshold = decision.rebuild_threshold
+        if not self._slo_weighting:
+            return keep, threshold
         pressure = self.pressure(tenant_p95, tenant_amplification,
                                  tenants_on_shard)
         if pressure > 1.0:
@@ -289,5 +305,6 @@ class SloWeightedDefense:
                 tightened = keep - self._pressure_gain * (pressure
                                                          - 1.0)
                 keep = max(self._keep_floor, min(keep, tightened))
-            threshold = max(threshold, self._deferral_threshold)
+            if self._deferral:
+                threshold = max(threshold, self._deferral_threshold)
         return keep, threshold

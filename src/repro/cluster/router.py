@@ -76,6 +76,7 @@ class ClusterRouter:
                  trim_keep_fraction: "float | None" = None,
                  fanout_jobs: int = 1,
                  fanout_executor: str = "thread",
+                 migration_rescreen: bool = True,
                  **build_args: Any):
         if fanout_jobs < 1:
             raise ValueError(
@@ -94,6 +95,12 @@ class ClusterRouter:
         self._keep_fraction = trim_keep_fraction
         self._fanout_jobs = int(fanout_jobs)
         self._fanout_executor = fanout_executor
+        # The ablation seam: with re-screening off, a backend built
+        # from migrated keys keeps its TRIM settings armed for future
+        # rebuilds but skips the immediate screening compaction, so
+        # the migrated training set is trusted as-is.  Default True —
+        # a rebalance must never silently launder quarantined poison.
+        self._migration_rescreen = bool(migration_rescreen)
         self._build_args = dict(build_args)
         self._metrics = None  # before _build_shard, which reads it
         keys = np.sort(np.asarray(keys, dtype=np.int64))
@@ -180,7 +187,8 @@ class ClusterRouter:
         # model.
         if keep is not None and keep < 1.0 and backend.supports_trim:
             backend.set_trim_keep_fraction(keep)
-            backend.rebuild()
+            if self._migration_rescreen:
+                backend.rebuild()
         if self._metrics is not None \
                 and hasattr(backend, "set_metrics"):
             backend.set_metrics(self._metrics)

@@ -30,6 +30,10 @@ from __future__ import annotations
 import struct
 
 __all__ = [
+    "ABLATION_COMPONENT_KEYS",
+    "ABLATION_KEYS",
+    "ABLATION_METRIC_KEYS",
+    "ABLATION_SCENARIO_KEYS",
     "ARTIFACT_KEYS",
     "ContractViolation",
     "FRAME",
@@ -56,6 +60,7 @@ __all__ = [
     "WIRE_HEADER",
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "validate_ablation_section",
     "validate_artifact_entry",
     "validate_result",
 ]
@@ -111,6 +116,75 @@ def validate_artifact_entry(entry: object,
     return entry
 
 
+# The ``ablation`` result section (the ``ablate`` target's summary).
+# Written by ``repro.ablate.importance.to_section``, read back by the
+# gallery's importance-bar renderer; REP007 cross-checks both ends.
+
+#: Keys of the ``ablation`` block inside a result payload.
+ABLATION_KEYS = ("scenarios",)
+
+#: Keys of one scenario entry under ``ablation.scenarios``.
+ABLATION_SCENARIO_KEYS = ("scenario", "baseline", "floor",
+                          "components")
+
+#: Keys of the metric summaries (``baseline`` / ``floor``).
+ABLATION_METRIC_KEYS = ("amplification", "p95", "slo_violations")
+
+#: Keys of one ranked component entry.
+ABLATION_COMPONENT_KEYS = ("component", "rank", "score",
+                           "amplification_delta", "p95_delta",
+                           "slo_delta", "harmful")
+
+
+def _check_keys(obj: object, keys: tuple[str, ...],
+                where: str) -> dict:
+    """Exact-key-set check shared by the ablation validators."""
+    if not isinstance(obj, dict):
+        raise ContractViolation(
+            f"{where}: expected an object, got "
+            f"{type(obj).__name__}")
+    missing = [k for k in keys if k not in obj]
+    unknown = [k for k in obj if k not in keys]
+    if missing or unknown:
+        raise ContractViolation(
+            f"{where}: missing keys {missing}, unknown keys "
+            f"{unknown}; declared keys are {list(keys)}")
+    return obj
+
+
+def validate_ablation_section(block: object,
+                              where: str = "ablation") -> dict:
+    """Check an ``ablation`` result section; return it or raise.
+
+    Walks the whole tree — scenario entries, their metric summaries,
+    and every ranked component row — so a drifted key anywhere in the
+    section fails at write/load time, not at the first reader that
+    happens to touch it.
+    """
+    _check_keys(block, ABLATION_KEYS, where)
+    scenarios = block["scenarios"]
+    if not isinstance(scenarios, list):
+        raise ContractViolation(
+            f"{where}: 'scenarios' must be a list, got "
+            f"{type(scenarios).__name__}")
+    for i, scenario_entry in enumerate(scenarios):
+        at = f"{where}.scenarios[{i}]"
+        _check_keys(scenario_entry, ABLATION_SCENARIO_KEYS, at)
+        _check_keys(scenario_entry["baseline"], ABLATION_METRIC_KEYS,
+                    f"{at}.baseline")
+        _check_keys(scenario_entry["floor"], ABLATION_METRIC_KEYS,
+                    f"{at}.floor")
+        rows = scenario_entry["components"]
+        if not isinstance(rows, list):
+            raise ContractViolation(
+                f"{at}: 'components' must be a list, got "
+                f"{type(rows).__name__}")
+        for j, component_entry in enumerate(rows):
+            _check_keys(component_entry, ABLATION_COMPONENT_KEYS,
+                        f"{at}.components[{j}]")
+    return block
+
+
 def validate_result(payload: object) -> dict:
     """Validate a result/v2 document tree; return it or raise.
 
@@ -144,6 +218,10 @@ def validate_result(payload: object) -> dict:
             f"{type(artifacts).__name__}")
     for i, entry in enumerate(artifacts):
         validate_artifact_entry(entry, where=f"artifacts[{i}]")
+    result = payload["result"]
+    if isinstance(result, dict) and "ablation" in result:
+        validate_ablation_section(result["ablation"],
+                                  where="result.ablation")
     return payload
 
 

@@ -4,7 +4,7 @@ Targets mirror the paper's figures and the ablations, plus the
 streaming serving grid:
 
     fig2 fig3 fig4 fig5 fig6 fig7 fig8
-    workload closedloop cluster
+    workload closedloop cluster ablate
     a1-bruteforce a2-trim a3-cost a4-alpha a5-allocation
     all
 
@@ -30,8 +30,15 @@ defense) — the concentrated-vs-uniform placement duel with per-cell
 ``.npz`` series including the per-tenant (``tenant_*``) and
 per-shard (``shard_*``) 2D channels.
 
+``ablate`` runs the leave-one-out defense-ablation grids: per
+scenario (the closed-loop drip duel and the sharded victim cluster)
+an all-on baseline, one cell per removed defense component, and an
+all-off floor, ranked into a per-component importance report
+(``--list-components`` prints the registry; ``--components``
+restricts the axes).
+
 Runtime flags (engine-backed targets: fig5, fig6, fig7, fig8,
-workload, closedloop, cluster, and every ablation a1-a11):
+workload, closedloop, cluster, ablate, and every ablation a1-a11):
 
 ``--jobs N``
     Fan the sweep's cells out over N workers.  Results are
@@ -108,7 +115,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable
 
-from .. import io, observe
+from .. import ablate, io, observe
 from ..contracts import RESULT_SCHEMA, validate_result
 from ..observe import gallery
 from ..runtime import EXECUTORS, CheckpointStore
@@ -141,6 +148,7 @@ class RunOptions:
     progress: bool = False
     transport: str = "inproc"
     replicas: int = 1
+    components: "tuple[str, ...] | None" = None
 
     def checkpoint_dir(self, target: str) -> Path | None:
         """Per-target checkpoint directory under ``--out`` (if any)."""
@@ -283,6 +291,35 @@ def _run_cluster(opts: RunOptions) -> TargetOutput:
         text = f"{text}\n\n{duel.format()}"
         payload["replication_duel"] = duel.to_dict()
     return text, payload, cluster_serving.plan_cells(config)
+
+
+def _run_ablate(opts: RunOptions) -> TargetOutput:
+    """The leave-one-out defense-ablation grid: an all-on baseline,
+    one cell per removed component, and an all-off floor per
+    scenario, ranked by how much victim damage each removal
+    re-admits.  ``--components`` restricts which one-off cells run;
+    ``--transport process --replicas >= 3`` adds the replication
+    layer (quorum + divergence detection) as an ablation axis."""
+    config = (ablate.full_config() if opts.profile == "full"
+              else ablate.quick_config())
+    config = replace(config, transport=opts.transport,
+                     replicas=opts.replicas,
+                     components=opts.components)
+    result = ablate.run(config, **opts.engine_kwargs("ablate"))
+    return (result.format(), result.to_dict(),
+            ablate.plan_cells(config))
+
+
+def _format_components() -> str:
+    """The ``--list-components`` registry table."""
+    from .report import render_table, section
+    body = [[spec.name, spec.title, ",".join(spec.scenarios),
+             spec.requires(), spec.description]
+            for spec in ablate.COMPONENTS]
+    table = render_table(
+        ["component", "title", "scenarios", "requires",
+         "description"], body)
+    return f"{section('ablatable defense components')}\n{table}"
 
 
 def _run_a1(opts: RunOptions) -> TargetOutput:
@@ -441,6 +478,7 @@ _TARGETS: dict[str, Target] = {
     "workload": _run_workload,
     "closedloop": _run_closedloop,
     "cluster": _run_cluster,
+    "ablate": _run_ablate,
     "a1-bruteforce": _run_a1,
     "a2-trim": _run_a2,
     "a3-cost": _run_a3,
@@ -558,9 +596,19 @@ def main(argv: list[str] | None = None) -> int:
                              "the versioned batch protocol (results "
                              "are identical)")
     parser.add_argument("--replicas", type=int, default=1, metavar="K",
-                        help="cluster target with --transport process: "
-                             "worker replicas per shard; >= 3 also "
-                             "runs the poisoned-replica duel")
+                        help="cluster/ablate targets with --transport "
+                             "process: worker replicas per shard; >= 3 "
+                             "also runs the poisoned-replica duel "
+                             "(cluster) or ablates the replication "
+                             "layer (ablate)")
+    parser.add_argument("--components", default=None, metavar="NAMES",
+                        help="ablate target: comma-separated defense "
+                             "components to ablate (default: every "
+                             "applicable component); see "
+                             "--list-components")
+    parser.add_argument("--list-components", action="store_true",
+                        help="ablate target: print the registry of "
+                             "ablatable defense components and exit")
     parser.add_argument("--instrument", action="store_true",
                         help="record counters/stage timings/trace "
                              "events while running and attach the "
@@ -580,10 +628,33 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--replicas > 1 requires --transport process")
     if args.out is not None and args.out.exists() and not args.out.is_dir():
         parser.error(f"--out {args.out} exists and is not a directory")
+    if args.list_components and args.target != "ablate":
+        parser.error("--list-components only applies to the ablate "
+                     "target")
+    components = None
+    if args.components is not None:
+        if args.target != "ablate":
+            parser.error("--components only applies to the ablate "
+                         "target")
+        components = tuple(
+            name.strip() for name in args.components.split(",")
+            if name.strip())
+        if not components:
+            parser.error("--components must name at least one "
+                         "defense component")
+        for name in components:
+            if name not in ablate.COMPONENT_NAMES:
+                parser.error(
+                    f"--components must name defense components in "
+                    f"{list(ablate.COMPONENT_NAMES)}, got {name!r}")
     opts = RunOptions(profile=args.profile, jobs=args.jobs, out=args.out,
                       resume=args.resume, executor=args.executor,
                       progress=args.progress, transport=args.transport,
-                      replicas=args.replicas)
+                      replicas=args.replicas, components=components)
+
+    if args.list_components:
+        print(_format_components())
+        return 0
 
     if args.target == "report":
         if args.out is None:

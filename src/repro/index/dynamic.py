@@ -52,7 +52,8 @@ class DynamicLearnedIndex:
     def __init__(self, keyset: KeySet | np.ndarray, n_models: int,
                  retrain_threshold: float = 0.1,
                  sanitizer: "Callable[[np.ndarray], np.ndarray] | None"
-                 = None, sanitize_initial: bool = False):
+                 = None, sanitize_initial: bool = False,
+                 quarantine_rejects: bool = True):
         """Build the base index.
 
         Parameters
@@ -80,6 +81,12 @@ class DynamicLearnedIndex:
             rebuilding from a live — possibly already-poisoned — key
             set (a shard migration) passes ``True`` so the first
             model trains only on keys the defense trusts.
+        quarantine_rejects:
+            With the default ``True``, sanitizer rejects land on the
+            quarantine side list (served via binary search,
+            reconsidered at the next retrain).  ``False`` — the
+            ablation arm — drops them from the index entirely, so
+            their lookups miss.
         """
         if not 0.0 < retrain_threshold <= 1.0:
             raise ValueError(
@@ -89,6 +96,7 @@ class DynamicLearnedIndex:
         self._n_models = n_models
         self._threshold = retrain_threshold
         self._sanitizer = sanitizer
+        self._quarantine_rejects = bool(quarantine_rejects)
         self._base = np.sort(keys)
         self._delta: list[int] = []
         self._quarantine = np.empty(0, dtype=np.int64)
@@ -98,7 +106,8 @@ class DynamicLearnedIndex:
             if np.setdiff1d(kept, self._base).size:
                 raise ValueError(
                     "sanitizer returned keys outside the training set")
-            self._quarantine = np.setdiff1d(self._base, kept)
+            if self._quarantine_rejects:
+                self._quarantine = np.setdiff1d(self._base, kept)
             self._quarantine.setflags(write=False)
             self._base = kept
         self._rmi = RecursiveModelIndex.build_equal_size(self._base,
@@ -240,7 +249,9 @@ class DynamicLearnedIndex:
             if np.setdiff1d(kept, merged).size:
                 raise ValueError(
                     "sanitizer returned keys outside the training set")
-            self._quarantine = np.setdiff1d(merged, kept)
+            self._quarantine = (np.setdiff1d(merged, kept)
+                                if self._quarantine_rejects
+                                else np.empty(0, dtype=np.int64))
             merged = kept
         else:
             self._quarantine = np.empty(0, dtype=np.int64)

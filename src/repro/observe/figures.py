@@ -23,6 +23,7 @@ import numpy as np
 
 __all__ = [
     "PALETTE",
+    "bar_figure",
     "heatmap_figure",
     "line_figure",
     "sparkline_figure",
@@ -246,6 +247,61 @@ def heatmap_figure(title: str, matrix: np.ndarray, *,
                       f"hi {_label(hi)}", size=9, anchor="end"))
     height = int(y_cursor + 22)
     return _document(width, height, body)
+
+
+def bar_figure(title: str,
+               rows: Sequence[tuple[str, float]], *,
+               width: int = 520, row_height: int = 24) -> str:
+    """Horizontal signed bars, one labelled row per value.
+
+    The ablation gallery uses this for leave-one-out importance:
+    each bar grows from the shared zero axis — positive (protective)
+    values in the first palette hue, negative (harmful) in the
+    second, NaN as a neutral grey stub on the axis — with the exact
+    value printed at the right edge.
+    """
+    label_w = 190
+    value_w = 84
+    x0 = float(label_w)
+    plot_w = width - label_w - value_w
+    values = np.asarray([value for _, value in rows],
+                        dtype=np.float64)
+    finite = values[np.isfinite(values)]
+    lo = min(0.0, float(finite.min())) if finite.size else 0.0
+    hi = max(0.0, float(finite.max())) if finite.size else 1.0
+    if hi == lo:
+        hi = lo + 1.0
+    span = hi - lo
+    zero_x = x0 + plot_w * (0.0 - lo) / span
+    body: list[str] = [_text(10, 17, title, size=13)]
+    y_cursor = float(_TITLE_H)
+    for label, value in rows:
+        mid = y_cursor + row_height / 2
+        body.append(_text(x0 - 6, mid + 4, label, size=10,
+                          anchor="end"))
+        body.append(_rect(x0, y_cursor + 3, plot_w, row_height - 6,
+                          _BG, stroke=_FRAME))
+        value = float(value)
+        if math.isfinite(value):
+            vx = x0 + plot_w * (value - lo) / span
+            bar_x, bar_w = ((zero_x, vx - zero_x) if vx >= zero_x
+                            else (vx, zero_x - vx))
+            fill = PALETTE[0] if value >= 0 else PALETTE[1]
+            body.append(_rect(bar_x, y_cursor + 5, max(bar_w, 1.0),
+                              row_height - 10, fill))
+        else:
+            body.append(_rect(zero_x - 2.0, y_cursor + 5, 4.0,
+                              row_height - 10, _NAN))
+        body.append(_text(width - 6, mid + 4, _label(value),
+                          size=10, anchor="end"))
+        y_cursor += row_height
+    # Zero axis drawn last so it overlays every row's frame.
+    body.append(_rect(zero_x - 0.5, float(_TITLE_H), 1.0,
+                      y_cursor - _TITLE_H, _FG))
+    body.append(_text(x0, y_cursor + 12, f"lo {_label(lo)}", size=9))
+    body.append(_text(width - _MARGIN_RIGHT, y_cursor + 12,
+                      f"hi {_label(hi)}", size=9, anchor="end"))
+    return _document(width, int(y_cursor + 22), body)
 
 
 def sparkline_figure(title: str,

@@ -133,6 +133,34 @@ def _render_cell(target: str, stem: str,
     return written
 
 
+def _render_ablation(ablation: Mapping,
+                     figures_dir: Path) -> "list[tuple[str, str]]":
+    """One importance-bar figure per ablated scenario.
+
+    Reads only the declared ``ablation`` section keys (validated
+    upstream by :func:`repro.contracts.validate_ablation_section`);
+    scores travel as JSON-safe floats, so they come back through
+    :func:`repro.io.parse_json_float`.
+    """
+    written: list[tuple[str, str]] = []
+    for scenario_entry in ablation["scenarios"]:
+        scenario = scenario_entry["scenario"]
+        rows = []
+        for component_entry in scenario_entry["components"]:
+            rows.append((
+                f'{component_entry["rank"]}. '
+                f'{component_entry["component"]}',
+                io.parse_json_float(component_entry["score"])))
+        name = f"ablation-{scenario}.importance.svg"
+        svg = figures.bar_figure(
+            f"{scenario} — leave-one-out importance "
+            f"(victim amplification delta)", rows)
+        (figures_dir / name).write_text(svg)
+        written.append((name,
+                        f"{scenario} component importance ranking"))
+    return written
+
+
 def render_result_gallery(target_dir: "str | Path",
                           ) -> "list[Path]":
     """Render ``<target_dir>/figures/`` from its result.json.
@@ -150,18 +178,26 @@ def render_result_gallery(target_dir: "str | Path",
     payload = validate_result(
         json.loads((target_dir / "result.json").read_text()))
     target = payload["target"]
-    if target not in ("closedloop", "cluster", "workload"):
+    if target not in ("closedloop", "cluster", "workload", "ablate"):
         return []
     manifest = sorted(payload["artifacts"],
                       key=lambda entry: entry["file"])
     figures_dir = target_dir / "figures"
     figures_dir.mkdir(parents=True, exist_ok=True)
     index: list[tuple[str, str]] = []
-    for entry in manifest:
-        artifact = target_dir / entry["file"]
-        arrays = io.load_arrays(artifact)
-        stem = Path(entry["file"]).stem
-        index.extend(_render_cell(target, stem, arrays, figures_dir))
+    if target == "ablate":
+        # The importance bars come from the validated ``ablation``
+        # result section, not from the per-cell .npz series — the
+        # figure is the ranking itself.
+        index.extend(_render_ablation(payload["result"]["ablation"],
+                                      figures_dir))
+    else:
+        for entry in manifest:
+            artifact = target_dir / entry["file"]
+            arrays = io.load_arrays(artifact)
+            stem = Path(entry["file"]).stem
+            index.extend(_render_cell(target, stem, arrays,
+                                      figures_dir))
     lines = [f"# {target} gallery", "",
              f"{len(index)} figures from {len(manifest)} cell "
              f"artifacts.  Regenerate with "

@@ -115,13 +115,19 @@ class ServingBackend:
     supports_trim = True
 
     def __init__(self, keys: np.ndarray, rebuild_threshold: float = 0.1,
-                 trim_keep_fraction: float | None = None, **build_args):
+                 trim_keep_fraction: float | None = None,
+                 quarantine_rejects: bool = True, **build_args):
         self._validate_threshold(rebuild_threshold)
         self._validate_keep_fraction(trim_keep_fraction)
         self._threshold = rebuild_threshold
         self._keep_fraction = trim_keep_fraction
         self._sanitizer = (None if trim_keep_fraction is None
                            else _trim_sanitizer(trim_keep_fraction))
+        # The ablation seam: with the quarantine side list disabled,
+        # TRIM rejects are dropped from the live set instead of being
+        # retained on the binary-searched side list.  Default True —
+        # every pre-existing scenario keeps the durable screen.
+        self._quarantine_rejects = bool(quarantine_rejects)
         self._build_args = build_args
         self._snapshot = np.sort(np.asarray(keys, dtype=np.int64))
         self._delta = np.empty(0, dtype=np.int64)
@@ -217,6 +223,11 @@ class ServingBackend:
     def trim_keep_fraction(self) -> float | None:
         """The TRIM screen's keep fraction (``None`` = defense off)."""
         return self._keep_fraction
+
+    @property
+    def quarantine_rejects(self) -> bool:
+        """Whether TRIM rejects are quarantined (vs dropped)."""
+        return self._quarantine_rejects
 
     def set_trim_keep_fraction(self, fraction: float | None) -> None:
         """Re-arm (or disarm, with ``None``) the TRIM screen.
@@ -348,7 +359,9 @@ class ServingBackend:
         if self._sanitizer is not None:
             kept = np.sort(np.asarray(self._sanitizer(live),
                                       dtype=np.int64))
-            self._quarantine = np.setdiff1d(live, kept)
+            self._quarantine = (np.setdiff1d(live, kept)
+                                if self._quarantine_rejects
+                                else np.empty(0, dtype=np.int64))
             live = kept
         else:
             self._quarantine = np.empty(0, dtype=np.int64)
@@ -657,8 +670,10 @@ class BTreeBackend(ServingBackend):
 
     def __init__(self, keys: np.ndarray, rebuild_threshold: float = 0.1,
                  trim_keep_fraction: float | None = None,
+                 quarantine_rejects: bool = True,
                  min_degree: int = 16):
         super().__init__(keys, rebuild_threshold, trim_keep_fraction,
+                         quarantine_rejects=quarantine_rejects,
                          min_degree=min_degree)
 
     def _build(self, keys: np.ndarray) -> None:
@@ -714,8 +729,10 @@ class RMIBackend(ServingBackend):
 
     def __init__(self, keys: np.ndarray, rebuild_threshold: float = 0.1,
                  trim_keep_fraction: float | None = None,
+                 quarantine_rejects: bool = True,
                  model_size: int = 100):
         super().__init__(keys, rebuild_threshold, trim_keep_fraction,
+                         quarantine_rejects=quarantine_rejects,
                          model_size=model_size)
 
     def _build(self, keys: np.ndarray) -> None:
@@ -745,8 +762,10 @@ class DynamicBackend(ServingBackend):
 
     def __init__(self, keys: np.ndarray, rebuild_threshold: float = 0.1,
                  trim_keep_fraction: float | None = None,
+                 quarantine_rejects: bool = True,
                  model_size: int = 100):
         super().__init__(keys, rebuild_threshold, trim_keep_fraction,
+                         quarantine_rejects=quarantine_rejects,
                          model_size=model_size)
 
     def _build(self, keys: np.ndarray) -> None:
@@ -755,7 +774,8 @@ class DynamicBackend(ServingBackend):
         self._index = DynamicLearnedIndex(
             keys, n_models=n_models,
             retrain_threshold=self._threshold,
-            sanitizer=self._sanitizer)
+            sanitizer=self._sanitizer,
+            quarantine_rejects=self._quarantine_rejects)
 
     @property
     def n_keys(self) -> int:
@@ -824,7 +844,8 @@ class DynamicBackend(ServingBackend):
             live, n_models=n_models,
             retrain_threshold=self._threshold,
             sanitizer=self._sanitizer,
-            sanitize_initial=True)
+            sanitize_initial=True,
+            quarantine_rejects=self._quarantine_rejects)
 
     def delete_batch(self, keys: np.ndarray) -> None:
         keys = np.asarray(keys, dtype=np.int64)

@@ -1,0 +1,151 @@
+"""Importance arithmetic: delta signs, harmful flag, rank order."""
+
+import math
+
+import pytest
+
+from repro.ablate import (
+    HARM_TOLERANCE,
+    MetricSummary,
+    build_report,
+    to_section,
+)
+from repro.contracts import validate_ablation_section
+
+NAN = float("nan")
+
+
+def metrics(amplification, p95=10.0, slo=NAN):
+    return MetricSummary(amplification=amplification, p95=p95,
+                         slo_violations=slo)
+
+
+BASELINE = metrics(1.0, p95=10.0, slo=0.1)
+FLOOR = metrics(2.0, p95=30.0, slo=0.6)
+
+
+class TestDeltas:
+    def test_score_is_removal_minus_baseline(self):
+        report = build_report(
+            "drip", BASELINE, FLOOR,
+            [("trim", "TRIM screen", metrics(1.4, p95=14.0, slo=0.3))])
+        entry = report.component("trim")
+        assert entry.score == pytest.approx(0.4)
+        assert entry.amplification_delta == entry.score
+        assert entry.p95_delta == pytest.approx(4.0)
+        assert entry.slo_delta == pytest.approx(0.2)
+        assert not entry.harmful
+
+    def test_nan_metric_propagates_to_nan_delta(self):
+        report = build_report(
+            "drip", metrics(1.0, slo=NAN), FLOOR,
+            [("trim", "t", metrics(1.2, slo=NAN))])
+        entry = report.component("trim")
+        assert math.isnan(entry.slo_delta)
+        assert entry.score == pytest.approx(0.2)
+
+    def test_stack_protects_is_floor_minus_baseline(self):
+        report = build_report("drip", BASELINE, FLOOR, [])
+        assert report.stack_protects() == pytest.approx(1.0)
+
+
+class TestHarmfulFlag:
+    def test_improvement_beyond_tolerance_flags_harmful(self):
+        report = build_report(
+            "drip", BASELINE, FLOOR,
+            [("trim", "t",
+              metrics(1.0 - 2 * HARM_TOLERANCE))])
+        assert report.component("trim").harmful
+
+    def test_improvement_within_tolerance_does_not_flag(self):
+        report = build_report(
+            "drip", BASELINE, FLOOR,
+            [("trim", "t",
+              metrics(1.0 - HARM_TOLERANCE / 2))])
+        assert not report.component("trim").harmful
+
+    def test_nan_score_never_flags_harmful(self):
+        report = build_report(
+            "drip", metrics(NAN), FLOOR, [("trim", "t", metrics(1.2))])
+        entry = report.component("trim")
+        assert math.isnan(entry.score)
+        assert not entry.harmful
+
+
+class TestRanking:
+    def test_descending_score_order(self):
+        report = build_report(
+            "drip", BASELINE, FLOOR,
+            [("trim", "t", metrics(1.1)),
+             ("deferral", "d", metrics(1.5)),
+             ("quarantine", "q", metrics(1.3))])
+        assert [e.component for e in report.components] \
+            == ["deferral", "quarantine", "trim"]
+        assert [e.rank for e in report.components] == [1, 2, 3]
+
+    def test_score_tie_breaks_on_p95_delta(self):
+        report = build_report(
+            "drip", BASELINE, FLOOR,
+            [("trim", "t", metrics(1.2, p95=12.0)),
+             ("deferral", "d", metrics(1.2, p95=18.0))])
+        assert [e.component for e in report.components] \
+            == ["deferral", "trim"]
+
+    def test_full_tie_breaks_alphabetically(self):
+        report = build_report(
+            "drip", BASELINE, FLOOR,
+            [("trim", "t", metrics(1.0, p95=10.0)),
+             ("quarantine", "q", metrics(1.0, p95=10.0)),
+             ("deferral", "d", metrics(1.0, p95=10.0))])
+        assert [e.component for e in report.components] \
+            == ["deferral", "quarantine", "trim"]
+
+    def test_nan_score_ranks_last(self):
+        report = build_report(
+            "drip", BASELINE, FLOOR,
+            [("trim", "t", metrics(NAN)),
+             ("deferral", "d", metrics(1.0))])
+        assert report.components[-1].component == "trim"
+
+    def test_ranking_is_input_order_independent(self):
+        one_offs = [("trim", "t", metrics(1.1)),
+                    ("deferral", "d", metrics(1.5)),
+                    ("quarantine", "q", metrics(1.3))]
+        forward = build_report("drip", BASELINE, FLOOR, one_offs)
+        backward = build_report("drip", BASELINE, FLOOR,
+                                one_offs[::-1])
+        assert [(e.component, e.rank, e.score)
+                for e in forward.components] \
+            == [(e.component, e.rank, e.score)
+                for e in backward.components]
+
+    def test_unknown_component_lookup_raises(self):
+        report = build_report("drip", BASELINE, FLOOR, [])
+        with pytest.raises(KeyError, match="bogus"):
+            report.component("bogus")
+
+
+class TestSection:
+    def build(self):
+        return build_report(
+            "cluster", BASELINE, FLOOR,
+            [("trim", "t", metrics(1.4, p95=14.0, slo=0.3)),
+             ("deferral", "d", metrics(1.1, p95=NAN, slo=0.2))])
+
+    def test_section_passes_the_declared_contract(self):
+        block = to_section([self.build()])
+        assert validate_ablation_section(block) is block
+
+    def test_nan_travels_as_the_json_sentinel(self):
+        block = to_section([self.build()])
+        rows = block["scenarios"][0]["components"]
+        deferral = next(r for r in rows if r["component"] == "deferral")
+        assert deferral["p95_delta"] == "nan"
+        assert isinstance(deferral["score"], float)
+
+    def test_format_renders_rank_table_and_duel(self):
+        from repro.ablate import format_reports
+        text = format_reports([self.build()])
+        assert "defense ablation: cluster scenario" in text
+        assert "removal cost" in text
+        assert "rank" in text

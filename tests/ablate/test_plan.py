@@ -1,0 +1,175 @@
+"""Plan-builder properties: leave-one-out coverage, stable digests.
+
+Three contracts:
+
+* **coverage** — for any valid config, every scenario's plan is
+  exactly one all-on baseline, one one-off per applicable component
+  surviving the ``--components`` filter, and one all-off floor, with
+  unique content-addressed digests;
+* **cross-process determinism** — cell digests computed in a separate
+  interpreter (fresh ``PYTHONHASHSEED``, so any accidental use of the
+  salted builtin ``hash`` would change them) are identical, the
+  property resume and process fan-out depend on;
+* **resume** — a checkpointed grid re-run with ``resume=True``
+  rewrites no cell file and reproduces the identical rows.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ablate import (
+    COMPONENT_NAMES,
+    AblateConfig,
+    applicable_components,
+    plan_cells,
+    quick_config,
+    run,
+    run_ablate_cell,
+    variant_names,
+)
+from repro.runtime import Cell
+
+
+def transports():
+    return st.one_of(
+        st.tuples(st.just("inproc"), st.just(1)),
+        st.tuples(st.just("process"), st.integers(1, 3)))
+
+
+CONFIGS = st.builds(
+    lambda scenarios, filt, tr, seed: AblateConfig(
+        scenarios=scenarios, components=filt, transport=tr[0],
+        replicas=tr[1], seed=seed),
+    scenarios=st.sampled_from(
+        (("drip",), ("cluster",), ("drip", "cluster"),
+         ("cluster", "drip"))),
+    filt=st.one_of(
+        st.none(),
+        st.sets(st.sampled_from(COMPONENT_NAMES), min_size=1)
+        .map(lambda s: tuple(sorted(s)))),
+    tr=transports(),
+    seed=st.integers(0, 2**31 - 1))
+
+
+class TestCoverage:
+    @settings(max_examples=60, deadline=None)
+    @given(config=CONFIGS)
+    def test_leave_one_out_grid_covers_each_component_once(
+            self, config):
+        plan = plan_cells(config)
+        by_scenario = {}
+        for cell in plan:
+            p = cell.params_dict
+            by_scenario.setdefault(p["scenario"], []).append(
+                p["variant"])
+        assert sorted(by_scenario) == sorted(config.scenarios)
+        for scenario, variants in by_scenario.items():
+            applicable = [s.name for s in applicable_components(
+                scenario, config.transport, config.replicas,
+                config.components)]
+            assert variants.count("baseline") == 1
+            assert variants.count("floor") == 1
+            one_offs = [v for v in variants
+                        if v not in ("baseline", "floor")]
+            # every applicable component removed exactly once
+            assert sorted(one_offs) \
+                == sorted(f"no-{name}" for name in applicable)
+            assert variants == list(variant_names(config, scenario))
+
+    @settings(max_examples=60, deadline=None)
+    @given(config=CONFIGS)
+    def test_digests_unique_across_the_plan(self, config):
+        plan = plan_cells(config)
+        digests = [cell.digest for cell in plan]
+        assert len(set(digests)) == len(digests)
+
+    @settings(max_examples=30, deadline=None)
+    @given(config=CONFIGS)
+    def test_filter_never_changes_surviving_digests(self, config):
+        """--components only drops one-off cells; the cells that do
+        run keep their unfiltered digests, so checkpoints are shared
+        across filtered runs."""
+        unfiltered = plan_cells(AblateConfig(
+            scenarios=config.scenarios, components=None,
+            transport=config.transport, replicas=config.replicas,
+            seed=config.seed))
+        filtered = {c.digest for c in plan_cells(config)}
+        assert filtered <= {c.digest for c in unfiltered}
+
+
+class TestConfigValidation:
+    def test_unknown_scenario_named_in_error(self):
+        with pytest.raises(ValueError,
+                           match=r"scenarios must name scenarios in "
+                                 r"\['drip', 'cluster'\], got 'edge'"):
+            AblateConfig(scenarios=("edge",))
+
+    def test_unknown_component_named_in_error(self):
+        with pytest.raises(
+                ValueError,
+                match=r"components must name defense components in "
+                      r".*got 'tirm'"):
+            AblateConfig(components=("tirm",))
+
+    def test_empty_component_filter_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AblateConfig(components=())
+
+    def test_replicas_require_process_transport(self):
+        with pytest.raises(ValueError, match="process transport"):
+            AblateConfig(replicas=3)
+
+    def test_bad_variant_cell_rejected_by_runner(self):
+        template = plan_cells(quick_config())[0].params_dict
+        bad = Cell.make("defense-ablation",
+                        **{**template, "variant": "no-bogus"})
+        with pytest.raises(ValueError,
+                           match=r"'no-<component>' applicable to "
+                                 r"'drip', got 'no-bogus'"):
+            run_ablate_cell(bad)
+
+
+class TestCrossProcessDigests:
+    def test_digests_stable_across_interpreters(self):
+        """A worker with a different hash salt must address the same
+        cells — resumed and fanned-out grids depend on it."""
+        local = [c.digest for c in plan_cells(quick_config())]
+        script = (
+            "from repro.ablate import plan_cells, quick_config;"
+            "print([c.digest for c in plan_cells(quick_config())])")
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        for salt in ("0", "12345"):
+            env = dict(os.environ,
+                       PYTHONPATH=src, PYTHONHASHSEED=salt)
+            out = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True)
+            assert eval(out.stdout.strip()) == local, salt
+
+
+TINY = AblateConfig(scenarios=("drip",), n_base_keys=200,
+                    n_ticks=6, rate=40.0, seed=3)
+
+
+class TestResume:
+    def test_resume_reuses_completed_cells(self, tmp_path):
+        first = run(TINY, jobs=2, checkpoint_dir=tmp_path,
+                    executor="thread")
+        before = {p.name: p.stat().st_mtime_ns
+                  for p in (tmp_path / "cells").iterdir()}
+        assert before  # checkpoints were written
+        resumed = run(TINY, jobs=1, checkpoint_dir=tmp_path,
+                      resume=True)
+        after = {p.name: p.stat().st_mtime_ns
+                 for p in (tmp_path / "cells").iterdir()}
+        assert after == before  # nothing recomputed or rewritten
+        # NaN-safe comparison: to_dict carries the JSON sentinel.
+        assert resumed.to_dict() == first.to_dict()

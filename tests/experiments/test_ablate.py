@@ -1,0 +1,193 @@
+"""The ablate target end to end: acceptance pins, parity, CLI.
+
+The committed acceptance criteria of the subsystem:
+
+* every applicable component of every scenario gets an importance
+  score (a measured one-off cell, a rank, a harmful flag);
+* the all-on baseline strictly beats the all-off floor on victim
+  amplification in both scenarios — the stack protects;
+* on the closed-loop drip scenario, rebuild-threshold **deferral
+  outranks the TRIM screen** — the paper's Section VI point that
+  screening cannot cheaply separate CDF-shaped poison, while
+  not-retraining-on-the-burst can;
+* all of it bit-identical at ``--jobs 1`` vs ``--jobs 2`` and
+  thread vs process executors.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro import ablate
+from repro.contracts import validate_result
+from repro.experiments.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return ablate.run(ablate.quick_config(), jobs=1)
+
+
+@pytest.fixture(scope="module")
+def reports(serial):
+    return {r.scenario: r for r in serial.reports()}
+
+
+class TestAcceptance:
+    def test_grid_shape(self, serial):
+        assert len(serial.rows) == 13  # 5 drip + 8 cluster
+        assert [r.variant for r in serial.rows
+                if r.scenario == "drip"] \
+            == ["baseline", "no-trim", "no-quarantine",
+                "no-deferral", "floor"]
+
+    def test_every_applicable_component_scored(self, reports):
+        for scenario, report in reports.items():
+            expected = [s.name for s in
+                        ablate.applicable_components(scenario)]
+            scored = [e.component for e in report.components]
+            assert sorted(scored) == sorted(expected)
+            for entry in report.components:
+                assert not math.isnan(entry.score)
+                assert entry.rank >= 1
+
+    def test_baseline_beats_floor_on_amplification(self, reports):
+        for report in reports.values():
+            assert report.baseline.amplification \
+                < report.floor.amplification
+            assert report.stack_protects() > 0
+
+    def test_deferral_outranks_trim_on_the_drip_scenario(
+            self, reports):
+        drip = reports["drip"]
+        assert drip.component("deferral").rank \
+            < drip.component("trim").rank
+        assert drip.component("deferral").score > 0
+
+    def test_ranks_are_a_permutation(self, reports):
+        for report in reports.values():
+            assert sorted(e.rank for e in report.components) \
+                == list(range(1, len(report.components) + 1))
+
+    def test_no_defense_flagged_harmful_on_the_quick_grid(
+            self, reports):
+        for report in reports.values():
+            assert not any(e.harmful for e in report.components)
+
+    def test_format_renders_grid_and_importance(self, serial):
+        text = serial.format()
+        assert "ablation grid: drip scenario" in text
+        assert "ablation grid: cluster scenario" in text
+        assert "defense ablation: drip scenario" in text
+        assert "removal cost" in text
+
+
+class TestParity:
+    def test_jobs2_thread_bit_identical_to_serial(self, serial):
+        # to_dict comparison (not rows): the drip rows carry NaN SLO
+        # fields, and NaN != NaN, while the JSON payload uses the
+        # "nan" sentinel — byte-for-byte comparable.
+        threaded = ablate.run(ablate.quick_config(), jobs=2,
+                              executor="thread")
+        assert threaded.to_dict() == serial.to_dict()
+
+    def test_jobs2_process_bit_identical_to_serial(self, serial):
+        parallel = ablate.run(ablate.quick_config(), jobs=2,
+                              executor="process")
+        assert parallel.to_dict() == serial.to_dict()
+
+
+class TestCli:
+    @pytest.fixture(scope="class")
+    def out_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("ablate-out")
+        assert main(["ablate", "--quick", "--jobs", "2",
+                     "--executor", "thread",
+                     "--out", str(out)]) == 0
+        return out
+
+    def test_result_document_validates(self, out_dir, serial):
+        payload = json.loads(
+            (out_dir / "ablate" / "result.json").read_text())
+        validate_result(payload)
+        assert payload["target"] == "ablate"
+        assert payload["result"] == serial.to_dict()
+
+    def test_manifest_covers_every_cell(self, out_dir):
+        from repro import io
+
+        payload = json.loads(
+            (out_dir / "ablate" / "result.json").read_text())
+        assert len(payload["artifacts"]) == 13
+        for entry in payload["artifacts"]:
+            arrays = io.load_arrays(out_dir / "ablate" / entry["file"])
+            assert sorted(arrays) == entry["arrays"]
+
+    def test_resume_rewrites_nothing(self, out_dir, capsys):
+        before = {p.name: p.stat().st_mtime_ns
+                  for p in (out_dir / "ablate" / "cells").iterdir()}
+        assert main(["ablate", "--quick", "--jobs", "2",
+                     "--out", str(out_dir), "--resume"]) == 0
+        capsys.readouterr()
+        after = {p.name: p.stat().st_mtime_ns
+                 for p in (out_dir / "ablate" / "cells").iterdir()}
+        assert after == before
+
+    def test_report_renders_importance_gallery(self, out_dir, capsys):
+        assert main(["report", "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        figures = out_dir / "ablate" / "figures"
+        assert (figures / "ablation-drip.importance.svg").exists()
+        assert (figures / "ablation-cluster.importance.svg").exists()
+        index = (figures / "GALLERY.md").read_text()
+        assert "ablation-drip.importance.svg" in index
+
+    def test_components_filter_restricts_the_axes(self, tmp_path,
+                                                  capsys):
+        assert main(["ablate", "--components", "deferral",
+                     "--jobs", "2", "--executor", "thread",
+                     "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(
+            (tmp_path / "ablate" / "result.json").read_text())
+        result = payload["result"]
+        assert result["components"] == ["deferral"]
+        assert len(result["cells"]) == 6  # 3 per scenario
+        for block in result["ablation"]["scenarios"]:
+            assert [row["component"]
+                    for row in block["components"]] == ["deferral"]
+
+    def test_list_components_prints_the_registry(self, capsys):
+        assert main(["ablate", "--list-components"]) == 0
+        out = capsys.readouterr().out
+        assert "ablatable defense components" in out
+        for name in ablate.COMPONENT_NAMES:
+            assert name in out
+        assert "--transport process --replicas>=3" in out
+
+    def test_unknown_component_names_field_and_value(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["ablate", "--components", "deferral,bogus"])
+        err = capsys.readouterr().err
+        assert "--components must name defense components in" in err
+        assert "'bogus'" in err
+        assert "deferral" in err  # the known list is spelled out
+
+    def test_components_rejected_for_other_targets(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--components", "trim"])
+        err = capsys.readouterr().err
+        assert "--components only applies to the ablate target" in err
+
+    def test_list_components_rejected_for_other_targets(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["closedloop", "--list-components"])
+        err = capsys.readouterr().err
+        assert "--list-components only applies to the ablate" in err
+
+    def test_empty_components_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["ablate", "--components", " , "])
+        err = capsys.readouterr().err
+        assert "at least one" in err

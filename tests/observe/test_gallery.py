@@ -118,6 +118,42 @@ class TestGalleryContents:
             if name != "GALLERY.md":
                 assert f"[{name}]({name})" in index
 
+    def test_ablate_target_renders_importance_bars(self, tmp_path):
+        metrics = {"amplification": 1.0, "p95": 10.0,
+                   "slo_violations": "nan"}
+        section = {"scenarios": [{
+            "scenario": "drip",
+            "baseline": dict(metrics),
+            "floor": {**metrics, "amplification": 1.2},
+            "components": [
+                {"component": "deferral", "rank": 1, "score": 0.2,
+                 "amplification_delta": 0.2, "p95_delta": 2.0,
+                 "slo_delta": "nan", "harmful": False},
+                {"component": "trim", "rank": 2, "score": "nan",
+                 "amplification_delta": "nan", "p95_delta": "nan",
+                 "slo_delta": "nan", "harmful": False},
+            ],
+        }]}
+        target_dir = tmp_path / "ablate"
+        target_dir.mkdir()
+        io.save_json({"schema": "repro.experiments.result/v2",
+                      "target": "ablate", "profile": "quick",
+                      "jobs": 1, "executor": "thread",
+                      "result": {"ablation": section},
+                      "artifacts": []},
+                     target_dir / "result.json")
+        first = _gallery_bytes(tmp_path, "ablate")
+        assert set(first) == {"GALLERY.md",
+                              "ablation-drip.importance.svg"}
+        svg = first["ablation-drip.importance.svg"].decode()
+        assert "1. deferral" in svg
+        assert "2. trim" in svg
+        index = first["GALLERY.md"].decode()
+        assert "[ablation-drip.importance.svg]" \
+               "(ablation-drip.importance.svg)" in index
+        # Re-rendering is byte-identical — the CI diff -r gate.
+        assert _gallery_bytes(tmp_path, "ablate") == first
+
     def test_unknown_target_renders_nothing(self, tmp_path):
         target_dir = tmp_path / "fig5"
         target_dir.mkdir()

@@ -35,7 +35,19 @@ def _spark():
     ])
 
 
+def _bar():
+    return figures.bar_figure("golden bars", [
+        ("1. deferral", 0.405),
+        ("2. slo_weighting", 0.043),
+        ("3. quarantine", 0.0),
+        ("4. trim", -0.02),
+        ("5. quorum", NAN),
+    ])
+
+
 GOLDEN = {
+    "bar": (_bar, "76753b548f1e786053db0851616b4822ac"
+                  "bdf83db4681a48ae9bcec6ece84040"),
     "line": (_line, "f5f5cdc2664559a213648788bc12c25b3f"
                     "0d5a040cfdb83a91511dd72ef99d63"),
     "heat": (_heat, "ef5a9fafa155555ec21fd9e2808ef461"
@@ -95,6 +107,14 @@ class TestNaNHandling:
     def test_nan_heatmap_cell_uses_the_nan_fill(self):
         svg = _heat()
         assert svg.count('fill="#e6e6e6"') == 1
+
+    def test_nan_bar_renders_the_stub_fill(self):
+        svg = _bar()
+        assert svg.count('fill="#e6e6e6"') == 1
+        assert svg.count("nan") >= 1  # the value label says so
+        # Sign decides the hue: protective vs harmful bars.
+        assert svg.count('fill="#1f77b4"') == 3
+        assert svg.count('fill="#d62728"') == 1
 
     def test_flat_series_is_still_finite(self):
         svg = figures.line_figure("t", [

@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro import contracts
-from repro.contracts import ContractViolation, validate_artifact_entry, \
+from repro.contracts import ContractViolation, \
+    validate_ablation_section, validate_artifact_entry, \
     validate_result
 
 
@@ -71,6 +72,78 @@ class TestValidateResult:
 
     def test_violation_is_a_value_error(self):
         assert issubclass(ContractViolation, ValueError)
+
+
+def canonical_ablation():
+    metrics = {"amplification": 1.0, "p95": 10.0,
+               "slo_violations": "nan"}
+    return {
+        "scenarios": [{
+            "scenario": "drip",
+            "baseline": dict(metrics),
+            "floor": dict(metrics),
+            "components": [{
+                "component": "trim", "rank": 1, "score": 0.2,
+                "amplification_delta": 0.2, "p95_delta": 1.0,
+                "slo_delta": "nan", "harmful": False,
+            }],
+        }],
+    }
+
+
+class TestAblationSection:
+    def test_accepts_canonical_section(self):
+        block = canonical_ablation()
+        assert validate_ablation_section(block) is block
+
+    def test_result_with_ablation_section_validates(self):
+        document = canonical_document()
+        document["result"] = {"ablation": canonical_ablation()}
+        assert validate_result(document) is document
+
+    def test_result_with_drifted_section_rejected(self):
+        document = canonical_document()
+        document["result"] = {"ablation": {"scenario": []}}
+        with pytest.raises(ContractViolation, match="result.ablation"):
+            validate_result(document)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ContractViolation, match="object"):
+            validate_ablation_section(["drip"])
+
+    def test_rejects_non_list_scenarios(self):
+        with pytest.raises(ContractViolation, match="list"):
+            validate_ablation_section({"scenarios": {}})
+
+    def test_rejects_drifted_scenario_entry(self):
+        block = canonical_ablation()
+        del block["scenarios"][0]["floor"]
+        with pytest.raises(ContractViolation,
+                           match=r"scenarios\[0\].*missing keys "
+                                 r"\['floor'\]"):
+            validate_ablation_section(block)
+
+    def test_rejects_drifted_metric_summary(self):
+        block = canonical_ablation()
+        block["scenarios"][0]["baseline"]["p99"] = 1.0
+        with pytest.raises(ContractViolation,
+                           match=r"scenarios\[0\]\.baseline.*"
+                                 r"unknown keys \['p99'\]"):
+            validate_ablation_section(block)
+
+    def test_rejects_drifted_component_row(self):
+        block = canonical_ablation()
+        row = block["scenarios"][0]["components"][0]
+        row["scor"] = row.pop("score")
+        with pytest.raises(ContractViolation,
+                           match=r"components\[0\]"):
+            validate_ablation_section(block)
+
+    def test_rejects_non_list_component_rows(self):
+        block = canonical_ablation()
+        block["scenarios"][0]["components"] = "trim"
+        with pytest.raises(ContractViolation, match="list"):
+            validate_ablation_section(block)
 
 
 class TestArtifactEntry:
